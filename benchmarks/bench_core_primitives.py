@@ -1,0 +1,80 @@
+"""Micro-benchmarks of the library's hot paths.
+
+These are genuine pytest-benchmark timings (many iterations) of the
+primitives the macro-experiments are built from: vectorised stepping,
+collision counting, the full Algorithm 1 simulation, and the network-size
+pipeline. They exist so performance regressions in the substrate are caught
+independently of the experiment tables.
+"""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.core.encounter import collision_counts
+from repro.core.estimator import RandomWalkDensityEstimator
+from repro.netsize.pipeline import NetworkSizeEstimationPipeline
+from repro.topology.graph import NetworkXTopology
+from repro.topology.hypercube import Hypercube
+from repro.topology.ring import Ring
+from repro.topology.torus import Torus2D
+from repro.walks.recollision import recollision_profile
+
+
+@pytest.fixture(scope="module")
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestSteppingThroughput:
+    def test_torus_step_10k_agents(self, benchmark, rng):
+        torus = Torus2D(256)
+        positions = torus.uniform_nodes(10_000, rng)
+        benchmark(lambda: torus.step_many(positions, rng))
+
+    def test_ring_step_10k_agents(self, benchmark, rng):
+        ring = Ring(100_000)
+        positions = ring.uniform_nodes(10_000, rng)
+        benchmark(lambda: ring.step_many(positions, rng))
+
+    def test_hypercube_step_10k_agents(self, benchmark, rng):
+        cube = Hypercube(20)
+        positions = cube.uniform_nodes(10_000, rng)
+        benchmark(lambda: cube.step_many(positions, rng))
+
+    def test_graph_step_10k_walkers(self, benchmark, rng):
+        topology = NetworkXTopology(nx.random_regular_graph(4, 5000, seed=0))
+        positions = topology.uniform_nodes(10_000, rng)
+        benchmark(lambda: topology.step_many(positions, rng))
+
+
+class TestCollisionCounting:
+    def test_collision_counts_10k_agents(self, benchmark, rng):
+        positions = rng.integers(0, 65_536, size=10_000)
+        benchmark(lambda: collision_counts(positions))
+
+    def test_collision_counts_dense(self, benchmark, rng):
+        # Dense regime: many collisions per node.
+        positions = rng.integers(0, 100, size=10_000)
+        benchmark(lambda: collision_counts(positions))
+
+
+class TestEndToEnd:
+    def test_algorithm1_small_run(self, benchmark):
+        torus = Torus2D(48)
+        estimator = RandomWalkDensityEstimator(torus, num_agents=232, rounds=100)
+        benchmark.pedantic(lambda: estimator.run(seed=0), rounds=3, iterations=1, warmup_rounds=0)
+
+    def test_recollision_profile_torus(self, benchmark):
+        torus = Torus2D(64)
+        benchmark.pedantic(
+            lambda: recollision_profile(torus, 32, trials=2000, seed=0),
+            rounds=3,
+            iterations=1,
+            warmup_rounds=0,
+        )
+
+    def test_network_size_pipeline(self, benchmark):
+        topology = NetworkXTopology(nx.random_regular_graph(4, 600, seed=1), name="expander")
+        pipeline = NetworkSizeEstimationPipeline(topology, num_walks=80, rounds=25, burn_in=25)
+        benchmark.pedantic(lambda: pipeline.run(seed=0), rounds=3, iterations=1, warmup_rounds=0)

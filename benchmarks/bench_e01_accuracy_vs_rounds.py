@@ -1,0 +1,15 @@
+"""Benchmark / regeneration harness for experiment E01.
+
+Reproduces the Theorem 1 accuracy-vs-rounds curve on the two-dimensional
+torus: the empirical ε should decay roughly as ``t^{-1/2}`` (times a log
+factor) and stay above the pure independent-sampling prediction.
+"""
+
+
+def test_e01_accuracy_vs_rounds(experiment_runner):
+    result = experiment_runner("E01")
+    epsilons = result.column("empirical_epsilon")
+    rounds = result.column("rounds")
+    # More rounds => smaller error (the headline shape of Theorem 1).
+    assert rounds == sorted(rounds)
+    assert epsilons[-1] < epsilons[0]

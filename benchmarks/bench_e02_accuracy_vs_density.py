@@ -1,0 +1,14 @@
+"""Benchmark / regeneration harness for experiment E02.
+
+Reproduces the Theorem 1 density dependence: at a fixed round budget the
+empirical ε shrinks as the density grows (roughly like ``d^{-1/2}``).
+"""
+
+
+def test_e02_accuracy_vs_density(experiment_runner):
+    result = experiment_runner("E02")
+    densities = result.column("true_density")
+    epsilons = result.column("empirical_epsilon")
+    assert densities == sorted(densities)
+    # Densest setting is estimated at least as well as the sparsest one.
+    assert epsilons[-1] <= epsilons[0]

@@ -1,0 +1,15 @@
+"""Benchmark / regeneration harness for experiment E03.
+
+Reproduces the Lemma 4 / Corollary 10 re-collision and equalization
+probability decay on the torus: roughly ``1/(m+1)``, and always below a
+constant multiple of the stated bound.
+"""
+
+
+def test_e03_recollision_torus(experiment_runner):
+    result = experiment_runner("E03")
+    probabilities = result.column("recollision_probability")
+    bounds_column = result.column("lemma4_bound")
+    assert probabilities[-1] < probabilities[0]
+    for probability, bound in zip(probabilities, bounds_column):
+        assert probability <= 4.0 * bound + 0.05

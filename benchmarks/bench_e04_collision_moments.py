@@ -1,0 +1,14 @@
+"""Benchmark / regeneration harness for experiment E04.
+
+Reproduces the Lemma 11 / Corollary 15-16 moment bounds: empirical central
+moments of the pairwise collision count stay within a constant factor of the
+``(t/A)·w^k·k!·log^k(2t)`` shape once the constant is fitted at k = 2.
+"""
+
+
+def test_e04_collision_moments(experiment_runner):
+    result = experiment_runner("E04")
+    for record in result.records:
+        assert record["pair_collision_moment"] >= 0
+        assert record["lemma11_bound_fitted"] > 0
+        assert record["within_bound"]

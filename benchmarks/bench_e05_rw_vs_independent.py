@@ -1,0 +1,16 @@
+"""Benchmark / regeneration harness for experiment E05.
+
+Reproduces the paper's central comparison: Algorithm 1 (random-walk
+encounter rates) versus Algorithm 4 (independent sampling). The error ratio
+stays bounded by a small factor at every round budget.
+"""
+
+import numpy as np
+
+
+def test_e05_random_walk_vs_independent(experiment_runner):
+    result = experiment_runner("E05")
+    ratios = [r for r in result.column("ratio") if np.isfinite(r)]
+    assert ratios, "expected at least one finite error ratio"
+    # Random walks lose at most a small multiplicative factor (poly-log in theory).
+    assert max(ratios) < 10.0

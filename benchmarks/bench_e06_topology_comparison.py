@@ -1,0 +1,16 @@
+"""Benchmark / regeneration harness for experiment E06.
+
+Reproduces the Section 4 topology ordering: the ring (weak local mixing) is
+the hardest topology for encounter-rate density estimation; the 2-D torus is
+within a modest factor of the complete graph; 3-D torus, hypercube, and
+expander essentially match independent sampling.
+"""
+
+
+def test_e06_topology_comparison(experiment_runner):
+    result = experiment_runner("E06")
+    epsilons = {record["topology"]: record["empirical_epsilon"] for record in result.records}
+    assert "ring" in epsilons and "complete" in epsilons and "torus2d" in epsilons
+    # The ring is never better than the complete graph; the torus sits between.
+    assert epsilons["ring"] >= epsilons["complete"] * 0.9
+    assert epsilons["torus2d"] <= epsilons["ring"] * 1.5

@@ -1,0 +1,22 @@
+"""Benchmark / regeneration harness for experiment E07.
+
+Reproduces the per-topology re-collision decay rates of Lemmas 20/4/22/23/25:
+polynomial exponents near -1/2 (ring), -1 (2-D torus), -3/2 (3-D torus) and
+geometric decay on the hypercube and expander.
+"""
+
+
+def test_e07_recollision_decay_per_topology(experiment_runner):
+    result = experiment_runner("E07")
+    by_topology = {record["topology"]: record for record in result.records}
+    # The decay steepens with local mixing strength: ring < torus2d < torus_3d.
+    assert (
+        by_topology["ring"]["probability_at_max_offset"]
+        > by_topology["torus2d"]["probability_at_max_offset"]
+    )
+    assert (
+        by_topology["torus2d"]["probability_at_max_offset"]
+        >= by_topology["torus_3d"]["probability_at_max_offset"]
+    )
+    # Fitted exponents keep the expected ordering (ring shallowest).
+    assert by_topology["ring"]["fitted_exponent"] > by_topology["torus_3d"]["fitted_exponent"]

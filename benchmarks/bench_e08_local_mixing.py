@@ -1,0 +1,14 @@
+"""Benchmark / regeneration harness for experiment E08.
+
+Reproduces the Section 4 local mixing sums B(t): growing like sqrt(t) on the
+ring, like log(t) on the 2-D torus, and saturating on the strongly locally
+mixing topologies (3-D torus, hypercube, expander).
+"""
+
+
+def test_e08_local_mixing_growth(experiment_runner):
+    result = experiment_runner("E08")
+    growth = {record["topology"]: record["growth_ratio"] for record in result.records}
+    assert growth["ring"] >= growth["torus2d"] * 0.9
+    assert growth["ring"] > growth["torus_3d"]
+    assert growth["ring"] > growth["hypercube"]

@@ -1,0 +1,19 @@
+"""Benchmark / regeneration harness for experiment E09.
+
+Reproduces the Section 5.1 network-size estimation trade-off: Algorithm 2
+with longer walks uses fewer walks (and therefore fewer burn-in link
+queries) than the [KLSC14] single-shot baseline, at comparable accuracy.
+"""
+
+
+def test_e09_network_size_estimation(experiment_runner):
+    result = experiment_runner("E09")
+    algorithm_rows = [r for r in result.records if r["method"] == "algorithm2"]
+    baseline_rows = [r for r in result.records if r["method"] == "katzir_baseline"]
+    assert algorithm_rows and baseline_rows
+    for graph in {r["graph"] for r in result.records}:
+        graph_rows = [r for r in algorithm_rows if r["graph"] == graph]
+        baseline = next(r for r in baseline_rows if r["graph"] == graph)
+        # The longest-walk configuration uses no more walks than the baseline.
+        longest = max(graph_rows, key=lambda r: r["rounds"])
+        assert longest["num_walks"] <= baseline["num_walks"]

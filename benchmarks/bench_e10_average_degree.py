@@ -1,0 +1,12 @@
+"""Benchmark / regeneration harness for experiment E10.
+
+Reproduces Theorem 31: with the prescribed number of stationary samples,
+inverse-degree sampling estimates the average degree within the target ε.
+"""
+
+
+def test_e10_average_degree_estimation(experiment_runner):
+    result = experiment_runner("E10")
+    for record in result.records:
+        # Allow slack for the unit constant in the Theta(.) of Theorem 31.
+        assert record["median_relative_error"] <= 2.0 * record["target_epsilon"]

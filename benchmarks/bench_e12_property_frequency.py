@@ -1,0 +1,14 @@
+"""Benchmark / regeneration harness for experiment E12.
+
+Reproduces the Section 5.2 property-frequency estimator: the ratio of marked
+to overall encounter rates converges to the true relative frequency as the
+round budget grows.
+"""
+
+
+def test_e12_property_frequency(experiment_runner):
+    result = experiment_runner("E12")
+    errors = result.column("median_relative_error")
+    fractions = result.column("fraction_within_epsilon")
+    assert errors[-1] <= errors[0]
+    assert fractions[-1] >= fractions[0]

@@ -1,0 +1,17 @@
+"""Benchmark / regeneration harness for experiment E13.
+
+Reproduces the Section 3.1 union-bound remark: at the delta/n budget the
+whole population is simultaneously accurate in most trials, and the budget
+is only logarithmically larger than the single-agent budget.
+"""
+
+
+def test_e13_all_agents_union_bound(experiment_runner):
+    result = experiment_runner("E13")
+    rows = {record["budget"]: record for record in result.records}
+    single = rows["single_agent_budget"]
+    union = rows["union_bound_budget"]
+    assert union["rounds"] >= single["rounds"]
+    # At the union-bound budget most agents are simultaneously within epsilon.
+    assert union["mean_fraction_of_agents_within"] >= single["mean_fraction_of_agents_within"]
+    assert union["mean_fraction_of_agents_within"] > 0.8

@@ -1,0 +1,20 @@
+"""Benchmark / regeneration harness for experiment E14.
+
+Reproduces the Section 6.1 robustness extension: missed/spurious collision
+detections bias the raw encounter rate in the predicted direction and the
+closed-form correction removes the bias.
+"""
+
+
+def test_e14_noise_ablation(experiment_runner):
+    result = experiment_runner("E14")
+    for record in result.records:
+        truth = record["true_density"]
+        raw_bias = abs(record["raw_mean_estimate"] - truth)
+        corrected_bias = abs(record["corrected_mean_estimate"] - truth)
+        if record["miss_probability"] == 0 and record["spurious_rate"] == 0:
+            # Noiseless: correction is a no-op.
+            assert corrected_bias == raw_bias
+        else:
+            # Correction never increases the bias (up to small sampling noise).
+            assert corrected_bias <= raw_bias + 0.02 * truth

@@ -1,0 +1,14 @@
+"""Benchmark / regeneration harness for experiment E15.
+
+Reproduces the Section 6.1 placement ablation: clustered initial placements
+break global density estimation — per-agent estimates spread out far more
+than under the uniform placement the analysis assumes.
+"""
+
+
+def test_e15_nonuniform_placement(experiment_runner):
+    result = experiment_runner("E15")
+    rows = {record["placement"]: record for record in result.records}
+    assert rows["clustered_80pct"]["estimate_spread"] > rows["uniform"]["estimate_spread"]
+    assert rows["clustered_80pct"]["p90_relative_error"] > rows["uniform"]["p90_relative_error"]
+    assert rows["gaussian_blob"]["p90_relative_error"] > rows["uniform"]["p90_relative_error"]

@@ -1,0 +1,16 @@
+"""Benchmark / regeneration harness for experiment E16.
+
+Reproduces the Section 6.3.1 sensor-network claim: a token relayed along a
+random walk aggregates readings nearly as accurately as independent sampling
+with the same number of probes, because repeat visits are rare on the grid.
+"""
+
+
+def test_e16_sensor_token_sampling(experiment_runner):
+    result = experiment_runner("E16")
+    for record in result.records:
+        # Walk sampling stays within a small factor of independent sampling.
+        assert record["error_ratio"] < 6.0
+        assert record["mean_repeat_visit_fraction"] < 0.6
+    errors = result.column("token_mean_error")
+    assert errors[-1] <= errors[0]

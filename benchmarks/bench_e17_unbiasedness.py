@@ -1,0 +1,12 @@
+"""Benchmark / regeneration harness for experiment E17.
+
+Reproduces Lemma 2 / Corollary 3: the encounter-rate estimator is unbiased
+on every regular topology — the grand mean over agents and trials sits on
+the true density up to sampling noise.
+"""
+
+
+def test_e17_unbiasedness(experiment_runner):
+    result = experiment_runner("E17")
+    for record in result.records:
+        assert abs(record["relative_bias"]) < 0.25

@@ -1,0 +1,16 @@
+"""Benchmark / regeneration harness for experiment E18.
+
+Reproduces the Section 6.2 quorum-sensing application: when the true density
+is separated from the threshold, nearly all agents answer the quorum
+question correctly.
+"""
+
+
+def test_e18_quorum_sensing(experiment_runner):
+    result = experiment_runner("E18")
+    for record in result.records:
+        assert record["fraction_correct"] > 0.6
+    # The most separated settings (extreme multipliers) are decided best.
+    extremes = [result.records[0], result.records[-1]]
+    for record in extremes:
+        assert record["fraction_correct"] > 0.8

@@ -1,0 +1,17 @@
+"""Benchmark / regeneration harness for experiment E19.
+
+Reproduces the Section 6.1 movement-model ablation: lazy and uniformly
+biased walks keep the estimator unbiased, while collision-avoiding movement
+depresses the measured encounter rate below the true density.
+"""
+
+
+def test_e19_movement_models(experiment_runner):
+    result = experiment_runner("E19")
+    rows = {record["movement_model"]: record for record in result.records}
+    # Unbiased families stay close to the truth.
+    for name in ("uniform_random_walk", "lazy_random_walk", "biased_torus_walk"):
+        assert abs(rows[name]["relative_bias"]) < 0.25
+    # Collision avoidance lowers the encounter rate (negative bias), and by
+    # more than the unbiased families fluctuate.
+    assert rows["collision_avoiding_walk"]["relative_bias"] < -0.05

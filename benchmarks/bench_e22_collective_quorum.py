@@ -1,0 +1,19 @@
+"""Benchmark / regeneration harness for experiment E22.
+
+Reproduces the Section 6.2 cooperation question: the majority vote over the
+agents' individual quorum decisions fails at most about as often as a typical
+individual agent, and usually much less often.
+"""
+
+
+def test_e22_collective_quorum(experiment_runner):
+    result = experiment_runner("E22")
+    for record in result.records:
+        assert (
+            record["collective_failure_rate"]
+            <= record["individual_failure_rate"] + 0.15
+        )
+    # At the most separated settings the collective decision is essentially always right.
+    extremes = [result.records[0], result.records[-1]]
+    for record in extremes:
+        assert record["collective_failure_rate"] <= 0.25

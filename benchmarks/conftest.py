@@ -1,0 +1,49 @@
+"""Shared helpers for the benchmark harness.
+
+Each ``bench_eXX_*.py`` file regenerates one experiment from the per-
+experiment index in DESIGN.md. Benchmarks default to the experiment's
+``quick()`` configuration so the whole harness completes in a couple of
+minutes; set the environment variable ``REPRO_BENCH_FULL=1`` to run the full
+configurations used to produce EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments import EXPERIMENTS
+from repro.experiments.base import ExperimentResult
+
+#: Run the full (paper-scale) configurations instead of the quick ones.
+FULL_SCALE = os.environ.get("REPRO_BENCH_FULL", "0") not in ("", "0", "false", "False")
+
+
+def run_experiment_benchmark(benchmark, experiment_id: str, seed: int = 0) -> ExperimentResult:
+    """Run one experiment under pytest-benchmark and echo its table.
+
+    The experiment is executed exactly once per benchmark round (these are
+    macro-benchmarks: the interesting output is the table, the timing is a
+    bonus), and the resulting table is printed so ``--benchmark-only -s``
+    reproduces the numbers recorded in EXPERIMENTS.md.
+    """
+    module, config_cls = EXPERIMENTS[experiment_id]
+    config = config_cls() if FULL_SCALE else config_cls.quick()
+    result = benchmark.pedantic(
+        lambda: module.run(config, seed=seed), rounds=1, iterations=1, warmup_rounds=0
+    )
+    print()
+    print(result.to_table())
+    assert len(result.records) > 0
+    return result
+
+
+@pytest.fixture
+def experiment_runner(benchmark):
+    """Fixture exposing :func:`run_experiment_benchmark` bound to the benchmark."""
+
+    def runner(experiment_id: str, seed: int = 0) -> ExperimentResult:
+        return run_experiment_benchmark(benchmark, experiment_id, seed)
+
+    return runner

@@ -1,0 +1,78 @@
+"""Adaptive density estimation: walking until the estimate is good enough.
+
+Theorem 1 prescribes a round budget that depends on the unknown density
+``d`` — awkward when ``d`` is exactly what the agent is trying to learn. The
+adaptive estimator removes the circularity with a doubling schedule: agents
+keep walking, and stop once the confidence interval around their running
+encounter rate is narrower than the requested relative width. The example
+runs the same adaptive procedure in a dense and a sparse environment and
+shows that the stopping time automatically scales like ``~ 1/d``, matching
+the fixed-budget prescription without ever being told the density.
+
+Run with::
+
+    python examples/adaptive_density_estimation.py
+"""
+
+from __future__ import annotations
+
+from repro.core.adaptive import AdaptiveDensityEstimator
+from repro.core import bounds
+from repro.topology.torus import Torus2D
+from repro.utils.tables import format_table
+
+
+def main() -> None:
+    target_epsilon = 0.3
+    delta = 0.1
+    scenarios = [
+        ("dense nest chamber", Torus2D(20), 120),    # d ~ 0.30
+        ("normal arena", Torus2D(40), 120),          # d ~ 0.074
+        ("sparse foraging ground", Torus2D(64), 120),  # d ~ 0.029
+    ]
+
+    rows = []
+    for label, workspace, agents in scenarios:
+        estimator = AdaptiveDensityEstimator(
+            workspace,
+            num_agents=agents,
+            target_epsilon=target_epsilon,
+            delta=delta,
+            max_rounds=60_000,
+        )
+        outcome = estimator.run(seed=7)
+        prescription = bounds.theorem1_rounds(outcome.true_density, target_epsilon, delta)
+        rows.append(
+            [
+                label,
+                outcome.true_density,
+                outcome.rounds_used,
+                prescription,
+                outcome.mean_estimate(),
+                outcome.converged_fraction,
+            ]
+        )
+
+    print(
+        format_table(
+            [
+                "scenario",
+                "true density",
+                "adaptive rounds used",
+                "Theorem 1 prescription",
+                "mean estimate",
+                "fraction converged",
+            ],
+            rows,
+            title=f"Adaptive estimation to relative width {target_epsilon} (delta = {delta})",
+        )
+    )
+    print(
+        "\nNo agent was told the density, yet the adaptive stopping times track the\n"
+        "~1/d scaling of the fixed-budget prescription: sparser environments automatically\n"
+        "earn longer walks."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""Ant colony quorum sensing during nest-site selection.
+
+Models the Temnothorax house-hunting scenario described in the paper's
+introduction [Pra05]: scout ants at a candidate nest site estimate the local
+scout density via encounter rates, and commit to the site once a quorum
+threshold is sensed. The example runs the quorum detector at several scout
+populations around the threshold and shows how reliably the colony decides.
+
+Run with::
+
+    python examples/ant_colony_quorum_sensing.py
+"""
+
+from __future__ import annotations
+
+from repro import QuorumDetector, Torus2D
+from repro.utils.tables import format_table
+
+
+def main() -> None:
+    nest_site = Torus2D(24)        # the candidate nest site, modelled as a small torus
+    quorum_threshold = 0.08        # scouts per grid cell needed to trigger commitment
+    margin = 0.5
+    delta = 0.05
+
+    print(
+        "Temnothorax scouts assess a candidate nest site of "
+        f"{nest_site.num_nodes} cells; quorum threshold = {quorum_threshold} scouts/cell\n"
+    )
+
+    rows = []
+    for scouts in (15, 30, 70, 120):
+        density = (scouts - 1) / nest_site.num_nodes
+        detector = QuorumDetector(
+            topology=nest_site,
+            num_agents=scouts,
+            threshold=quorum_threshold,
+            margin=margin,
+            delta=delta,
+            rounds=600,
+        )
+        fraction_above = detector.fraction_above(seed=scouts)
+        decision = "commit (quorum met)" if fraction_above > 0.5 else "keep searching"
+        rows.append([scouts, density, fraction_above, decision])
+
+    print(
+        format_table(
+            ["scouts", "true density", "fraction sensing quorum", "colony decision"],
+            rows,
+            title="Quorum sensing by encounter rates",
+        )
+    )
+    print(
+        "\nScout populations well below the threshold almost never trigger the quorum, and\n"
+        "populations well above it almost always do - the separation the paper's Section 6.2\n"
+        "argues suffices for reliable collective decisions."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""Quickstart: ant-inspired density estimation on a torus.
+
+Runs Algorithm 1 (random-walk encounter-rate density estimation) for a
+colony of agents on a two-dimensional torus, prints the accuracy achieved,
+and compares it against the Theorem 1 prediction and the independent-sampling
+baseline of Appendix A.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import Torus2D, bounds, estimate_density, estimate_density_independent
+from repro.utils.tables import format_table
+
+
+def main() -> None:
+    side = 64                      # the torus is side x side (A = 4096 nodes)
+    num_agents = 410               # density d ~ 0.1
+    delta = 0.1                    # failure probability used for reporting
+
+    topology = Torus2D(side)
+    density = (num_agents - 1) / topology.num_nodes
+    print(f"Torus {side}x{side} with {num_agents} agents -> density d = {density:.4f}\n")
+
+    rows = []
+    for rounds in (50, 200, 800):
+        walk_run = estimate_density(topology, num_agents, rounds, seed=0)
+        rows.append(
+            [
+                rounds,
+                walk_run.mean_estimate(),
+                walk_run.empirical_epsilon(delta),
+                bounds.theorem1_epsilon(rounds, density, delta),
+            ]
+        )
+
+    print(
+        format_table(
+            ["rounds", "mean estimate", "empirical eps (RW)", "Theorem 1 eps bound"],
+            rows,
+            title="Algorithm 1 (random-walk encounter rates) vs the Theorem 1 bound",
+        )
+    )
+
+    # Algorithm 4's analysis (Theorem 32) assumes t < sqrt(A), so the baseline
+    # comparison uses a round budget below the torus side length.
+    baseline_rounds = side - 4
+    walk_run = estimate_density(topology, num_agents, baseline_rounds, seed=1)
+    independent_run = estimate_density_independent(topology, num_agents, baseline_rounds, seed=1)
+    print(
+        f"\nAt t = {baseline_rounds} (the regime where Theorem 32 applies):\n"
+        f"  random-walk epsilon        = {walk_run.empirical_epsilon(delta):.3f}\n"
+        f"  independent-sampling epsilon = {independent_run.empirical_epsilon(delta):.3f}"
+    )
+    print(
+        "\nThe mean estimate sits on the true density (the estimator is unbiased), the\n"
+        "empirical epsilon shrinks roughly like 1/sqrt(rounds) as Theorem 1 predicts, and the\n"
+        "random-walk estimator stays within a small factor of independent sampling."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""Robot swarm task allocation via encounter-rate density estimation.
+
+Reproduces the Section 5.2 application: a swarm of robots on a grid
+workspace tracks, purely through collisions, (a) the overall swarm density
+and (b) the fraction of robots currently performing each task. A robot that
+senses too few foragers switches to foraging - the decentralised
+task-reallocation rule ant colonies are believed to use [Gor99].
+
+Run with::
+
+    python examples/robot_swarm_task_allocation.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.swarm import NoisyCollisionModel, RobotSwarm
+from repro.topology.torus import Torus2D
+from repro.utils.tables import format_table
+
+
+def main() -> None:
+    workspace = Torus2D(40)
+    num_robots = 480
+    target_forager_fraction = 0.4
+
+    swarm = RobotSwarm(
+        workspace=workspace,
+        num_robots=num_robots,
+        groups={"forager": 0.25, "explorer": 0.35},
+        collision_model=NoisyCollisionModel(miss_probability=0.1),
+        seed=3,
+    )
+    print(
+        f"Swarm of {num_robots} robots on a {workspace.side}x{workspace.side} workspace; "
+        f"25% foragers, 35% explorers, 10% of collisions go undetected\n"
+    )
+
+    report = swarm.estimate_densities(rounds=500, seed=4)
+
+    rows = []
+    for group in ("forager", "explorer"):
+        estimates = report.frequency_estimates(group)
+        rows.append(
+            [
+                group,
+                report.true_frequency(group),
+                float(np.median(estimates)),
+                float(np.quantile(np.abs(estimates - report.true_frequency(group)), 0.9)),
+            ]
+        )
+    print(
+        format_table(
+            ["task group", "true fraction", "median estimated fraction", "p90 absolute error"],
+            rows,
+            title="Per-robot task-fraction estimates from encounter rates",
+        )
+    )
+
+    forager_estimates = report.frequency_estimates("forager")
+    switching = float(np.mean(forager_estimates < target_forager_fraction))
+    print(
+        f"\nWith a target forager fraction of {target_forager_fraction:.0%}, "
+        f"{switching:.0%} of the non-forager robots would switch to foraging based on\n"
+        "their own local estimate - no central coordinator or message passing required."
+    )
+
+
+if __name__ == "__main__":
+    main()

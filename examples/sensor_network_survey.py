@@ -1,0 +1,77 @@
+"""Surveying a sensor network with a randomly walking query token.
+
+Reproduces the Section 6.3.1 application: a base station injects a query
+token into a grid of sensors; the token is relayed to a random neighbouring
+sensor at every hop and averages the readings it sees. Because the grid has
+strong local mixing, repeat visits are rare and the token's estimate is
+nearly as good as independently sampling sensors - without any node having
+to remember which sensors were already visited.
+
+Run with::
+
+    python examples/sensor_network_survey.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sensor import SensorGrid, independent_sample_mean, token_mean_estimate
+from repro.utils.tables import format_table
+
+
+def main() -> None:
+    side = 80
+    # Each sensor records an independent reading (e.g. whether a local event was
+    # detected plus measurement noise). Independence across sensors is the
+    # regime the paper's analysis covers - see the note printed at the end for
+    # what happens with spatially correlated fields.
+    def readings(num_sensors: int, rng: np.random.Generator) -> np.ndarray:
+        return 20.0 + 5.0 * rng.standard_normal(num_sensors)
+
+    network = SensorGrid(side, readings, seed=0)
+    print(
+        f"Sensor grid with {network.num_sensors} sensors; true mean reading = "
+        f"{network.true_mean:.3f}\n"
+    )
+
+    rows = []
+    for budget in (200, 1000, 5000):
+        token = token_mean_estimate(network, budget, seed=budget)
+        baseline = independent_sample_mean(network, budget, seed=budget + 1)
+        rows.append(
+            [
+                budget,
+                token.estimate,
+                token.relative_error,
+                token.repeat_visit_fraction,
+                baseline.estimate,
+                baseline.relative_error,
+            ]
+        )
+
+    print(
+        format_table(
+            [
+                "probes",
+                "token estimate",
+                "token rel. error",
+                "repeat-visit fraction",
+                "indep. estimate",
+                "indep. rel. error",
+            ],
+            rows,
+            title="Token random-walk survey vs independent sampling",
+        )
+    )
+    print(
+        "\nThe token's error tracks the independent-sampling error closely even though a\n"
+        "noticeable fraction of hops revisit sensors - the strong local mixing of the grid\n"
+        "(Corollary 15 of the paper) keeps the redundancy from hurting. Note that this holds\n"
+        "for readings that are independent across sensors; for strongly spatially correlated\n"
+        "fields a local walk needs to cover more ground, which is outside the paper's claim."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""Estimating the size of a hidden social network with random walks.
+
+Reproduces the Section 5.1 application end-to-end: a graph that can only be
+accessed through link queries is sized by (1) burning in a set of random
+walks from a single seed profile, (2) estimating the average degree by
+inverse-degree sampling (Algorithm 3), and (3) counting degree-weighted
+collisions over many rounds (Algorithm 2). The example also runs the
+single-shot [KLSC14] baseline with the same burn-in so the link-query
+trade-off of Section 5.1.5 is visible.
+
+Run with::
+
+    python examples/social_network_size.py
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro import NetworkXTopology
+from repro.netsize import NetworkSizeEstimationPipeline
+from repro.utils.tables import format_table
+
+
+def build_hidden_network(seed: int = 7) -> NetworkXTopology:
+    """A synthetic social-network-like graph (power-law-ish degrees, triadic closure)."""
+    graph = nx.powerlaw_cluster_graph(3000, 4, 0.2, seed=seed)
+    return NetworkXTopology(graph, name="hidden_social_network")
+
+
+def main() -> None:
+    network = build_hidden_network()
+    print(
+        f"Hidden network: |V| = {network.num_nodes}, |E| = {network.num_edges}, "
+        f"average degree = {network.average_degree:.2f}"
+    )
+    print("(the estimators below see it only through link queries)\n")
+
+    rows = []
+    for label, num_walks, rounds in (
+        ("Algorithm 2, t = 8", 400, 8),
+        ("Algorithm 2, t = 64", 160, 64),
+        ("Katzir baseline (t = 0)", 400, 1),
+    ):
+        pipeline = NetworkSizeEstimationPipeline(
+            network, num_walks=num_walks, rounds=rounds, burn_in=80
+        )
+        if label.startswith("Katzir"):
+            report = pipeline.run_katzir_baseline(seed=1)
+        else:
+            report = pipeline.run(seed=1)
+        rows.append(
+            [
+                label,
+                num_walks,
+                report.size_estimate,
+                report.relative_error,
+                report.average_degree_estimate,
+                report.link_queries,
+            ]
+        )
+
+    print(
+        format_table(
+            ["method", "walks", "size estimate", "rel. error", "deg estimate", "link queries"],
+            rows,
+            title=f"Estimating |V| = {network.num_nodes} through link queries",
+        )
+    )
+    print(
+        "\nLonger walks (larger t) let Algorithm 2 use fewer walkers, which cuts the burn-in\n"
+        "query cost - the trade-off the paper highlights over the halt-and-count baseline."
+    )
+
+
+if __name__ == "__main__":
+    main()

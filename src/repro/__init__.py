@@ -1,0 +1,83 @@
+"""repro — Ant-Inspired Density Estimation via Random Walks.
+
+A complete, executable reproduction of Musco, Su, and Lynch,
+"Ant-Inspired Density Estimation via Random Walks" (PODC 2016 / PNAS 2017):
+
+* the encounter-rate density-estimation algorithm (Algorithm 1) and its
+  independent-sampling baseline (Algorithm 4),
+* every topology the paper analyses (2-D torus, ring, k-D tori, hypercubes,
+  regular expanders, complete graphs, arbitrary graphs),
+* the random-walk analysis machinery (re-collision profiles, equalization
+  statistics, collision moments, local mixing sums),
+* the applications: social-network size estimation (Algorithms 2–3 and the
+  [KLSC14] baseline), robot-swarm density / property-frequency estimation,
+  and sensor-network token sampling,
+* an experiment suite that regenerates the paper's quantitative claims.
+
+Quickstart
+----------
+
+>>> from repro import Torus2D, estimate_density
+>>> run = estimate_density(Torus2D(side=64), num_agents=200, rounds=400, seed=0)
+>>> abs(run.mean_estimate() - run.true_density) / run.true_density < 0.2
+True
+"""
+
+from repro.core import (
+    IndependentSamplingEstimator,
+    QuorumDetector,
+    RandomWalkDensityEstimator,
+    bounds,
+    estimate_density,
+    estimate_density_independent,
+    estimate_property_frequency,
+)
+from repro.core.results import AccuracySummary, DensityEstimationRun
+from repro.netsize import (
+    NetworkSizeEstimationPipeline,
+    estimate_average_degree,
+    estimate_network_size,
+    katzir_size_estimate,
+)
+from repro.swarm import RobotSwarm
+from repro.sensor import SensorGrid
+from repro.topology import (
+    CompleteGraph,
+    Hypercube,
+    NetworkXTopology,
+    RegularExpander,
+    Ring,
+    Torus2D,
+    TorusKD,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # Core algorithms
+    "RandomWalkDensityEstimator",
+    "IndependentSamplingEstimator",
+    "QuorumDetector",
+    "estimate_density",
+    "estimate_density_independent",
+    "estimate_property_frequency",
+    "bounds",
+    "DensityEstimationRun",
+    "AccuracySummary",
+    # Topologies
+    "Torus2D",
+    "Ring",
+    "TorusKD",
+    "Hypercube",
+    "CompleteGraph",
+    "RegularExpander",
+    "NetworkXTopology",
+    # Applications
+    "NetworkSizeEstimationPipeline",
+    "estimate_network_size",
+    "estimate_average_degree",
+    "katzir_size_estimate",
+    "RobotSwarm",
+    "SensorGrid",
+]

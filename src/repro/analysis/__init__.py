@@ -1,0 +1,57 @@
+"""Statistical analysis toolkit used by the experiments and applications.
+
+* :mod:`repro.analysis.concentration` — the concentration inequalities the
+  paper's proofs use (Chernoff, Chebyshev, the Bernstein-type bound of
+  Lemma 18) and the median-of-means amplification trick.
+* :mod:`repro.analysis.accuracy` — empirical accuracy summaries of estimator
+  outputs (relative errors, empirical ε at a target δ, error decay fits).
+* :mod:`repro.analysis.sweep` — a small parameter-sweep harness that the
+  experiment modules and benchmarks share.
+"""
+
+from repro.analysis.concentration import (
+    chebyshev_deviation,
+    chernoff_deviation,
+    median_of_means,
+    subexponential_deviation,
+)
+from repro.analysis.accuracy import (
+    empirical_epsilon,
+    empirical_failure_probability,
+    fit_power_law,
+    fraction_within,
+    relative_errors,
+)
+from repro.analysis.sweep import cartesian_grid, run_sweep
+from repro.analysis.bootstrap import (
+    BootstrapInterval,
+    bootstrap_interval,
+    difference_is_significant,
+)
+from repro.analysis.theory_tables import (
+    network_size_budget_table,
+    required_rounds_by_topology,
+    rounds_table,
+    torus_overhead_table,
+)
+
+__all__ = [
+    "required_rounds_by_topology",
+    "rounds_table",
+    "torus_overhead_table",
+    "network_size_budget_table",
+    "BootstrapInterval",
+    "bootstrap_interval",
+    "difference_is_significant",
+    "chernoff_deviation",
+    "chebyshev_deviation",
+    "subexponential_deviation",
+    "median_of_means",
+    "relative_errors",
+    "fraction_within",
+    "empirical_epsilon",
+    "empirical_failure_probability",
+    "fit_power_law",
+    "cartesian_grid",
+    "run_sweep",
+]

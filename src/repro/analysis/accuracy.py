@@ -1,0 +1,77 @@
+"""Empirical accuracy summaries for estimator outputs.
+
+The paper's guarantees are (ε, δ) statements; these helpers compute the
+empirical counterparts from a vector of estimates, plus a small power-law
+fitting routine used to check decay exponents (e.g. that the empirical ε of
+Algorithm 1 decays roughly as ``t^{-1/2}``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import require_probability
+
+
+def relative_errors(estimates: np.ndarray, truth: float) -> np.ndarray:
+    """``|estimate - truth| / truth`` elementwise."""
+    if truth == 0:
+        raise ValueError("truth must be non-zero for relative errors")
+    return np.abs(np.asarray(estimates, dtype=np.float64) - truth) / abs(truth)
+
+
+def fraction_within(estimates: np.ndarray, truth: float, epsilon: float) -> float:
+    """Fraction of estimates within a ``(1 ± ε)`` factor of ``truth``."""
+    require_probability(epsilon, "epsilon", allow_zero=False)
+    return float(np.mean(relative_errors(estimates, truth) <= epsilon))
+
+
+def empirical_epsilon(estimates: np.ndarray, truth: float, delta: float = 0.1) -> float:
+    """The ε achieved by a ``1 - δ`` fraction of the estimates (error quantile)."""
+    require_probability(delta, "delta", allow_zero=False, allow_one=False)
+    return float(np.quantile(relative_errors(estimates, truth), 1.0 - delta))
+
+
+def empirical_failure_probability(estimates: np.ndarray, truth: float, epsilon: float) -> float:
+    """Fraction of estimates *outside* the ``(1 ± ε)`` band — the empirical δ."""
+    return 1.0 - fraction_within(estimates, truth, epsilon)
+
+
+def fit_power_law(x: np.ndarray, y: np.ndarray) -> tuple[float, float]:
+    """Least-squares fit of ``y ≈ a · x^b`` in log-log space.
+
+    Returns ``(a, b)``. Used to verify decay exponents of error curves and
+    re-collision profiles (only strictly positive data points are used).
+    """
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    mask = (x > 0) & (y > 0)
+    if np.count_nonzero(mask) < 2:
+        raise ValueError("need at least two positive (x, y) points to fit a power law")
+    log_x = np.log(x[mask])
+    log_y = np.log(y[mask])
+    slope, intercept = np.polyfit(log_x, log_y, 1)
+    return float(np.exp(intercept)), float(slope)
+
+
+def summarize_estimates(estimates: np.ndarray, truth: float) -> dict[str, float]:
+    """Dictionary of the headline accuracy statistics of an estimate vector."""
+    errors = relative_errors(estimates, truth)
+    return {
+        "truth": float(truth),
+        "mean_estimate": float(np.mean(estimates)),
+        "mean_relative_error": float(np.mean(errors)),
+        "median_relative_error": float(np.median(errors)),
+        "p90_relative_error": float(np.quantile(errors, 0.9)),
+        "max_relative_error": float(np.max(errors)),
+    }
+
+
+__all__ = [
+    "relative_errors",
+    "fraction_within",
+    "empirical_epsilon",
+    "empirical_failure_probability",
+    "fit_power_law",
+    "summarize_estimates",
+]

@@ -1,0 +1,109 @@
+"""Bootstrap confidence intervals for experiment metrics.
+
+The experiment tables report point estimates (medians, empirical ε values);
+bootstrap resampling provides uncertainty bands without distributional
+assumptions, which is useful when judging whether a measured ordering (e.g.
+ring vs torus accuracy in E06) is outside noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import require_integer, require_probability
+
+
+@dataclass(frozen=True)
+class BootstrapInterval:
+    """A bootstrap percentile confidence interval for a statistic."""
+
+    point_estimate: float
+    lower: float
+    upper: float
+    confidence: float
+    resamples: int
+
+    @property
+    def width(self) -> float:
+        return self.upper - self.lower
+
+    def contains(self, value: float) -> bool:
+        """Whether ``value`` lies inside the interval (inclusive)."""
+        return self.lower <= value <= self.upper
+
+
+def bootstrap_interval(
+    samples: np.ndarray,
+    statistic: Callable[[np.ndarray], float] = np.mean,
+    *,
+    confidence: float = 0.95,
+    resamples: int = 1000,
+    seed: SeedLike = None,
+) -> BootstrapInterval:
+    """Percentile bootstrap interval for ``statistic`` of ``samples``.
+
+    Parameters
+    ----------
+    samples:
+        One-dimensional array of observations.
+    statistic:
+        Function mapping a sample array to a scalar (default: the mean).
+    confidence:
+        Two-sided confidence level in (0, 1).
+    resamples:
+        Number of bootstrap resamples.
+    """
+    samples = np.asarray(samples, dtype=np.float64)
+    if samples.ndim != 1 or samples.size == 0:
+        raise ValueError("samples must be a non-empty 1-D array")
+    require_probability(confidence, "confidence", allow_zero=False, allow_one=False)
+    require_integer(resamples, "resamples", minimum=1)
+    rng = as_generator(seed)
+
+    point = float(statistic(samples))
+    indices = rng.integers(0, samples.size, size=(resamples, samples.size))
+    replicates = np.array([float(statistic(samples[row])) for row in indices])
+    alpha = (1.0 - confidence) / 2.0
+    lower, upper = np.quantile(replicates, [alpha, 1.0 - alpha])
+    return BootstrapInterval(
+        point_estimate=point,
+        lower=float(lower),
+        upper=float(upper),
+        confidence=confidence,
+        resamples=resamples,
+    )
+
+
+def difference_is_significant(
+    samples_a: np.ndarray,
+    samples_b: np.ndarray,
+    statistic: Callable[[np.ndarray], float] = np.mean,
+    *,
+    confidence: float = 0.95,
+    resamples: int = 1000,
+    seed: SeedLike = None,
+) -> bool:
+    """Whether the bootstrap interval of ``statistic(a) - statistic(b)`` excludes 0.
+
+    A simple two-sample bootstrap test used by tests that assert orderings
+    (e.g. "the ring's error is genuinely larger than the torus's").
+    """
+    samples_a = np.asarray(samples_a, dtype=np.float64)
+    samples_b = np.asarray(samples_b, dtype=np.float64)
+    rng = as_generator(seed)
+    require_integer(resamples, "resamples", minimum=1)
+    differences = np.empty(resamples)
+    for index in range(resamples):
+        resample_a = samples_a[rng.integers(0, samples_a.size, size=samples_a.size)]
+        resample_b = samples_b[rng.integers(0, samples_b.size, size=samples_b.size)]
+        differences[index] = statistic(resample_a) - statistic(resample_b)
+    alpha = (1.0 - confidence) / 2.0
+    lower, upper = np.quantile(differences, [alpha, 1.0 - alpha])
+    return bool(lower > 0.0 or upper < 0.0)
+
+
+__all__ = ["BootstrapInterval", "bootstrap_interval", "difference_is_significant"]

@@ -1,0 +1,67 @@
+"""A small parameter-sweep harness shared by experiments and benchmarks.
+
+Experiments are parameter sweeps producing one record (dict) per setting;
+:func:`run_sweep` handles seeding each setting independently (so results are
+reproducible and settings are statistically independent) and collecting the
+records in order.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, spawn_generators
+
+
+def cartesian_grid(**axes: Sequence[Any]) -> list[dict[str, Any]]:
+    """All combinations of the given axes as a list of parameter dicts.
+
+    >>> cartesian_grid(a=[1, 2], b=["x"])
+    [{'a': 1, 'b': 'x'}, {'a': 2, 'b': 'x'}]
+    """
+    if not axes:
+        return [{}]
+    names = list(axes.keys())
+    combos = itertools.product(*(axes[name] for name in names))
+    return [dict(zip(names, combo)) for combo in combos]
+
+
+def run_sweep(
+    runner: Callable[..., Mapping[str, Any]],
+    settings: Iterable[Mapping[str, Any]],
+    seed: SeedLike = None,
+) -> list[dict[str, Any]]:
+    """Run ``runner(**setting, rng=...)`` for every setting and collect records.
+
+    Each setting receives its own child generator derived from ``seed``.
+    The returned records are the runner's outputs merged over the input
+    setting (so the sweep parameters always appear in the record).
+    """
+    settings = list(settings)
+    rngs = spawn_generators(seed, len(settings))
+    records: list[dict[str, Any]] = []
+    for setting, rng in zip(settings, rngs):
+        output = runner(**setting, rng=rng)
+        record: dict[str, Any] = {**setting}
+        record.update(output)
+        records.append(record)
+    return records
+
+
+def repeat_and_average(
+    runner: Callable[[np.random.Generator], float],
+    repetitions: int,
+    seed: SeedLike = None,
+) -> tuple[float, float]:
+    """Run a scalar-valued trial ``repetitions`` times; return (mean, std)."""
+    if repetitions < 1:
+        raise ValueError(f"repetitions must be >= 1, got {repetitions}")
+    rngs = spawn_generators(seed, repetitions)
+    values = np.array([float(runner(rng)) for rng in rngs])
+    return float(values.mean()), float(values.std())
+
+
+__all__ = ["cartesian_grid", "run_sweep", "repeat_and_average"]

@@ -1,0 +1,126 @@
+"""Tabulation of the paper's theoretical round requirements.
+
+The closed-form bounds in :mod:`repro.core.bounds` answer "how many rounds
+does topology X need for (d, ε, δ)?". This module sweeps those functions
+over parameter grids and produces the comparison tables a reader of Section
+4 would want — e.g. the required ``t`` per topology side by side, or the
+ring/torus gap as ε shrinks — without running any simulation. The experiment
+suite uses these as the "paper says" columns; users can also consult them
+directly for sizing their own deployments.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.core import bounds
+from repro.utils.validation import require_probability
+
+
+def required_rounds_by_topology(
+    density: float,
+    epsilon: float,
+    delta: float,
+    *,
+    expander_lambda: float = 0.9,
+    dims: int = 3,
+) -> dict[str, int]:
+    """Rounds prescribed by the paper for each analysed topology at one setting."""
+    require_probability(epsilon, "epsilon", allow_zero=False, allow_one=False)
+    require_probability(delta, "delta", allow_zero=False, allow_one=False)
+    return {
+        "complete_graph": bounds.independent_sampling_rounds(density, epsilon, delta),
+        "torus_2d": bounds.theorem1_rounds(density, epsilon, delta),
+        "ring": bounds.ring_rounds_theorem21(density, epsilon, delta),
+        f"torus_{dims}d": bounds.torus_kd_rounds(density, epsilon, delta, dims),
+        "hypercube": bounds.hypercube_rounds(density, epsilon, delta),
+        "expander": bounds.expander_rounds(density, epsilon, delta, expander_lambda),
+    }
+
+
+def rounds_table(
+    densities: Sequence[float],
+    epsilons: Sequence[float],
+    delta: float = 0.05,
+    *,
+    expander_lambda: float = 0.9,
+) -> list[dict[str, Any]]:
+    """One record per (density, epsilon) with the per-topology round requirements."""
+    records: list[dict[str, Any]] = []
+    for density in densities:
+        for epsilon in epsilons:
+            record: dict[str, Any] = {"density": density, "epsilon": epsilon, "delta": delta}
+            record.update(
+                required_rounds_by_topology(
+                    density, epsilon, delta, expander_lambda=expander_lambda
+                )
+            )
+            records.append(record)
+    return records
+
+
+def torus_overhead_table(
+    densities: Sequence[float],
+    epsilons: Sequence[float],
+    delta: float = 0.05,
+) -> list[dict[str, Any]]:
+    """How much the 2-D torus loses to independent sampling (the paper's headline ratio).
+
+    The ratio equals the ``[log log(1/δ) + log(1/dε)]²`` factor of Theorem 1
+    and is the quantity the abstract calls "nearly matching".
+    """
+    records = []
+    for density in densities:
+        for epsilon in epsilons:
+            torus = bounds.theorem1_rounds(density, epsilon, delta)
+            ideal = bounds.independent_sampling_rounds(density, epsilon, delta)
+            records.append(
+                {
+                    "density": density,
+                    "epsilon": epsilon,
+                    "torus_rounds": torus,
+                    "independent_rounds": ideal,
+                    "overhead_factor": torus / ideal if ideal else float("inf"),
+                }
+            )
+    return records
+
+
+def network_size_budget_table(
+    num_nodes: int,
+    num_edges: int,
+    rounds_options: Sequence[int],
+    epsilon: float = 0.2,
+    delta: float = 0.1,
+    *,
+    local_mixing: float = 2.0,
+    burn_in: int = 50,
+) -> list[dict[str, Any]]:
+    """Walks and total link queries prescribed by Theorem 27 for each ``t``.
+
+    Reproduces, in closed form, the Section 5.1.5 trade-off: larger ``t``
+    means fewer walks, and when burn-in dominates, fewer total queries.
+    """
+    records = []
+    for rounds in rounds_options:
+        walks = bounds.theorem27_walks_required(
+            num_nodes, num_edges, local_mixing, rounds, epsilon, delta
+        )
+        records.append(
+            {
+                "rounds": rounds,
+                "walks": walks,
+                "burn_in_queries": walks * burn_in,
+                "estimation_queries": walks * rounds,
+                "total_queries": walks * (burn_in + rounds),
+            }
+        )
+    return records
+
+
+__all__ = [
+    "required_rounds_by_topology",
+    "rounds_table",
+    "torus_overhead_table",
+    "network_size_budget_table",
+]

@@ -1,0 +1,111 @@
+"""Command-line interface for the reproduction.
+
+Usage (after installing the package)::
+
+    python -m repro list                      # list all experiments
+    python -m repro run E03                   # run one experiment (full scale)
+    python -m repro run E03 --quick           # scaled-down configuration
+    python -m repro run all --quick           # the whole suite
+    python -m repro report --output EXPERIMENTS.md
+                                              # regenerate the markdown report
+
+The CLI is a thin layer over :mod:`repro.experiments`; anything it can do is
+also available programmatically.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.experiments import EXPERIMENTS, run_experiment
+from repro.experiments.report import generate_report
+from repro.utils.serialization import dumps
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Ant-inspired density estimation via random walks: experiment runner",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list all experiments and what they reproduce")
+
+    run_parser = subparsers.add_parser("run", help="run one experiment (or 'all')")
+    run_parser.add_argument("experiment", help="experiment id, e.g. E03, or 'all'")
+    run_parser.add_argument("--quick", action="store_true", help="use the scaled-down configuration")
+    run_parser.add_argument("--seed", type=int, default=0, help="random seed (default: 0)")
+    run_parser.add_argument("--json", action="store_true", help="emit JSON instead of a table")
+    run_parser.add_argument(
+        "--figure",
+        action="store_true",
+        help="also print the experiment's default ASCII figure (where one is defined)",
+    )
+
+    report_parser = subparsers.add_parser("report", help="regenerate the markdown experiment report")
+    report_parser.add_argument("--quick", action="store_true", help="use scaled-down configurations")
+    report_parser.add_argument("--seed", type=int, default=0, help="random seed (default: 0)")
+    report_parser.add_argument(
+        "--output", default="-", help="output file (default: '-' for standard output)"
+    )
+    return parser
+
+
+def _command_list() -> int:
+    for experiment_id in sorted(EXPERIMENTS):
+        module, _ = EXPERIMENTS[experiment_id]
+        summary = (module.__doc__ or "").strip().splitlines()[0]
+        print(f"{experiment_id}  {summary}")
+    return 0
+
+
+def _command_run(experiment: str, quick: bool, seed: int, as_json: bool, figure: bool) -> int:
+    ids = sorted(EXPERIMENTS) if experiment.lower() == "all" else [experiment]
+    for experiment_id in ids:
+        result = run_experiment(experiment_id, quick=quick, seed=seed)
+        if as_json:
+            print(dumps({"experiment": result.experiment_id, "records": result.records, "notes": result.notes}))
+        else:
+            print(result.to_table())
+            if figure:
+                from repro.experiments.figures import default_figure
+
+                rendered = default_figure(result)
+                if rendered is not None:
+                    print()
+                    print(rendered)
+            print()
+    return 0
+
+
+def _command_report(quick: bool, seed: int, output: str) -> int:
+    text = generate_report(quick=quick, seed=seed)
+    if output == "-":
+        print(text)
+    else:
+        with open(output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"wrote {output}")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point used by ``python -m repro``."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        return _command_list()
+    if args.command == "run":
+        try:
+            return _command_run(args.experiment, args.quick, args.seed, args.json, args.figure)
+        except KeyError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+    if args.command == "report":
+        return _command_report(args.quick, args.seed, args.output)
+    return 2  # pragma: no cover - argparse enforces the choices
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

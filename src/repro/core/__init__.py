@@ -1,0 +1,56 @@
+"""The paper's core contribution: encounter-rate density estimation.
+
+Contents
+--------
+
+* :mod:`repro.core.encounter` — vectorised collision counting (the
+  ``count(position)`` primitive of the model, Section 2).
+* :mod:`repro.core.simulation` — the multi-agent simulation engine that
+  executes Algorithm 1 for all agents simultaneously.
+* :mod:`repro.core.estimator` — :class:`RandomWalkDensityEstimator`
+  (Algorithm 1) and the convenience function :func:`estimate_density`.
+* :mod:`repro.core.independent` — the independent-sampling baseline of
+  Appendix A (Algorithm 4, Theorem 32).
+* :mod:`repro.core.frequency` — relative property-frequency estimation
+  (Section 5.2).
+* :mod:`repro.core.thresholds` — quorum / threshold detection built on top
+  of density estimates (Section 6.2 discussion).
+* :mod:`repro.core.bounds` — every closed-form bound stated by the paper, as
+  plain functions shared by tests, experiments, and documentation.
+* :mod:`repro.core.results` — result dataclasses with accuracy summaries.
+"""
+
+from repro.core.adaptive import (
+    AdaptiveDensityEstimator,
+    AdaptiveEstimate,
+    rounds_for_threshold,
+)
+from repro.core.encounter import collision_counts, marked_collision_counts
+from repro.core.estimator import RandomWalkDensityEstimator, estimate_density
+from repro.core.independent import IndependentSamplingEstimator, estimate_density_independent
+from repro.core.frequency import PropertyFrequencyEstimate, estimate_property_frequency
+from repro.core.thresholds import QuorumDecision, QuorumDetector
+from repro.core.results import DensityEstimationRun, AccuracySummary
+from repro.core.simulation import SimulationConfig, simulate_density_estimation
+from repro.core import bounds
+
+__all__ = [
+    "AdaptiveDensityEstimator",
+    "AdaptiveEstimate",
+    "rounds_for_threshold",
+    "collision_counts",
+    "marked_collision_counts",
+    "RandomWalkDensityEstimator",
+    "estimate_density",
+    "IndependentSamplingEstimator",
+    "estimate_density_independent",
+    "PropertyFrequencyEstimate",
+    "estimate_property_frequency",
+    "QuorumDetector",
+    "QuorumDecision",
+    "DensityEstimationRun",
+    "AccuracySummary",
+    "SimulationConfig",
+    "simulate_density_estimation",
+    "bounds",
+]

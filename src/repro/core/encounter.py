@@ -1,0 +1,87 @@
+"""Collision counting primitives.
+
+The model of Section 2 gives every agent a single sensing primitive:
+``count(position)`` — the number of *other* agents currently at its node.
+These functions evaluate that primitive for all agents at once from the
+vector of current positions, in O(n log n) per round (independent of the
+grid size A, which can be much larger than n).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def collision_counts(positions: np.ndarray) -> np.ndarray:
+    """Number of other agents co-located with each agent.
+
+    Parameters
+    ----------
+    positions:
+        Integer array of shape ``(n,)`` with each agent's current node.
+
+    Returns
+    -------
+    numpy.ndarray
+        Integer array of shape ``(n,)``; entry ``i`` is
+        ``|{j != i : positions[j] == positions[i]}|`` — exactly the paper's
+        ``count(position)`` as observed by agent ``i``.
+    """
+    positions = np.asarray(positions)
+    if positions.ndim != 1:
+        raise ValueError(f"positions must be 1-D, got shape {positions.shape}")
+    if positions.size == 0:
+        return np.zeros(0, dtype=np.int64)
+    _, inverse, counts = np.unique(positions, return_inverse=True, return_counts=True)
+    return counts[inverse].astype(np.int64) - 1
+
+
+def marked_collision_counts(positions: np.ndarray, marked: np.ndarray) -> np.ndarray:
+    """Number of *marked* other agents co-located with each agent.
+
+    Used by the property-frequency estimator of Section 5.2: agents track
+    encounters with agents possessing a detectable property (successful
+    foragers, enemies, task-group members, ...).
+
+    Parameters
+    ----------
+    positions:
+        Integer array of shape ``(n,)`` with each agent's current node.
+    marked:
+        Boolean array of shape ``(n,)``; ``True`` where the agent has the
+        property.
+
+    Returns
+    -------
+    numpy.ndarray
+        Integer array of shape ``(n,)``; entry ``i`` counts marked agents
+        ``j != i`` with ``positions[j] == positions[i]``.
+    """
+    positions = np.asarray(positions)
+    marked = np.asarray(marked, dtype=bool)
+    if positions.shape != marked.shape:
+        raise ValueError(
+            f"positions and marked must have the same shape, "
+            f"got {positions.shape} and {marked.shape}"
+        )
+    if positions.size == 0:
+        return np.zeros(0, dtype=np.int64)
+    _, inverse = np.unique(positions, return_inverse=True)
+    marked_per_node = np.bincount(inverse, weights=marked.astype(np.float64))
+    counts = marked_per_node[inverse] - marked.astype(np.float64)
+    return counts.astype(np.int64)
+
+
+def collision_matrix(positions: np.ndarray) -> np.ndarray:
+    """Boolean matrix ``M[i, j] = True`` iff agents i and j share a node (i != j).
+
+    Quadratic in the number of agents; intended for tests and small examples
+    that need pairwise information, not for the simulation hot path.
+    """
+    positions = np.asarray(positions)
+    same = positions[:, None] == positions[None, :]
+    np.fill_diagonal(same, False)
+    return same
+
+
+__all__ = ["collision_counts", "marked_collision_counts", "collision_matrix"]

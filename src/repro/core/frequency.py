@@ -1,0 +1,127 @@
+"""Relative property-frequency estimation (Section 5.2).
+
+Let ``d`` be the overall density and ``d_P`` the density of agents carrying a
+detectable property ``P`` (successful foragers, enemies, members of a task
+group, ...). If marked agents are uniformly distributed in the population,
+each agent can track collisions with marked agents separately, form
+``d̃`` and ``d̃_P`` with Algorithm 1, and output ``f̃_P = d̃_P / d̃``, which is
+a ``(1 ± O(ε))`` approximation of the true relative frequency
+``f_P = d_P / d`` with probability ``1 - 2δ`` after the number of rounds
+Theorem 1 prescribes for the *smaller* density ``d_P``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.simulation import (
+    CollisionObservationModel,
+    PlacementFn,
+    SimulationConfig,
+    simulate_density_estimation,
+)
+from repro.topology.base import Topology
+from repro.utils.rng import SeedLike
+from repro.utils.validation import require_integer, require_probability
+
+
+@dataclass(frozen=True)
+class PropertyFrequencyEstimate:
+    """Per-agent density, marked-density, and relative-frequency estimates."""
+
+    density_estimates: np.ndarray
+    marked_density_estimates: np.ndarray
+    frequency_estimates: np.ndarray
+    true_density: float
+    true_marked_density: float
+    rounds: int
+    num_agents: int
+    num_marked: int
+    num_nodes: int
+    topology_name: str
+
+    @property
+    def true_frequency(self) -> float:
+        """Ground-truth relative frequency ``f_P = d_P / d``."""
+        if self.true_density == 0:
+            return 0.0
+        return self.true_marked_density / self.true_density
+
+    def frequency_relative_errors(self) -> np.ndarray:
+        """``|f̃_P - f_P| / f_P`` per agent (inf where the estimate is undefined)."""
+        truth = self.true_frequency
+        if truth == 0:
+            raise ValueError("true frequency is zero; relative error undefined")
+        return np.abs(self.frequency_estimates - truth) / truth
+
+    def fraction_within(self, epsilon: float) -> float:
+        """Fraction of agents whose frequency estimate is within ``ε`` of ``f_P``."""
+        require_probability(epsilon, "epsilon", allow_zero=False)
+        errors = self.frequency_relative_errors()
+        return float(np.mean(errors <= epsilon))
+
+
+def estimate_property_frequency(
+    topology: Topology,
+    num_agents: int,
+    rounds: int,
+    marked_fraction: float,
+    seed: SeedLike = None,
+    *,
+    placement: Optional[PlacementFn] = None,
+    collision_model: Optional[CollisionObservationModel] = None,
+) -> PropertyFrequencyEstimate:
+    """Estimate the relative frequency of a property via encounter rates.
+
+    Parameters
+    ----------
+    topology:
+        Topology the agents walk on.
+    num_agents:
+        Total number of agents.
+    rounds:
+        Number of rounds ``t``; should be sized for the *marked* density
+        ``d_P`` (Theorem 1 applied with ``d_P``).
+    marked_fraction:
+        Probability with which each agent independently carries the property.
+    """
+    require_integer(num_agents, "num_agents", minimum=2)
+    require_integer(rounds, "rounds", minimum=1)
+    require_probability(marked_fraction, "marked_fraction", allow_zero=False)
+
+    config = SimulationConfig(
+        num_agents=num_agents,
+        rounds=rounds,
+        placement=placement,
+        marked_fraction=marked_fraction,
+        collision_model=collision_model,
+    )
+    outcome = simulate_density_estimation(topology, config, seed)
+
+    density_estimates = outcome.estimates()
+    marked_density_estimates = outcome.marked_estimates()
+    with np.errstate(divide="ignore", invalid="ignore"):
+        frequency = np.where(
+            density_estimates > 0,
+            marked_density_estimates / np.where(density_estimates > 0, density_estimates, 1.0),
+            0.0,
+        )
+
+    return PropertyFrequencyEstimate(
+        density_estimates=density_estimates,
+        marked_density_estimates=marked_density_estimates,
+        frequency_estimates=frequency,
+        true_density=outcome.true_density,
+        true_marked_density=outcome.true_marked_density,
+        rounds=rounds,
+        num_agents=num_agents,
+        num_marked=int(np.count_nonzero(outcome.marked)),
+        num_nodes=topology.num_nodes,
+        topology_name=topology.name,
+    )
+
+
+__all__ = ["PropertyFrequencyEstimate", "estimate_property_frequency"]

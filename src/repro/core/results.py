@@ -1,0 +1,126 @@
+"""Result containers and accuracy summaries for density-estimation runs.
+
+The paper's accuracy statements are of the form "with probability 1 - δ the
+estimate lies in [(1-ε)d, (1+ε)d]". :class:`DensityEstimationRun` therefore
+exposes, besides the raw per-agent estimates, the empirical counterparts of
+ε and δ: the fraction of agents within a given ε, and the ε achieved by a
+given fraction 1 - δ of agents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.utils.validation import require_probability
+
+
+@dataclass(frozen=True)
+class AccuracySummary:
+    """Summary statistics of a set of per-agent density estimates."""
+
+    true_density: float
+    mean_estimate: float
+    std_estimate: float
+    mean_relative_error: float
+    median_relative_error: float
+    max_relative_error: float
+
+    @classmethod
+    def from_estimates(cls, estimates: np.ndarray, true_density: float) -> "AccuracySummary":
+        estimates = np.asarray(estimates, dtype=np.float64)
+        if estimates.size == 0:
+            raise ValueError("estimates must be non-empty")
+        if true_density <= 0:
+            raise ValueError(f"true_density must be positive, got {true_density}")
+        relative = np.abs(estimates - true_density) / true_density
+        return cls(
+            true_density=float(true_density),
+            mean_estimate=float(estimates.mean()),
+            std_estimate=float(estimates.std()),
+            mean_relative_error=float(relative.mean()),
+            median_relative_error=float(np.median(relative)),
+            max_relative_error=float(relative.max()),
+        )
+
+
+@dataclass(frozen=True)
+class DensityEstimationRun:
+    """Outcome of running a density-estimation algorithm for all agents.
+
+    Attributes
+    ----------
+    estimates:
+        Per-agent density estimates ``d̃`` (shape ``(n + 1,)`` — every agent
+        estimates).
+    collision_totals:
+        Per-agent total collision counts ``c`` over the run.
+    true_density:
+        The ground-truth density ``d = n / A`` (paper's convention: the
+        number of *other* agents divided by the number of nodes).
+    rounds:
+        Number of rounds ``t`` executed.
+    num_agents:
+        Total number of agents ``n + 1``.
+    num_nodes:
+        Number of nodes ``A`` of the topology.
+    topology_name:
+        Label of the topology walked on.
+    algorithm:
+        Name of the estimation algorithm ("random_walk", "independent_sampling", ...).
+    metadata:
+        Free-form extras recorded by callers (e.g. noise parameters).
+    """
+
+    estimates: np.ndarray
+    collision_totals: np.ndarray
+    true_density: float
+    rounds: int
+    num_agents: int
+    num_nodes: int
+    topology_name: str
+    algorithm: str = "random_walk"
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Accuracy queries matching the paper's (ε, δ) statements
+    # ------------------------------------------------------------------
+    def relative_errors(self) -> np.ndarray:
+        """``|d̃ - d| / d`` for every agent."""
+        return np.abs(self.estimates - self.true_density) / self.true_density
+
+    def fraction_within(self, epsilon: float) -> float:
+        """Fraction of agents whose estimate lies in ``[(1-ε)d, (1+ε)d]``.
+
+        The empirical counterpart of ``1 - δ`` for a fixed ``ε``.
+        """
+        require_probability(epsilon, "epsilon", allow_zero=False)
+        return float(np.mean(self.relative_errors() <= epsilon))
+
+    def empirical_epsilon(self, delta: float = 0.1) -> float:
+        """Smallest ``ε`` achieved by a ``1 - δ`` fraction of the agents.
+
+        The empirical counterpart of Theorem 1's ``ε`` for a target failure
+        probability ``δ`` (computed as the ``(1 - δ)``-quantile of the
+        per-agent relative errors).
+        """
+        require_probability(delta, "delta", allow_zero=False, allow_one=False)
+        return float(np.quantile(self.relative_errors(), 1.0 - delta))
+
+    def summary(self) -> AccuracySummary:
+        """Aggregate accuracy statistics for the run."""
+        return AccuracySummary.from_estimates(self.estimates, self.true_density)
+
+    def mean_estimate(self) -> float:
+        """Average estimate across agents (should be ≈ d by Corollary 3)."""
+        return float(self.estimates.mean())
+
+    def all_within(self, epsilon: float) -> bool:
+        """Whether *every* agent is within ``ε`` (the union-bound guarantee)."""
+        require_probability(epsilon, "epsilon", allow_zero=False)
+        return bool(np.all(self.relative_errors() <= epsilon))
+
+
+__all__ = ["AccuracySummary", "DensityEstimationRun"]

@@ -1,0 +1,271 @@
+"""Multi-agent simulation engine for encounter-rate density estimation.
+
+This module executes Algorithm 1 for *all* agents simultaneously: in each
+round every agent takes one random-walk step and then observes
+``count(position)`` — the number of other agents on its node. The engine is
+shared by the random-walk estimator, the property-frequency estimator, the
+robot-swarm application, and the noise/placement ablations; those callers
+customise it through three hooks:
+
+* ``placement`` — how agents are initially positioned (default: independent
+  uniform placement, the assumption of Section 2);
+* ``marked`` — an optional boolean property vector, so collisions with
+  marked agents are tracked separately (Section 5.2);
+* ``collision_model`` — an optional observation model that perturbs the true
+  collision counts (missed or spurious detections, Section 6.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Protocol
+
+import numpy as np
+
+from repro.core.encounter import collision_counts, marked_collision_counts
+from repro.topology.base import Topology
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import require_integer
+
+PlacementFn = Callable[[Topology, int, np.random.Generator], np.ndarray]
+
+
+class MovementModelLike(Protocol):
+    """Anything with a ``step(topology, positions, rng)`` method.
+
+    The concrete implementations live in :mod:`repro.walks.movement`; the
+    default behaviour (no model) is the paper's uniform random walk via
+    ``topology.step_many``.
+    """
+
+    def step(
+        self, topology: Topology, positions: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Advance every agent by one round."""
+        ...
+
+
+class CollisionObservationModel(Protocol):
+    """Observation model applied to the true per-round collision counts.
+
+    Implementations live in :mod:`repro.swarm.noise`; the default behaviour
+    (no model) reports the true counts.
+    """
+
+    def observe(self, true_counts: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Return the counts the agents actually record this round."""
+        ...
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Configuration of a multi-agent encounter-rate simulation.
+
+    Attributes
+    ----------
+    num_agents:
+        Total number of agents placed on the topology (the paper's ``n + 1``).
+    rounds:
+        Number of rounds ``t`` each agent runs Algorithm 1 for.
+    placement:
+        Optional custom placement function ``(topology, count, rng) -> nodes``;
+        defaults to independent uniform placement.
+    marked_fraction:
+        If positive, this fraction of agents is marked with the property
+        tracked by the frequency estimator (each agent independently with
+        this probability, matching the "uniformly distributed in population"
+        assumption of Section 5.2).
+    collision_model:
+        Optional observation model for noisy collision detection.
+    movement:
+        Optional movement model replacing the uniform random walk (see
+        :mod:`repro.walks.movement`); used by the E19 ablation.
+    record_trajectory:
+        When ``True``, cumulative collision counts are recorded after every
+        round (memory ``O(num_agents * rounds)``), allowing convergence plots.
+    """
+
+    num_agents: int
+    rounds: int
+    placement: Optional[PlacementFn] = None
+    marked_fraction: float = 0.0
+    collision_model: Optional[CollisionObservationModel] = None
+    movement: Optional[MovementModelLike] = None
+    record_trajectory: bool = False
+
+    def __post_init__(self) -> None:
+        require_integer(self.num_agents, "num_agents", minimum=1)
+        require_integer(self.rounds, "rounds", minimum=1)
+        if not 0.0 <= self.marked_fraction <= 1.0:
+            raise ValueError(
+                f"marked_fraction must lie in [0, 1], got {self.marked_fraction}"
+            )
+
+
+@dataclass
+class SimulationResult:
+    """Raw outcome of :func:`simulate_density_estimation`.
+
+    Attributes
+    ----------
+    collision_totals:
+        Per-agent total observed collisions over all rounds, shape ``(n+1,)``.
+    marked_collision_totals:
+        Per-agent totals of collisions with marked agents (all zeros when no
+        agents are marked).
+    marked:
+        Boolean property vector actually assigned.
+    initial_positions / final_positions:
+        Agent node labels before the first and after the last round.
+    trajectory:
+        If requested, array of shape ``(rounds, n+1)`` of cumulative
+        collision counts after each round; otherwise ``None``.
+    """
+
+    collision_totals: np.ndarray
+    marked_collision_totals: np.ndarray
+    marked: np.ndarray
+    initial_positions: np.ndarray
+    final_positions: np.ndarray
+    rounds: int
+    num_nodes: int
+    trajectory: np.ndarray | None = None
+    marked_trajectory: np.ndarray | None = None
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def num_agents(self) -> int:
+        return int(self.collision_totals.shape[0])
+
+    @property
+    def true_density(self) -> float:
+        """The paper's density ``d = n / A`` (other agents per node)."""
+        return (self.num_agents - 1) / self.num_nodes
+
+    @property
+    def true_marked_density(self) -> float:
+        """Density of marked agents, ``d_P`` of Section 5.2.
+
+        Follows the same "other agents" convention used for ``d``: from the
+        perspective of a typical (unmarked) agent there are
+        ``sum(marked)`` marked agents it can encounter.
+        """
+        return float(np.count_nonzero(self.marked)) / self.num_nodes
+
+    def estimates(self) -> np.ndarray:
+        """Per-agent density estimates ``d̃ = c / t`` (Algorithm 1's output)."""
+        return self.collision_totals / self.rounds
+
+    def marked_estimates(self) -> np.ndarray:
+        """Per-agent marked-density estimates ``d̃_P = c_P / t``."""
+        return self.marked_collision_totals / self.rounds
+
+
+def uniform_placement(topology: Topology, count: int, rng: np.random.Generator) -> np.ndarray:
+    """Default placement: each agent at an independent uniform random node."""
+    return topology.uniform_nodes(count, rng)
+
+
+def simulate_density_estimation(
+    topology: Topology,
+    config: SimulationConfig,
+    seed: SeedLike = None,
+) -> SimulationResult:
+    """Run the encounter-rate simulation (Algorithm 1 for every agent).
+
+    Parameters
+    ----------
+    topology:
+        Topology to walk on; any :class:`~repro.topology.Topology`.
+    config:
+        Simulation parameters; see :class:`SimulationConfig`.
+    seed:
+        Seed or generator controlling all randomness (placement, walks,
+        property assignment, and observation noise).
+
+    Returns
+    -------
+    SimulationResult
+        Per-agent collision totals and bookkeeping needed to form estimates.
+    """
+    rng = as_generator(seed)
+    n_agents = config.num_agents
+    placement = config.placement or uniform_placement
+
+    positions = np.asarray(placement(topology, n_agents, rng), dtype=np.int64)
+    if positions.shape != (n_agents,):
+        raise ValueError(
+            f"placement must return shape ({n_agents},), got {positions.shape}"
+        )
+    topology.validate_nodes(positions)
+    initial_positions = positions.copy()
+
+    if config.marked_fraction > 0.0:
+        marked = rng.random(n_agents) < config.marked_fraction
+    else:
+        marked = np.zeros(n_agents, dtype=bool)
+
+    totals = np.zeros(n_agents, dtype=np.float64)
+    marked_totals = np.zeros(n_agents, dtype=np.float64)
+    track_marked = bool(marked.any())
+
+    trajectory = (
+        np.zeros((config.rounds, n_agents), dtype=np.float64)
+        if config.record_trajectory
+        else None
+    )
+    marked_trajectory = (
+        np.zeros((config.rounds, n_agents), dtype=np.float64)
+        if (config.record_trajectory and track_marked)
+        else None
+    )
+
+    for round_index in range(config.rounds):
+        if config.movement is not None:
+            positions = np.asarray(config.movement.step(topology, positions, rng), dtype=np.int64)
+        else:
+            positions = topology.step_many(positions, rng)
+        true_counts = collision_counts(positions)
+        if config.collision_model is not None:
+            observed = np.asarray(
+                config.collision_model.observe(true_counts, rng), dtype=np.float64
+            )
+            if observed.shape != true_counts.shape:
+                raise ValueError(
+                    "collision_model.observe must preserve the shape of its input"
+                )
+        else:
+            observed = true_counts.astype(np.float64)
+        totals += observed
+
+        if track_marked:
+            marked_counts = marked_collision_counts(positions, marked).astype(np.float64)
+            marked_totals += marked_counts
+            if marked_trajectory is not None:
+                marked_trajectory[round_index] = marked_totals
+
+        if trajectory is not None:
+            trajectory[round_index] = totals
+
+    return SimulationResult(
+        collision_totals=totals,
+        marked_collision_totals=marked_totals,
+        marked=marked,
+        initial_positions=initial_positions,
+        final_positions=positions,
+        rounds=config.rounds,
+        num_nodes=topology.num_nodes,
+        trajectory=trajectory,
+        marked_trajectory=marked_trajectory,
+        metadata={"topology": topology.name},
+    )
+
+
+__all__ = [
+    "SimulationConfig",
+    "SimulationResult",
+    "CollisionObservationModel",
+    "MovementModelLike",
+    "simulate_density_estimation",
+    "uniform_placement",
+]

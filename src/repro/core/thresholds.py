@@ -1,0 +1,102 @@
+"""Quorum / threshold detection built on density estimation.
+
+Section 6.2 of the paper points out that in many biological applications —
+quorum sensing during Temnothorax house-hunting being the canonical example
+[Pra05] — agents do not need the density itself, only whether it exceeds a
+threshold ``θ``. A ``(1 ± ε)`` density estimate with
+``ε < gap / (θ + true density)`` decides the question correctly, so the
+detector below simply runs Algorithm 1 for a number of rounds sized for the
+threshold (not the unknown true density) and compares.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core import bounds
+from repro.core.estimator import RandomWalkDensityEstimator
+from repro.topology.base import Topology
+from repro.utils.rng import SeedLike
+from repro.utils.validation import require_integer, require_positive, require_probability
+
+
+class QuorumDecision(enum.Enum):
+    """Outcome of a quorum test for one agent."""
+
+    ABOVE = "above"
+    BELOW = "below"
+
+
+@dataclass
+class QuorumDetector:
+    """Decide whether the population density exceeds a threshold.
+
+    Parameters
+    ----------
+    topology:
+        Topology the agents walk on.
+    num_agents:
+        Total number of agents.
+    threshold:
+        Density threshold ``θ`` to test against.
+    margin:
+        Relative separation assumed between the true density and ``θ``: the
+        detector is designed to answer correctly whenever
+        ``d <= (1 - margin)·θ`` or ``d >= (1 + margin)·θ``.
+    delta:
+        Target failure probability per agent.
+    rounds:
+        Optional explicit round budget; by default it is derived from
+        Theorem 1 using the threshold density and ``ε = margin / 2``.
+    """
+
+    topology: Topology
+    num_agents: int
+    threshold: float
+    margin: float = 0.5
+    delta: float = 0.05
+    rounds: int | None = None
+
+    def __post_init__(self) -> None:
+        require_integer(self.num_agents, "num_agents", minimum=1)
+        require_positive(self.threshold, "threshold")
+        require_probability(self.delta, "delta", allow_zero=False, allow_one=False)
+        if not 0 < self.margin < 1:
+            raise ValueError(f"margin must lie in (0, 1), got {self.margin}")
+        if self.rounds is None:
+            epsilon = self.margin / 2.0
+            self.rounds = bounds.theorem1_rounds(
+                self.threshold, epsilon, self.delta, constant=1.0
+            )
+        require_integer(int(self.rounds), "rounds", minimum=1)
+
+    def decide(self, seed: SeedLike = None) -> tuple[np.ndarray, np.ndarray]:
+        """Run the detector for every agent.
+
+        Returns
+        -------
+        decisions, estimates:
+            ``decisions`` is an array of :class:`QuorumDecision` values (one
+            per agent); ``estimates`` the underlying density estimates.
+        """
+        estimator = RandomWalkDensityEstimator(
+            topology=self.topology,
+            num_agents=self.num_agents,
+            rounds=int(self.rounds),
+        )
+        run = estimator.run(seed)
+        decisions = np.where(
+            run.estimates >= self.threshold, QuorumDecision.ABOVE, QuorumDecision.BELOW
+        )
+        return decisions, run.estimates
+
+    def fraction_above(self, seed: SeedLike = None) -> float:
+        """Fraction of agents that report the density as above the threshold."""
+        decisions, _ = self.decide(seed)
+        return float(np.mean(decisions == QuorumDecision.ABOVE))
+
+
+__all__ = ["QuorumDecision", "QuorumDetector"]

@@ -1,0 +1,100 @@
+"""Experiment suite regenerating the paper's quantitative claims.
+
+The paper is an extended abstract of a theory result and contains no
+empirical tables; each experiment here turns one of its theorems, lemmas, or
+worked examples into a measurable table (see DESIGN.md for the full index).
+Every experiment module exposes a ``*Config`` dataclass (with a ``quick()``
+variant used by tests and benchmarks) and a ``run(config, seed)`` function
+returning an :class:`~repro.experiments.base.ExperimentResult`.
+
+Use :data:`EXPERIMENTS` to iterate over the whole suite, or
+:func:`run_experiment` to run one by id::
+
+    from repro.experiments import run_experiment
+    print(run_experiment("E01", quick=True).to_table())
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.experiments.base import ExperimentResult, summarize_many
+from repro.experiments import (
+    e01_accuracy_vs_rounds,
+    e02_accuracy_vs_density,
+    e03_recollision_torus,
+    e04_collision_moments,
+    e05_rw_vs_independent,
+    e06_topology_comparison,
+    e07_recollision_topologies,
+    e08_local_mixing,
+    e09_network_size,
+    e10_average_degree,
+    e11_burn_in,
+    e12_property_frequency,
+    e13_all_agents,
+    e14_noise_ablation,
+    e15_nonuniform_placement,
+    e16_sensor_sampling,
+    e17_unbiasedness,
+    e18_quorum_sensing,
+    e19_movement_models,
+    e20_boundary_effects,
+    e21_adaptive_estimation,
+    e22_collective_quorum,
+)
+
+#: Registry: experiment id -> (module, config class).
+EXPERIMENTS: dict[str, tuple[object, type]] = {
+    "E01": (e01_accuracy_vs_rounds, e01_accuracy_vs_rounds.AccuracyVsRoundsConfig),
+    "E02": (e02_accuracy_vs_density, e02_accuracy_vs_density.AccuracyVsDensityConfig),
+    "E03": (e03_recollision_torus, e03_recollision_torus.RecollisionTorusConfig),
+    "E04": (e04_collision_moments, e04_collision_moments.CollisionMomentsConfig),
+    "E05": (e05_rw_vs_independent, e05_rw_vs_independent.RandomWalkVsIndependentConfig),
+    "E06": (e06_topology_comparison, e06_topology_comparison.TopologyComparisonConfig),
+    "E07": (e07_recollision_topologies, e07_recollision_topologies.RecollisionTopologiesConfig),
+    "E08": (e08_local_mixing, e08_local_mixing.LocalMixingConfig),
+    "E09": (e09_network_size, e09_network_size.NetworkSizeConfig),
+    "E10": (e10_average_degree, e10_average_degree.AverageDegreeConfig),
+    "E11": (e11_burn_in, e11_burn_in.BurnInConfig),
+    "E12": (e12_property_frequency, e12_property_frequency.PropertyFrequencyConfig),
+    "E13": (e13_all_agents, e13_all_agents.AllAgentsConfig),
+    "E14": (e14_noise_ablation, e14_noise_ablation.NoiseAblationConfig),
+    "E15": (e15_nonuniform_placement, e15_nonuniform_placement.NonuniformPlacementConfig),
+    "E16": (e16_sensor_sampling, e16_sensor_sampling.SensorSamplingConfig),
+    "E17": (e17_unbiasedness, e17_unbiasedness.UnbiasednessConfig),
+    "E18": (e18_quorum_sensing, e18_quorum_sensing.QuorumSensingConfig),
+    "E19": (e19_movement_models, e19_movement_models.MovementModelsConfig),
+    "E20": (e20_boundary_effects, e20_boundary_effects.BoundaryEffectsConfig),
+    "E21": (e21_adaptive_estimation, e21_adaptive_estimation.AdaptiveEstimationConfig),
+    "E22": (e22_collective_quorum, e22_collective_quorum.CollectiveQuorumConfig),
+}
+
+
+def run_experiment(experiment_id: str, *, quick: bool = False, seed: int = 0) -> ExperimentResult:
+    """Run one experiment by id (e.g. ``"E03"``).
+
+    Parameters
+    ----------
+    experiment_id:
+        Key of :data:`EXPERIMENTS` (case-insensitive).
+    quick:
+        Use the scaled-down configuration (seconds instead of minutes).
+    seed:
+        Seed forwarded to the experiment.
+    """
+    key = experiment_id.upper()
+    if key not in EXPERIMENTS:
+        raise KeyError(f"unknown experiment id {experiment_id!r}; known ids: {sorted(EXPERIMENTS)}")
+    module, config_cls = EXPERIMENTS[key]
+    config = config_cls.quick() if quick else config_cls()
+    runner: Callable = module.run
+    return runner(config, seed=seed)
+
+
+def run_all(*, quick: bool = True, seed: int = 0) -> dict[str, ExperimentResult]:
+    """Run the whole suite (quick configurations by default) and return results by id."""
+    return {key: run_experiment(key, quick=quick, seed=seed) for key in EXPERIMENTS}
+
+
+__all__ = ["EXPERIMENTS", "ExperimentResult", "run_experiment", "run_all", "summarize_many"]

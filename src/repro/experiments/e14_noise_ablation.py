@@ -1,0 +1,111 @@
+"""E14 — Section 6.1 extension: robustness to noisy collision detection.
+
+The paper proposes (as future work) modelling missed and spurious collision
+detections. Because both act linearly on the expected encounter rate, the
+bias they introduce is removable in closed form. The experiment sweeps the
+miss probability and the spurious-detection rate and reports the error of
+the raw estimate and of the bias-corrected estimate — showing the estimator
+degrades gracefully and the correction restores accuracy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.accuracy import empirical_epsilon
+from repro.core.estimator import RandomWalkDensityEstimator
+from repro.experiments.base import ExperimentResult
+from repro.swarm.noise import NoisyCollisionModel, correct_noisy_estimate
+from repro.topology.torus import Torus2D
+from repro.utils.rng import SeedLike, spawn_generators
+
+
+@dataclass(frozen=True)
+class NoiseAblationConfig:
+    """Parameters of experiment E14."""
+
+    side: int = 40
+    num_agents: int = 320
+    rounds: int = 300
+    miss_probabilities: tuple[float, ...] = (0.0, 0.2, 0.5)
+    spurious_rates: tuple[float, ...] = (0.0, 0.05)
+    delta: float = 0.1
+    trials: int = 3
+
+    @classmethod
+    def quick(cls) -> "NoiseAblationConfig":
+        return cls(
+            side=30,
+            num_agents=180,
+            rounds=120,
+            miss_probabilities=(0.0, 0.3),
+            spurious_rates=(0.0, 0.05),
+            trials=1,
+        )
+
+
+def run(config: NoiseAblationConfig | None = None, seed: SeedLike = 0) -> ExperimentResult:
+    """Run E14 and return the noise-robustness table."""
+    config = config or NoiseAblationConfig()
+    topology = Torus2D(config.side)
+    density = (config.num_agents - 1) / topology.num_nodes
+
+    result = ExperimentResult(
+        experiment_id="E14",
+        title="Noisy collision detection: raw vs bias-corrected estimates",
+        claim=(
+            "Section 6.1 extension: missed/spurious detections bias the raw encounter rate "
+            "predictably; the closed-form correction restores an accurate estimate"
+        ),
+        columns=[
+            "miss_probability",
+            "spurious_rate",
+            "raw_mean_estimate",
+            "raw_epsilon",
+            "corrected_mean_estimate",
+            "corrected_epsilon",
+            "true_density",
+        ],
+    )
+
+    settings = [
+        (miss, spurious)
+        for miss in config.miss_probabilities
+        for spurious in config.spurious_rates
+    ]
+    rngs = spawn_generators(seed, len(settings) * config.trials)
+    rng_index = 0
+    for miss, spurious in settings:
+        model = NoisyCollisionModel(miss_probability=miss, spurious_rate=spurious)
+        raw_means, raw_eps, corr_means, corr_eps = [], [], [], []
+        for _ in range(config.trials):
+            estimator = RandomWalkDensityEstimator(
+                topology, config.num_agents, config.rounds, collision_model=model
+            )
+            run_result = estimator.run(rngs[rng_index])
+            rng_index += 1
+            raw = run_result.estimates
+            corrected = np.asarray(correct_noisy_estimate(raw, model))
+            raw_means.append(float(raw.mean()))
+            corr_means.append(float(corrected.mean()))
+            raw_eps.append(empirical_epsilon(raw, density, config.delta))
+            corr_eps.append(empirical_epsilon(corrected, density, config.delta))
+        result.add(
+            miss_probability=miss,
+            spurious_rate=spurious,
+            raw_mean_estimate=float(np.mean(raw_means)),
+            raw_epsilon=float(np.mean(raw_eps)),
+            corrected_mean_estimate=float(np.mean(corr_means)),
+            corrected_epsilon=float(np.mean(corr_eps)),
+            true_density=density,
+        )
+
+    result.notes.append(
+        "raw estimates are biased once noise is present; corrected estimates recentre on the truth"
+    )
+    return result
+
+
+__all__ = ["NoiseAblationConfig", "run"]

@@ -1,0 +1,89 @@
+"""E16 — Section 6.3.1: random-walk token sampling on a sensor grid.
+
+A token relayed along a random walk of the grid aggregates sensor readings;
+thanks to the grid's strong local mixing (few repeat visits, Corollary 15),
+its running average is nearly as accurate as averaging independently chosen
+sensors. The experiment sweeps the walk length and reports the token
+estimator's error next to the independent-sampling baseline and the fraction
+of hops that were repeat visits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.experiments.base import ExperimentResult
+from repro.sensor.aggregation import independent_sample_mean, token_mean_estimate
+from repro.sensor.network import SensorGrid
+from repro.utils.rng import SeedLike, spawn_generators
+
+
+@dataclass(frozen=True)
+class SensorSamplingConfig:
+    """Parameters of experiment E16."""
+
+    side: int = 60
+    condition_probability: float = 0.3
+    steps_grid: tuple[int, ...] = (100, 400, 1600)
+    trials: int = 20
+
+    @classmethod
+    def quick(cls) -> "SensorSamplingConfig":
+        return cls(side=40, steps_grid=(100, 400), trials=5)
+
+
+def run(config: SensorSamplingConfig | None = None, seed: SeedLike = 0) -> ExperimentResult:
+    """Run E16 and return the token-sampling accuracy table."""
+    config = config or SensorSamplingConfig()
+    rngs = spawn_generators(seed, 2 + 2 * len(config.steps_grid) * config.trials)
+    network = SensorGrid.bernoulli(config.side, config.condition_probability, seed=rngs[0])
+
+    result = ExperimentResult(
+        experiment_id="E16",
+        title="Sensor-network aggregation: token random walk vs independent sampling",
+        claim=(
+            "Section 6.3.1: because repeat visits are rare on the grid, the token's running "
+            "average is nearly as accurate as independent sampling with the same budget"
+        ),
+        columns=[
+            "steps",
+            "token_mean_error",
+            "independent_mean_error",
+            "error_ratio",
+            "mean_repeat_visit_fraction",
+        ],
+    )
+
+    rng_index = 2
+    for steps in config.steps_grid:
+        token_errors = []
+        independent_errors = []
+        repeats = []
+        for _ in range(config.trials):
+            token = token_mean_estimate(network, steps, rngs[rng_index])
+            rng_index += 1
+            baseline = independent_sample_mean(network, steps, rngs[rng_index])
+            rng_index += 1
+            token_errors.append(token.relative_error)
+            independent_errors.append(baseline.relative_error)
+            repeats.append(token.repeat_visit_fraction)
+        token_error = float(np.mean(token_errors))
+        independent_error = float(np.mean(independent_errors))
+        result.add(
+            steps=steps,
+            token_mean_error=token_error,
+            independent_mean_error=independent_error,
+            error_ratio=token_error / independent_error if independent_error > 0 else float("inf"),
+            mean_repeat_visit_fraction=float(np.mean(repeats)),
+        )
+
+    result.notes.append(
+        "error_ratio close to 1 reproduces the claim that walk sampling nearly matches "
+        "independent sampling on the grid"
+    )
+    return result
+
+
+__all__ = ["SensorSamplingConfig", "run"]

@@ -1,0 +1,97 @@
+"""E18 — Section 6.2: quorum (density threshold) detection.
+
+Many biological uses of density estimation only need a threshold decision:
+is the density above θ? With a round budget sized for the threshold (not the
+unknown true density) and a margin between the true density and θ, almost
+all agents decide correctly. The experiment sweeps the true density across
+the threshold and reports the fraction of agents answering "above".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.thresholds import QuorumDetector
+from repro.experiments.base import ExperimentResult
+from repro.topology.torus import Torus2D
+from repro.utils.rng import SeedLike, spawn_generators
+
+
+@dataclass(frozen=True)
+class QuorumSensingConfig:
+    """Parameters of experiment E18."""
+
+    side: int = 40
+    threshold: float = 0.1
+    density_multipliers: tuple[float, ...] = (0.5, 0.75, 1.5, 2.0)
+    margin: float = 0.5
+    delta: float = 0.1
+    rounds: int | None = 400
+    trials: int = 3
+
+    @classmethod
+    def quick(cls) -> "QuorumSensingConfig":
+        return cls(side=30, density_multipliers=(0.5, 2.0), rounds=200, trials=1)
+
+
+def run(config: QuorumSensingConfig | None = None, seed: SeedLike = 0) -> ExperimentResult:
+    """Run E18 and return the quorum-decision table."""
+    config = config or QuorumSensingConfig()
+    topology = Torus2D(config.side)
+
+    result = ExperimentResult(
+        experiment_id="E18",
+        title="Quorum sensing: threshold decisions from encounter rates",
+        claim=(
+            "Section 6.2: when the true density is separated from the threshold, nearly all "
+            "agents decide the quorum question correctly"
+        ),
+        columns=[
+            "density_multiplier",
+            "true_density",
+            "threshold",
+            "fraction_reporting_above",
+            "expected_answer",
+            "fraction_correct",
+        ],
+    )
+
+    rngs = spawn_generators(seed, len(config.density_multipliers) * config.trials)
+    rng_index = 0
+    for multiplier in config.density_multipliers:
+        target_density = config.threshold * multiplier
+        num_agents = max(2, int(round(target_density * topology.num_nodes)) + 1)
+        true_density = (num_agents - 1) / topology.num_nodes
+        expected_above = true_density >= config.threshold
+        fractions_above = []
+        for _ in range(config.trials):
+            detector = QuorumDetector(
+                topology=topology,
+                num_agents=num_agents,
+                threshold=config.threshold,
+                margin=config.margin,
+                delta=config.delta,
+                rounds=config.rounds,
+            )
+            fractions_above.append(detector.fraction_above(rngs[rng_index]))
+            rng_index += 1
+        fraction_above = float(np.mean(fractions_above))
+        fraction_correct = fraction_above if expected_above else 1.0 - fraction_above
+        result.add(
+            density_multiplier=multiplier,
+            true_density=true_density,
+            threshold=config.threshold,
+            fraction_reporting_above=fraction_above,
+            expected_answer="above" if expected_above else "below",
+            fraction_correct=fraction_correct,
+        )
+
+    result.notes.append(
+        "fraction_correct should be close to 1 for densities well separated from the threshold"
+    )
+    return result
+
+
+__all__ = ["QuorumSensingConfig", "run"]

@@ -1,0 +1,105 @@
+"""E20 — Section 2 modelling choice: torus vs bounded grid boundary effects.
+
+The paper adopts the torus "while avoiding complicating factors of boundary
+behavior on a finite grid". This ablation quantifies those factors on a
+bounded grid with reflecting boundaries (blocked moves become self-loops):
+the chain stays doubly stochastic, so the estimator remains *unbiased*, but
+agents near the boundary waste steps on blocked moves, local mixing weakens
+there, and the empirical ε is mildly worse than on a torus of the same size.
+The torus model is therefore a faithful idealisation of a large arena — the
+boundary costs accuracy, not correctness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.accuracy import empirical_epsilon
+from repro.core.estimator import RandomWalkDensityEstimator
+from repro.experiments.base import ExperimentResult
+from repro.topology.bounded_grid import BoundedGrid
+from repro.topology.torus import Torus2D
+from repro.utils.rng import SeedLike, spawn_generators
+
+
+@dataclass(frozen=True)
+class BoundaryEffectsConfig:
+    """Parameters of experiment E20."""
+
+    sides: tuple[int, ...] = (16, 32, 64)
+    target_density: float = 0.1
+    rounds: int = 300
+    delta: float = 0.1
+    trials: int = 3
+
+    @classmethod
+    def quick(cls) -> "BoundaryEffectsConfig":
+        return cls(sides=(16, 32), rounds=120, trials=1)
+
+
+def run(config: BoundaryEffectsConfig | None = None, seed: SeedLike = 0) -> ExperimentResult:
+    """Run E20 and return the torus-vs-bounded-grid comparison table."""
+    config = config or BoundaryEffectsConfig()
+    result = ExperimentResult(
+        experiment_id="E20",
+        title="Boundary effects: torus vs bounded grid with reflecting boundaries",
+        claim=(
+            "Section 2 modelling choice: on a bounded grid the estimator stays unbiased "
+            "(the reflecting chain is doubly stochastic) and boundary behaviour shows up "
+            "only as a mild accuracy penalty relative to the torus"
+        ),
+        columns=[
+            "side",
+            "topology",
+            "mean_estimate",
+            "true_density",
+            "relative_bias",
+            "empirical_epsilon",
+        ],
+    )
+
+    rngs = spawn_generators(seed, 2 * len(config.sides) * config.trials)
+    rng_index = 0
+    epsilon_by_side: dict[int, dict[str, float]] = {side: {} for side in config.sides}
+    for side in config.sides:
+        for topology in (Torus2D(side), BoundedGrid(side)):
+            num_agents = max(2, int(round(config.target_density * topology.num_nodes)) + 1)
+            density = (num_agents - 1) / topology.num_nodes
+            means = []
+            epsilons = []
+            for _ in range(config.trials):
+                run_result = RandomWalkDensityEstimator(
+                    topology, num_agents, config.rounds
+                ).run(rngs[rng_index])
+                rng_index += 1
+                means.append(run_result.mean_estimate())
+                epsilons.append(empirical_epsilon(run_result.estimates, density, config.delta))
+            mean_estimate = float(np.mean(means))
+            bias = (mean_estimate - density) / density
+            epsilon_value = float(np.mean(epsilons))
+            epsilon_by_side[side][topology.name] = epsilon_value
+            result.add(
+                side=side,
+                topology=topology.name,
+                mean_estimate=mean_estimate,
+                true_density=density,
+                relative_bias=bias,
+                empirical_epsilon=epsilon_value,
+            )
+
+    penalties = []
+    for side in config.sides:
+        values = epsilon_by_side[side]
+        if "torus2d" in values and "bounded_grid" in values and values["torus2d"] > 0:
+            penalties.append(f"{side}: x{values['bounded_grid'] / values['torus2d']:.2f}")
+    if penalties:
+        result.notes.append(
+            "bounded-grid epsilon relative to the torus (accuracy penalty of the boundary): "
+            + ", ".join(penalties)
+        )
+    return result
+
+
+__all__ = ["BoundaryEffectsConfig", "run"]

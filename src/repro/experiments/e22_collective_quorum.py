@@ -1,0 +1,85 @@
+"""E22 — Section 6.2: collective (majority-vote) vs individual quorum decisions.
+
+The paper asks whether multiple agents with different density estimates can
+cooperate to answer a threshold question more reliably than a single agent.
+The simplest cooperation rule — follow the majority of the individual votes —
+is measured here against the individual error rate, at several separations
+between the true density and the threshold. Votes are correlated (agents
+share collisions), so the boost is an empirical question; the measurement
+shows the majority is essentially always at least as reliable as a typical
+individual and usually much more so.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.base import ExperimentResult
+from repro.swarm.collective import MajorityQuorumVote
+from repro.topology.torus import Torus2D
+from repro.utils.rng import SeedLike, spawn_generators
+
+
+@dataclass(frozen=True)
+class CollectiveQuorumConfig:
+    """Parameters of experiment E22."""
+
+    side: int = 32
+    threshold: float = 0.1
+    density_multipliers: tuple[float, ...] = (0.6, 0.8, 1.25, 1.6)
+    rounds: int = 150
+    trials: int = 10
+
+    @classmethod
+    def quick(cls) -> "CollectiveQuorumConfig":
+        return cls(side=24, density_multipliers=(0.6, 1.6), rounds=100, trials=4)
+
+
+def run(config: CollectiveQuorumConfig | None = None, seed: SeedLike = 0) -> ExperimentResult:
+    """Run E22 and return the individual-vs-collective failure-rate table."""
+    config = config or CollectiveQuorumConfig()
+    topology = Torus2D(config.side)
+    result = ExperimentResult(
+        experiment_id="E22",
+        title="Quorum detection: individual agents vs the majority vote",
+        claim=(
+            "Section 6.2: cooperating agents (here: a simple majority vote) decide a density "
+            "threshold at least as reliably as a typical individual agent, despite the "
+            "correlation between their estimates"
+        ),
+        columns=[
+            "density_multiplier",
+            "true_density",
+            "threshold",
+            "individual_failure_rate",
+            "collective_failure_rate",
+        ],
+    )
+
+    rngs = spawn_generators(seed, len(config.density_multipliers))
+    for multiplier, rng in zip(config.density_multipliers, rngs):
+        target_density = config.threshold * multiplier
+        num_agents = max(2, int(round(target_density * topology.num_nodes)) + 1)
+        vote = MajorityQuorumVote(
+            topology=topology,
+            num_agents=num_agents,
+            threshold=config.threshold,
+            rounds=config.rounds,
+        )
+        individual, collective = vote.failure_rates(config.trials, rng)
+        result.add(
+            density_multiplier=multiplier,
+            true_density=(num_agents - 1) / topology.num_nodes,
+            threshold=config.threshold,
+            individual_failure_rate=individual,
+            collective_failure_rate=collective,
+        )
+
+    result.notes.append(
+        "the collective failure rate should never substantially exceed the individual rate, "
+        "and is usually far lower at moderate separations"
+    )
+    return result
+
+
+__all__ = ["CollectiveQuorumConfig", "run"]

@@ -1,0 +1,134 @@
+"""Plain-text "figures" for experiment results.
+
+The paper's evaluation would normally be presented as log-log plots (error
+vs rounds, re-collision probability vs offset, B(t) growth curves, ...).
+This module renders those series as ASCII charts so the figures can be
+regenerated in any terminal, with no plotting dependency, directly from an
+:class:`~repro.experiments.base.ExperimentResult`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.experiments.base import ExperimentResult
+
+
+def ascii_chart(
+    x: Sequence[float],
+    y: Sequence[float],
+    *,
+    width: int = 60,
+    height: int = 16,
+    log_x: bool = False,
+    log_y: bool = False,
+    title: str | None = None,
+    x_label: str = "x",
+    y_label: str = "y",
+    marker: str = "*",
+) -> str:
+    """Render a single series as an ASCII scatter chart.
+
+    Points with non-positive coordinates are dropped when the corresponding
+    axis is logarithmic.
+    """
+    pairs = [(float(a), float(b)) for a, b in zip(x, y)]
+    if log_x:
+        pairs = [(a, b) for a, b in pairs if a > 0]
+    if log_y:
+        pairs = [(a, b) for a, b in pairs if b > 0]
+    if len(pairs) == 0:
+        return "(no plottable points)"
+    if width < 10 or height < 4:
+        raise ValueError("width must be >= 10 and height >= 4")
+
+    def tx(value: float) -> float:
+        return math.log10(value) if log_x else value
+
+    def ty(value: float) -> float:
+        return math.log10(value) if log_y else value
+
+    xs = [tx(a) for a, _ in pairs]
+    ys = [ty(b) for _, b in pairs]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for x_value, y_value in zip(xs, ys):
+        column = int(round((x_value - x_min) / x_span * (width - 1)))
+        row = int(round((y_value - y_min) / y_span * (height - 1)))
+        grid[height - 1 - row][column] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    axis_note = []
+    if log_x:
+        axis_note.append("log x")
+    if log_y:
+        axis_note.append("log y")
+    if axis_note:
+        lines.append("(" + ", ".join(axis_note) + ")")
+    top_label = f"{y_label} max={max(b for _, b in pairs):.4g}"
+    bottom_label = f"{y_label} min={min(b for _, b in pairs):.4g}"
+    lines.append(top_label)
+    lines.extend("|" + "".join(row) for row in grid)
+    lines.append("+" + "-" * width)
+    lines.append(bottom_label)
+    lines.append(
+        f"{x_label}: {min(a for a, _ in pairs):.4g} .. {max(a for a, _ in pairs):.4g}"
+    )
+    return "\n".join(lines)
+
+
+def figure_from_result(
+    result: ExperimentResult,
+    x_column: str,
+    y_column: str,
+    *,
+    log_x: bool = False,
+    log_y: bool = False,
+    width: int = 60,
+    height: int = 16,
+) -> str:
+    """Render one column pair of an experiment result as an ASCII figure."""
+    x = result.column(x_column)
+    y = result.column(y_column)
+    return ascii_chart(
+        x,
+        y,
+        width=width,
+        height=height,
+        log_x=log_x,
+        log_y=log_y,
+        title=f"[{result.experiment_id}] {y_column} vs {x_column}",
+        x_label=x_column,
+        y_label=y_column,
+    )
+
+
+#: Default figure recipe per experiment id: (x column, y column, log_x, log_y).
+DEFAULT_FIGURES: dict[str, tuple[str, str, bool, bool]] = {
+    "E01": ("rounds", "empirical_epsilon", True, True),
+    "E02": ("true_density", "empirical_epsilon", True, True),
+    "E03": ("offset", "recollision_probability", True, True),
+    "E05": ("rounds", "ratio", False, False),
+    "E11": ("burn_in_steps", "median_relative_error", False, False),
+    "E12": ("rounds", "median_relative_error", True, False),
+    "E16": ("steps", "token_mean_error", True, True),
+}
+
+
+def default_figure(result: ExperimentResult) -> str | None:
+    """The standard figure for an experiment, if one is defined."""
+    recipe = DEFAULT_FIGURES.get(result.experiment_id)
+    if recipe is None:
+        return None
+    x_column, y_column, log_x, log_y = recipe
+    return figure_from_result(result, x_column, y_column, log_x=log_x, log_y=log_y)
+
+
+__all__ = ["ascii_chart", "figure_from_result", "default_figure", "DEFAULT_FIGURES"]

@@ -1,0 +1,97 @@
+"""Markdown report generation for the experiment suite.
+
+``EXPERIMENTS.md`` at the repository root is produced by running the full
+experiment suite and rendering each result with :func:`result_to_markdown`.
+The same machinery is available programmatically so users can regenerate the
+report after changing configurations::
+
+    from repro.experiments.report import generate_report
+    text = generate_report(quick=False, seed=0)
+    pathlib.Path("EXPERIMENTS.md").write_text(text)
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping
+
+from repro.experiments import EXPERIMENTS, run_experiment
+from repro.experiments.base import ExperimentResult
+
+
+def _format_cell(value: Any) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        return format(value, ".4g")
+    return str(value)
+
+
+def records_to_markdown_table(
+    records: Iterable[Mapping[str, Any]], columns: list[str] | None = None
+) -> str:
+    """Render dict records as a GitHub-flavoured markdown table."""
+    records = list(records)
+    if not records:
+        return "_(no rows)_"
+    cols = columns or list(records[0].keys())
+    header = "| " + " | ".join(cols) + " |"
+    separator = "| " + " | ".join("---" for _ in cols) + " |"
+    rows = [
+        "| " + " | ".join(_format_cell(record.get(col, "")) for col in cols) + " |"
+        for record in records
+    ]
+    return "\n".join([header, separator, *rows])
+
+
+def result_to_markdown(result: ExperimentResult) -> str:
+    """Render one experiment result as a markdown section."""
+    lines = [
+        f"### {result.experiment_id} — {result.title}",
+        "",
+        f"**Paper claim.** {result.claim}.",
+        "",
+        records_to_markdown_table(result.records, list(result.columns) if result.columns else None),
+    ]
+    if result.notes:
+        lines.append("")
+        for note in result.notes:
+            lines.append(f"*Measured:* {note}.")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def generate_report(
+    *,
+    quick: bool = False,
+    seed: int = 0,
+    experiment_ids: Iterable[str] | None = None,
+    header: str | None = None,
+) -> str:
+    """Run the suite and return the full markdown report.
+
+    Parameters
+    ----------
+    quick:
+        Use the scaled-down configurations (for smoke-testing the report
+        pipeline); the repository's EXPERIMENTS.md is generated with
+        ``quick=False``.
+    seed:
+        Seed forwarded to every experiment.
+    experiment_ids:
+        Subset of experiments to include (default: all, in id order).
+    header:
+        Optional markdown prepended before the per-experiment sections.
+    """
+    ids = sorted(experiment_ids) if experiment_ids is not None else sorted(EXPERIMENTS)
+    sections = []
+    if header:
+        sections.append(header.rstrip() + "\n")
+    for experiment_id in ids:
+        result = run_experiment(experiment_id, quick=quick, seed=seed)
+        sections.append(result_to_markdown(result))
+    return "\n".join(sections)
+
+
+__all__ = ["records_to_markdown_table", "result_to_markdown", "generate_report"]

@@ -1,0 +1,49 @@
+"""Random-walk-based network size estimation (Section 5.1 of the paper).
+
+The application: estimate ``|V|`` of a graph that can only be explored
+through neighbourhood (link) queries, by running ``n`` random walks for
+``t`` rounds and counting degree-weighted collisions (Algorithm 2), after a
+burn-in phase that brings the walks close to the stationary distribution.
+The average degree needed by Algorithm 2 is itself estimated by inverse
+degree sampling (Algorithm 3). The Katzir et al. [KLSC14] estimator (halt
+after burn-in, count collisions once) is implemented as the baseline the
+paper compares against in Section 5.1.5.
+"""
+
+from repro.netsize.oracle import GraphAccessOracle
+from repro.netsize.degree import estimate_average_degree, estimate_inverse_average_degree
+from repro.netsize.size_estimator import NetworkSizeEstimate, estimate_network_size
+from repro.netsize.burn_in import burn_in_walks, required_burn_in_steps
+from repro.netsize.katzir import katzir_size_estimate
+from repro.netsize.pipeline import (
+    NetworkSizeEstimationPipeline,
+    PipelineReport,
+    median_amplified_estimate,
+)
+from repro.netsize.generators import available_generators, make_graph
+from repro.netsize.path_collisions import (
+    path_intersection_counts,
+    record_walk_paths,
+    same_round_collision_counts,
+    size_estimate_from_paths,
+)
+
+__all__ = [
+    "available_generators",
+    "make_graph",
+    "record_walk_paths",
+    "same_round_collision_counts",
+    "path_intersection_counts",
+    "size_estimate_from_paths",
+    "GraphAccessOracle",
+    "estimate_average_degree",
+    "estimate_inverse_average_degree",
+    "NetworkSizeEstimate",
+    "estimate_network_size",
+    "burn_in_walks",
+    "required_burn_in_steps",
+    "katzir_size_estimate",
+    "NetworkSizeEstimationPipeline",
+    "PipelineReport",
+    "median_amplified_estimate",
+]

@@ -1,0 +1,81 @@
+"""Burn-in phase for the network size estimator (Section 5.1.4).
+
+Walks cannot be started from the stationary distribution directly — only a
+seed vertex is known. They are therefore all started at the seed and run for
+``M = O(log(|E|/δ) / (1 - λ))`` steps, after which their joint law is within
+``δ`` of stationarity in total variation and the analysis of Algorithm 2
+goes through with failure probability at most ``2δ``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import bounds
+from repro.netsize.oracle import GraphAccessOracle
+from repro.topology.graph import NetworkXTopology
+from repro.topology.spectral import second_eigenvalue_magnitude
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import require_integer, require_probability
+
+
+def required_burn_in_steps(
+    topology: NetworkXTopology,
+    delta: float = 0.05,
+    *,
+    lambda_value: float | None = None,
+    constant: float = 1.0,
+) -> int:
+    """Burn-in length prescribed by Section 5.1.4.
+
+    ``lambda_value`` may be supplied to avoid recomputing the spectrum; note
+    that on bipartite graphs λ = 1 and the lazy-walk convention must be used
+    instead (the caller should then pass an explicit walk length).
+    """
+    require_probability(delta, "delta", allow_zero=False, allow_one=False)
+    lam = second_eigenvalue_magnitude(topology) if lambda_value is None else float(lambda_value)
+    if lam >= 1.0:
+        raise ValueError(
+            "the walk matrix has |second eigenvalue| = 1 (e.g. a bipartite graph); "
+            "burn-in never converges — pass an explicit lambda_value < 1 or use a "
+            "non-bipartite graph"
+        )
+    return bounds.burn_in_steps(lam, topology.num_edges, delta, constant=constant)
+
+
+def burn_in_walks(
+    source: GraphAccessOracle | NetworkXTopology,
+    num_walks: int,
+    steps: int,
+    seed: SeedLike = None,
+    *,
+    seed_node: int = 0,
+) -> np.ndarray:
+    """Run ``num_walks`` walks from ``seed_node`` for ``steps`` steps.
+
+    Returns the walker positions after burn-in. When run against an oracle,
+    each step of each walk is charged as one link query, exactly like the
+    estimation phase.
+    """
+    require_integer(num_walks, "num_walks", minimum=1)
+    require_integer(steps, "steps", minimum=0)
+    rng = as_generator(seed)
+    if isinstance(source, GraphAccessOracle):
+        topology = source.topology
+        oracle: GraphAccessOracle | None = source
+    else:
+        topology = source
+        oracle = None
+    if not 0 <= seed_node < topology.num_nodes:
+        raise ValueError(f"seed_node must be a valid node label, got {seed_node}")
+
+    positions = np.full(num_walks, int(seed_node), dtype=np.int64)
+    for _ in range(steps):
+        if oracle is not None:
+            positions = oracle.step_walkers(positions, rng)
+        else:
+            positions = topology.step_many(positions, rng)
+    return positions
+
+
+__all__ = ["required_burn_in_steps", "burn_in_walks"]

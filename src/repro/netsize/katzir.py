@@ -1,0 +1,92 @@
+"""The Katzir–Liberty–Somekh–Cosma [KLSC14] baseline size estimator.
+
+The baseline the paper compares against in Section 5.1.5: run ``n`` walks to
+(approximate) stationarity, *halt them immediately*, and count the
+degree-weighted collisions of that single final configuration. Formally the
+estimator is the ``t = 1`` special case of Algorithm 2, so it needs a much
+larger number of walks — and therefore more burn-in link queries on slowly
+mixing graphs — to observe enough collisions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.netsize.oracle import GraphAccessOracle
+from repro.topology.graph import NetworkXTopology
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import require_integer
+
+
+@dataclass(frozen=True)
+class KatzirEstimate:
+    """Result of the [KLSC14] single-shot collision estimator."""
+
+    size_estimate: float
+    weighted_collision_rate: float
+    num_walks: int
+    average_degree_used: float
+
+
+def katzir_size_estimate(
+    source: GraphAccessOracle | NetworkXTopology,
+    num_walks: int,
+    seed: SeedLike = None,
+    *,
+    average_degree: float | None = None,
+    positions: np.ndarray | None = None,
+) -> KatzirEstimate:
+    """Estimate ``|V|`` from the collisions of one stationary configuration.
+
+    Parameters
+    ----------
+    source:
+        Oracle or topology (as in :func:`~repro.netsize.estimate_network_size`).
+    num_walks:
+        Number of walks ``n``.
+    average_degree:
+        Value of ``deg`` for the formula; defaults to the true average degree.
+    positions:
+        Walker positions to evaluate; default draws them from the exact
+        stationary distribution (the idealised setting). Pass burned-in
+        positions for the end-to-end comparison.
+    """
+    require_integer(num_walks, "num_walks", minimum=2)
+    rng = as_generator(seed)
+    if isinstance(source, GraphAccessOracle):
+        topology = source.topology
+    else:
+        topology = source
+
+    if positions is None:
+        final_positions = topology.stationary_nodes(num_walks, rng)
+    else:
+        final_positions = np.asarray(positions, dtype=np.int64)
+        if final_positions.shape != (num_walks,):
+            raise ValueError(
+                f"positions must have shape ({num_walks},), got {final_positions.shape}"
+            )
+
+    degree_for_formula = (
+        float(average_degree) if average_degree is not None else topology.average_degree
+    )
+
+    # Weighted collision count of the single round.
+    from repro.core.encounter import collision_counts
+
+    counts = collision_counts(final_positions).astype(np.float64)
+    degrees = np.asarray(topology.degree_of(final_positions), dtype=np.float64)
+    total = float((counts / degrees).sum())
+    rate = degree_for_formula * total / (num_walks * (num_walks - 1))
+    estimate = float("inf") if rate == 0.0 else 1.0 / rate
+    return KatzirEstimate(
+        size_estimate=estimate,
+        weighted_collision_rate=rate,
+        num_walks=num_walks,
+        average_degree_used=degree_for_formula,
+    )
+
+
+__all__ = ["KatzirEstimate", "katzir_size_estimate"]

@@ -1,0 +1,136 @@
+"""Centralised collision counting from recorded walk paths.
+
+Section 5.1.1 notes that ``count(·)`` in Algorithm 2 can be implemented by
+"simulating the random walks in parallel, recording their paths, and then
+performing centralized post-processing to count collisions" — the natural
+implementation when the walks are distributed over many crawler machines and
+only their visit logs are aggregated. Section 6.3.3 further asks whether
+storing the full paths (and counting *path intersections* rather than
+same-round collisions) buys additional accuracy. This module implements both
+primitives so those questions can be explored:
+
+* :func:`same_round_collision_counts` — exactly the quantity Algorithm 2
+  accumulates, recovered after the fact from the path matrix.
+* :func:`path_intersection_counts` — the "beyond encounter rate" statistic:
+  pairs of walks that ever visit a common node, regardless of timing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.topology.graph import NetworkXTopology
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import require_integer
+from repro.walks.single import walk_paths
+
+
+def record_walk_paths(
+    topology: NetworkXTopology,
+    num_walks: int,
+    rounds: int,
+    seed: SeedLike = None,
+    *,
+    starts: np.ndarray | None = None,
+) -> np.ndarray:
+    """Simulate ``num_walks`` walks for ``rounds`` rounds and return their paths.
+
+    Returns an array of shape ``(num_walks, rounds + 1)``; column 0 holds the
+    starting positions (stationary samples by default).
+    """
+    require_integer(num_walks, "num_walks", minimum=1)
+    require_integer(rounds, "rounds", minimum=1)
+    rng = as_generator(seed)
+    if starts is None:
+        starts = topology.stationary_nodes(num_walks, rng)
+    else:
+        starts = np.asarray(starts, dtype=np.int64)
+        if starts.shape != (num_walks,):
+            raise ValueError(f"starts must have shape ({num_walks},), got {starts.shape}")
+    return walk_paths(topology, starts, rounds, rng)
+
+
+def same_round_collision_counts(
+    paths: np.ndarray, degrees: np.ndarray | None = None
+) -> np.ndarray:
+    """Per-walk (degree-weighted) same-round collision counts from recorded paths.
+
+    Parameters
+    ----------
+    paths:
+        Array of shape ``(num_walks, rounds + 1)`` as returned by
+        :func:`record_walk_paths`. Column 0 (the starting configuration) is
+        not counted, matching Algorithm 2 which counts after each step.
+    degrees:
+        Optional per-node degree array for the ``1/deg`` weighting of
+        Algorithm 2. Without it, collisions are counted unweighted (the
+        regular-graph case).
+    """
+    paths = np.asarray(paths)
+    if paths.ndim != 2 or paths.shape[1] < 2:
+        raise ValueError("paths must be a (num_walks, rounds + 1) array with at least one round")
+    num_walks, _ = paths.shape
+    totals = np.zeros(num_walks, dtype=np.float64)
+    for round_index in range(1, paths.shape[1]):
+        column = paths[:, round_index]
+        _, inverse, counts = np.unique(column, return_inverse=True, return_counts=True)
+        collisions = counts[inverse] - 1
+        if degrees is not None:
+            weights = 1.0 / np.asarray(degrees)[column]
+            totals += collisions * weights
+        else:
+            totals += collisions
+    return totals
+
+
+def path_intersection_counts(paths: np.ndarray) -> np.ndarray:
+    """For each walk, the number of *other* walks whose path shares any node with it.
+
+    This is the "store the full t-step path and count intersections"
+    statistic of Section 6.3.3. It is far more sensitive than same-round
+    collisions (two walks can intersect without ever being at the same place
+    at the same time), at the cost of having to store and join the paths.
+    """
+    paths = np.asarray(paths)
+    if paths.ndim != 2:
+        raise ValueError("paths must be a 2-D array")
+    num_walks = paths.shape[0]
+    node_sets = [set(np.unique(row).tolist()) for row in paths]
+    counts = np.zeros(num_walks, dtype=np.int64)
+    for i in range(num_walks):
+        for j in range(i + 1, num_walks):
+            if node_sets[i] & node_sets[j]:
+                counts[i] += 1
+                counts[j] += 1
+    return counts
+
+
+def size_estimate_from_paths(
+    paths: np.ndarray,
+    average_degree: float,
+    degrees: np.ndarray | None = None,
+) -> float:
+    """Recompute the Algorithm 2 size estimate from recorded paths.
+
+    Equivalent to :func:`repro.netsize.estimate_network_size` run on the same
+    walks — useful when the walks were simulated elsewhere (e.g. by separate
+    crawler processes) and only their visit logs are available.
+    """
+    if average_degree <= 0:
+        raise ValueError(f"average_degree must be positive, got {average_degree}")
+    paths = np.asarray(paths)
+    num_walks = paths.shape[0]
+    rounds = paths.shape[1] - 1
+    if num_walks < 2:
+        raise ValueError("need at least two walks to count collisions")
+    totals = same_round_collision_counts(paths, degrees)
+    rate = average_degree * float(totals.sum()) / (num_walks * (num_walks - 1) * rounds)
+    return float("inf") if rate == 0.0 else 1.0 / rate
+
+
+__all__ = [
+    "record_walk_paths",
+    "same_round_collision_counts",
+    "path_intersection_counts",
+    "size_estimate_from_paths",
+]

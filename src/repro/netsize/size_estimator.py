@@ -1,0 +1,135 @@
+"""Algorithm 2 — random-walk network size estimation.
+
+``n`` walks, assumed (approximately) stationary, are run for ``t`` rounds.
+In each round each walk adds ``count(w_j) / deg(w_j)`` to its counter, where
+``count(w_j)`` is the number of *other* walks at its node — the degree
+weighting corrects for the stationary distribution favouring high-degree
+nodes. The total weighted collision count ``C = deg·Σc_j / (n(n-1)t)`` has
+expectation ``1/|V|`` (Lemma 28), so ``Ã = 1/C`` estimates the network size;
+Theorem 27 gives the ``n²t`` budget required for a ``(1 ± ε)`` estimate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.encounter import collision_counts
+from repro.netsize.oracle import GraphAccessOracle
+from repro.topology.graph import NetworkXTopology
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import require_integer
+
+
+@dataclass(frozen=True)
+class NetworkSizeEstimate:
+    """Result of one run of Algorithm 2.
+
+    Attributes
+    ----------
+    size_estimate:
+        The estimate ``Ã = 1/C`` of ``|V|`` (``inf`` if no collisions at all
+        were observed — the caller should then increase ``n`` or ``t``).
+    weighted_collision_rate:
+        The statistic ``C`` itself.
+    total_weighted_collisions:
+        ``Σ_j c_j`` before normalisation.
+    num_walks / rounds:
+        The budget actually used.
+    average_degree_used:
+        The value of ``deg`` plugged into the formula (estimated or exact).
+    link_queries:
+        Link queries charged during this stage (0 when run directly against
+        a topology rather than an oracle).
+    """
+
+    size_estimate: float
+    weighted_collision_rate: float
+    total_weighted_collisions: float
+    num_walks: int
+    rounds: int
+    average_degree_used: float
+    link_queries: int
+
+
+def estimate_network_size(
+    source: GraphAccessOracle | NetworkXTopology,
+    num_walks: int,
+    rounds: int,
+    seed: SeedLike = None,
+    *,
+    average_degree: float | None = None,
+    starts: np.ndarray | None = None,
+) -> NetworkSizeEstimate:
+    """Run Algorithm 2.
+
+    Parameters
+    ----------
+    source:
+        Query-counting oracle (queries are metered) or a bare topology
+        (the idealised analysis setting of Section 5.1.2).
+    num_walks:
+        Number of random walks ``n`` (>= 2 — collisions need pairs).
+    rounds:
+        Number of post-burn-in rounds ``t`` to run and count collisions over.
+    average_degree:
+        The value of ``deg`` to use; defaults to the true average degree
+        (idealised setting). The pipeline passes an Algorithm 3 estimate.
+    starts:
+        Starting positions of the walks. Default: independent samples from
+        the exact stationary distribution (idealised setting); the pipeline
+        passes the positions produced by the burn-in phase.
+    """
+    require_integer(num_walks, "num_walks", minimum=2)
+    require_integer(rounds, "rounds", minimum=1)
+    rng = as_generator(seed)
+
+    if isinstance(source, GraphAccessOracle):
+        topology = source.topology
+        oracle: GraphAccessOracle | None = source
+    else:
+        topology = source
+        oracle = None
+
+    if starts is None:
+        positions = topology.stationary_nodes(num_walks, rng)
+    else:
+        positions = np.asarray(starts, dtype=np.int64).copy()
+        if positions.shape != (num_walks,):
+            raise ValueError(
+                f"starts must have shape ({num_walks},), got {positions.shape}"
+            )
+    degree_for_formula = (
+        float(average_degree) if average_degree is not None else topology.average_degree
+    )
+    if degree_for_formula <= 0:
+        raise ValueError(f"average_degree must be positive, got {degree_for_formula}")
+
+    queries_before = oracle.query_count if oracle is not None else 0
+    counters = np.zeros(num_walks, dtype=np.float64)
+    for _ in range(rounds):
+        if oracle is not None:
+            positions = oracle.step_walkers(positions, rng)
+        else:
+            positions = topology.step_many(positions, rng)
+        counts = collision_counts(positions).astype(np.float64)
+        degrees = np.asarray(topology.degree_of(positions), dtype=np.float64)
+        counters += counts / degrees
+    queries_after = oracle.query_count if oracle is not None else 0
+
+    total = float(counters.sum())
+    rate = degree_for_formula * total / (num_walks * (num_walks - 1) * rounds)
+    size_estimate = float("inf") if rate == 0.0 else 1.0 / rate
+    return NetworkSizeEstimate(
+        size_estimate=size_estimate,
+        weighted_collision_rate=rate,
+        total_weighted_collisions=total,
+        num_walks=num_walks,
+        rounds=rounds,
+        average_degree_used=degree_for_formula,
+        link_queries=queries_after - queries_before,
+    )
+
+
+__all__ = ["NetworkSizeEstimate", "estimate_network_size"]

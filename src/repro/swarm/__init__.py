@@ -1,0 +1,37 @@
+"""Robot-swarm density estimation (Section 5.2) and model ablations (Section 6.1).
+
+* :mod:`repro.swarm.swarm` — a :class:`RobotSwarm` facade over the core
+  estimators: overall density, per-task-group densities, relative task
+  frequencies, and quorum detection for a swarm on a torus workspace.
+* :mod:`repro.swarm.noise` — noisy collision detection models (missed and
+  spurious detections) plus the bias correction for them.
+* :mod:`repro.swarm.placement` — initial placement distributions, including
+  the clustered placements that break the uniform-placement assumption.
+* :mod:`repro.swarm.dispersion` — a density-guided dispersion routine
+  illustrating the coverage application sketched in Section 6.3.4.
+"""
+
+from repro.swarm.swarm import RobotSwarm, SwarmDensityReport
+from repro.swarm.noise import NoisyCollisionModel, correct_noisy_estimate
+from repro.swarm.placement import (
+    clustered_placement,
+    gaussian_blob_placement,
+    uniform_placement,
+)
+from repro.swarm.dispersion import DispersionResult, disperse_swarm, occupancy_imbalance
+from repro.swarm.collective import CollectiveDecision, MajorityQuorumVote
+
+__all__ = [
+    "CollectiveDecision",
+    "MajorityQuorumVote",
+    "RobotSwarm",
+    "SwarmDensityReport",
+    "NoisyCollisionModel",
+    "correct_noisy_estimate",
+    "uniform_placement",
+    "clustered_placement",
+    "gaussian_blob_placement",
+    "DispersionResult",
+    "disperse_swarm",
+    "occupancy_imbalance",
+]

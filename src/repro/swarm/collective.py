@@ -1,0 +1,97 @@
+"""Collective threshold decisions from many individual density estimates.
+
+Section 6.2 of the paper asks how "multiple agents with different density
+estimates can cooperate to learn if a density threshold has been reached,
+with more accuracy than if just a single agent were attempting to detect such
+a threshold". The simplest cooperation rule — each agent votes on the
+threshold question and the colony follows the majority — already gives an
+exponential boost: if each agent is correct with probability ``1 - δ`` and
+the votes were independent, a majority of ``n`` votes would fail with
+probability ``exp(-Ω(n))``. Votes derived from encounter rates are not
+independent (agents share collisions), so the improvement must be measured;
+that is what this module and its tests do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.estimator import RandomWalkDensityEstimator
+from repro.topology.base import Topology
+from repro.utils.rng import SeedLike, spawn_generators
+from repro.utils.validation import require_integer, require_positive
+
+
+@dataclass(frozen=True)
+class CollectiveDecision:
+    """Outcome of one collective quorum vote."""
+
+    decision_above: bool
+    vote_fraction_above: float
+    individual_accuracy: float
+    collective_correct: bool | None
+
+
+@dataclass
+class MajorityQuorumVote:
+    """Majority vote over the per-agent quorum decisions of one shared run.
+
+    Parameters
+    ----------
+    topology:
+        Workspace the agents walk on.
+    num_agents:
+        Number of agents (voters).
+    threshold:
+        Density threshold θ being tested.
+    rounds:
+        Rounds of Algorithm 1 each agent runs before voting.
+    """
+
+    topology: Topology
+    num_agents: int
+    threshold: float
+    rounds: int
+
+    def __post_init__(self) -> None:
+        require_integer(self.num_agents, "num_agents", minimum=1)
+        require_integer(self.rounds, "rounds", minimum=1)
+        require_positive(self.threshold, "threshold")
+
+    def decide(self, seed: SeedLike = None) -> CollectiveDecision:
+        """Run one shared simulation and take the majority vote."""
+        run = RandomWalkDensityEstimator(self.topology, self.num_agents, self.rounds).run(seed)
+        votes_above = run.estimates >= self.threshold
+        truth_above = run.true_density >= self.threshold
+        individual_accuracy = float(np.mean(votes_above == truth_above))
+        vote_fraction = float(votes_above.mean())
+        decision = vote_fraction >= 0.5
+        return CollectiveDecision(
+            decision_above=decision,
+            vote_fraction_above=vote_fraction,
+            individual_accuracy=individual_accuracy,
+            collective_correct=(decision == truth_above),
+        )
+
+    def failure_rates(self, trials: int, seed: SeedLike = None) -> tuple[float, float]:
+        """Empirical failure probabilities (individual, collective) over ``trials`` runs.
+
+        The individual rate is the average fraction of agents voting wrongly;
+        the collective rate is the fraction of trials where the majority is
+        wrong. The gap between the two quantifies how much the (correlated)
+        votes still help.
+        """
+        require_integer(trials, "trials", minimum=1)
+        rngs = spawn_generators(seed, trials)
+        individual_errors = []
+        collective_errors = []
+        for rng in rngs:
+            outcome = self.decide(rng)
+            individual_errors.append(1.0 - outcome.individual_accuracy)
+            collective_errors.append(0.0 if outcome.collective_correct else 1.0)
+        return float(np.mean(individual_errors)), float(np.mean(collective_errors))
+
+
+__all__ = ["CollectiveDecision", "MajorityQuorumVote"]

@@ -1,0 +1,85 @@
+"""Initial placement distributions for agents on the torus.
+
+The paper's analysis assumes agents start at independent uniformly random
+nodes (Section 2); Section 6.1 discusses how concentrated placements break
+*global* density estimation because distant agents never see the cluster.
+These placement functions plug into
+:class:`repro.core.simulation.SimulationConfig` and power experiment E15.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.simulation import uniform_placement
+from repro.topology.base import Topology
+from repro.topology.torus import Torus2D
+from repro.utils.validation import require_probability
+
+
+def clustered_placement(cluster_fraction: float, cluster_radius: int):
+    """Placement where a fraction of the agents start inside a small disc.
+
+    Parameters
+    ----------
+    cluster_fraction:
+        Fraction of agents placed inside the cluster; the rest are uniform.
+    cluster_radius:
+        L∞ radius (in grid cells) of the cluster around a uniformly random
+        centre.
+
+    Returns
+    -------
+    callable
+        A placement function ``(topology, count, rng) -> positions``
+        (requires a :class:`Torus2D`).
+    """
+    require_probability(cluster_fraction, "cluster_fraction")
+    if cluster_radius < 0:
+        raise ValueError(f"cluster_radius must be non-negative, got {cluster_radius}")
+
+    def placement(topology: Topology, count: int, rng: np.random.Generator) -> np.ndarray:
+        if not isinstance(topology, Torus2D):
+            raise TypeError("clustered_placement requires a Torus2D topology")
+        positions = topology.uniform_nodes(count, rng)
+        num_clustered = int(round(cluster_fraction * count))
+        if num_clustered == 0:
+            return positions
+        centre = int(rng.integers(0, topology.num_nodes))
+        cx, cy = topology.decode(np.asarray(centre))
+        offsets_x = rng.integers(-cluster_radius, cluster_radius + 1, size=num_clustered)
+        offsets_y = rng.integers(-cluster_radius, cluster_radius + 1, size=num_clustered)
+        clustered_nodes = np.asarray(
+            topology.encode(cx + offsets_x, cy + offsets_y), dtype=np.int64
+        )
+        positions[:num_clustered] = clustered_nodes
+        return positions
+
+    placement.__name__ = f"clustered_placement_f{cluster_fraction}_r{cluster_radius}"
+    return placement
+
+
+def gaussian_blob_placement(spread: float):
+    """Placement with all agents scattered around one centre with Gaussian spread.
+
+    ``spread`` is the standard deviation in grid cells. With ``spread`` much
+    smaller than the torus side this is the "most agents in a very small
+    portion of the torus" scenario of Section 6.1.
+    """
+    if spread <= 0:
+        raise ValueError(f"spread must be positive, got {spread}")
+
+    def placement(topology: Topology, count: int, rng: np.random.Generator) -> np.ndarray:
+        if not isinstance(topology, Torus2D):
+            raise TypeError("gaussian_blob_placement requires a Torus2D topology")
+        centre = int(rng.integers(0, topology.num_nodes))
+        cx, cy = topology.decode(np.asarray(centre))
+        dx = np.round(rng.normal(0.0, spread, size=count)).astype(np.int64)
+        dy = np.round(rng.normal(0.0, spread, size=count)).astype(np.int64)
+        return np.asarray(topology.encode(cx + dx, cy + dy), dtype=np.int64)
+
+    placement.__name__ = f"gaussian_blob_placement_s{spread}"
+    return placement
+
+
+__all__ = ["uniform_placement", "clustered_placement", "gaussian_blob_placement"]

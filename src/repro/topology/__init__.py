@@ -1,0 +1,50 @@
+"""Graph topologies agents walk on.
+
+Every topology encodes its nodes as integers in ``range(num_nodes)`` and
+exposes a vectorised ``step_many`` so the density-estimation engine and the
+random-walk analysis tools work unchanged on all of them.
+
+The topologies mirror Section 2 and Section 4 of the paper:
+
+* :class:`Torus2D` — the paper's primary model (Section 2, Theorem 1).
+* :class:`Ring` — the 1-D torus (Section 4.2, Lemma 20, Theorem 21).
+* :class:`TorusKD` — k-dimensional tori (Section 4.3, Lemma 22).
+* :class:`Hypercube` — the k-dimensional hypercube (Section 4.5, Lemma 25).
+* :class:`CompleteGraph` — the independent-sampling ideal (Section 1.1).
+* :class:`RegularExpander` — random regular expanders (Section 4.4, Lemma 23).
+* :class:`NetworkXTopology` — arbitrary (possibly non-regular) graphs used by
+  the network-size estimation application (Section 5.1).
+"""
+
+from repro.topology.base import Topology, RegularTopology
+from repro.topology.torus import Torus2D
+from repro.topology.bounded_grid import BoundedGrid
+from repro.topology.ring import Ring
+from repro.topology.torus_kd import TorusKD
+from repro.topology.hypercube import Hypercube
+from repro.topology.complete import CompleteGraph
+from repro.topology.expander import RegularExpander
+from repro.topology.graph import NetworkXTopology
+from repro.topology.spectral import (
+    second_eigenvalue_magnitude,
+    spectral_gap,
+    mixing_time_upper_bound,
+    transition_matrix,
+)
+
+__all__ = [
+    "Topology",
+    "RegularTopology",
+    "Torus2D",
+    "BoundedGrid",
+    "Ring",
+    "TorusKD",
+    "Hypercube",
+    "CompleteGraph",
+    "RegularExpander",
+    "NetworkXTopology",
+    "second_eigenvalue_magnitude",
+    "spectral_gap",
+    "mixing_time_upper_bound",
+    "transition_matrix",
+]

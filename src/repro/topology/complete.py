@@ -1,0 +1,46 @@
+"""The complete graph — the paper's "independent sampling" ideal (Section 1.1).
+
+On the complete graph an agent's location in successive rounds is essentially
+independent, so its collision indicators are Bernoulli samples of the density
+and the Chernoff bound gives ``t = O(log(1/δ)/(d ε²))`` rounds. Every other
+topology's accuracy is measured against this ideal in the experiment suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.topology.base import RegularTopology
+from repro.utils.validation import require_integer
+
+
+class CompleteGraph(RegularTopology):
+    """Complete graph on ``size`` nodes; a step moves to a uniform *other* node."""
+
+    name = "complete"
+
+    def __init__(self, size: int):
+        require_integer(size, "size", minimum=2)
+        self.size = int(size)
+        self.degree = self.size - 1
+
+    @property
+    def num_nodes(self) -> int:
+        return self.size
+
+    def neighbors(self, node: int) -> np.ndarray:
+        node = int(node)
+        return np.array([v for v in range(self.size) if v != node], dtype=np.int64)
+
+    def step_many(self, positions: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        positions = np.asarray(positions, dtype=np.int64)
+        # Sample uniformly from the other size-1 nodes: draw from [0, size-1)
+        # and shift values >= current position up by one.
+        draws = rng.integers(0, self.size - 1, size=positions.shape)
+        return np.where(draws >= positions, draws + 1, draws).astype(np.int64)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CompleteGraph(size={self.size})"
+
+
+__all__ = ["CompleteGraph"]

@@ -1,0 +1,107 @@
+"""Spectral utilities: walk matrices, eigenvalues, and mixing-time bounds.
+
+The paper's expander bound (Lemma 23) and the burn-in analysis of the
+network-size estimator (Section 5.1.4) are parameterised by
+``λ = max(|λ₂|, |λ_A|)`` of the random-walk matrix. These helpers compute the
+walk matrix of any topology, its second eigenvalue magnitude, and the
+standard mixing-time upper bound ``O(log(1/ε') / (1 - λ))``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from repro.topology.base import Topology
+
+
+def transition_matrix(topology: Topology) -> sp.csr_matrix:
+    """Random-walk transition matrix ``W`` of ``topology`` (rows sum to 1).
+
+    ``W[i, j]`` is the probability that a walker at node ``i`` steps to node
+    ``j``. The matrix is returned in CSR format; for the structured
+    topologies in this library it is sparse (degree is constant and small).
+    """
+    size = topology.num_nodes
+    rows: list[int] = []
+    cols: list[int] = []
+    values: list[float] = []
+    for node in range(size):
+        neighbors = topology.neighbors(node)
+        if len(neighbors) == 0:
+            raise ValueError(f"node {node} has no neighbours; walk matrix undefined")
+        weight = 1.0 / len(neighbors)
+        rows.extend([node] * len(neighbors))
+        cols.extend(int(v) for v in neighbors)
+        values.extend([weight] * len(neighbors))
+    return sp.csr_matrix((values, (rows, cols)), shape=(size, size))
+
+
+def second_eigenvalue_magnitude(topology: Topology) -> float:
+    """``λ = max(|λ₂|, |λ_A|)`` of the walk matrix of a *regular* topology.
+
+    For regular topologies the walk matrix is symmetric, so its eigenvalues
+    are real and we can use Lanczos iterations (or a dense solve for small
+    graphs). Non-regular graphs are handled by symmetrising with the degree
+    weighting ``D^{-1/2} A D^{-1/2}``, which has the same spectrum as ``W``.
+    """
+    size = topology.num_nodes
+    degrees = np.asarray(topology.degree_of(np.arange(size)), dtype=np.float64)
+    walk = transition_matrix(topology)
+    # Similarity transform to a symmetric matrix with identical spectrum.
+    d_sqrt = np.sqrt(degrees)
+    sym = sp.diags(d_sqrt) @ walk @ sp.diags(1.0 / d_sqrt)
+    sym = (sym + sym.T) * 0.5
+
+    if size <= 400:
+        eigenvalues = np.linalg.eigvalsh(sym.toarray())
+    else:
+        # Largest magnitude eigenvalues; request a few to skip the trivial 1.
+        k = min(6, size - 2)
+        eigenvalues = spla.eigsh(sym, k=k, which="LM", return_eigenvectors=False)
+        eigenvalues = np.sort(eigenvalues)
+    eigenvalues = np.sort(eigenvalues)
+    # Drop one eigenvalue equal to 1 (the stationary eigenvector).
+    top_index = int(np.argmax(eigenvalues))
+    mask = np.ones(len(eigenvalues), dtype=bool)
+    mask[top_index] = False
+    remaining = eigenvalues[mask]
+    if remaining.size == 0:
+        return 0.0
+    return float(np.max(np.abs(remaining)))
+
+
+def spectral_gap(topology: Topology) -> float:
+    """``1 - λ`` of the topology's walk matrix."""
+    return 1.0 - second_eigenvalue_magnitude(topology)
+
+
+def mixing_time_upper_bound(lambda_value: float, epsilon: float = 1e-3) -> int:
+    """Rounds after which the walk is within ``epsilon`` of stationarity.
+
+    Standard bound ``t >= log(1/epsilon) / (1 - λ)`` (cf. [Lov93] Theorem 5.1
+    as used in Section 5.1.4). Returns at least 1.
+    """
+    if not 0 <= lambda_value < 1:
+        raise ValueError(f"lambda_value must lie in [0, 1), got {lambda_value}")
+    if not 0 < epsilon < 1:
+        raise ValueError(f"epsilon must lie in (0, 1), got {epsilon}")
+    if lambda_value == 0:
+        return 1
+    return max(1, int(np.ceil(np.log(1.0 / epsilon) / (1.0 - lambda_value))))
+
+
+def stationary_distribution(topology: Topology) -> np.ndarray:
+    """Stationary distribution of the walk: degree(v) / (2|E|)."""
+    degrees = np.asarray(topology.degree_of(np.arange(topology.num_nodes)), dtype=np.float64)
+    return degrees / degrees.sum()
+
+
+__all__ = [
+    "transition_matrix",
+    "second_eigenvalue_magnitude",
+    "spectral_gap",
+    "mixing_time_upper_bound",
+    "stationary_distribution",
+]

@@ -1,0 +1,102 @@
+"""The two-dimensional torus — the paper's primary model (Section 2).
+
+Nodes are the points of a ``side x side`` wrap-around grid. A node with
+coordinates ``(x, y)`` is encoded as the integer ``x * side + y``. A random
+walk step adds one of ``{(0, 1), (0, -1), (1, 0), (-1, 0)}`` uniformly at
+random, exactly as in Algorithm 1 of the paper (agents never use the
+"stay put" move when random walking).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.topology.base import RegularTopology
+from repro.utils.validation import require_integer
+
+
+class Torus2D(RegularTopology):
+    """A ``side x side`` torus with ``A = side**2`` nodes.
+
+    Parameters
+    ----------
+    side:
+        Side length (the paper's ``sqrt(A)``); must be at least 2 so every
+        node has four distinct neighbours.
+    """
+
+    name = "torus2d"
+    degree = 4
+
+    #: The four axis-aligned unit steps of the paper's model.
+    STEPS = np.array([(0, 1), (0, -1), (1, 0), (-1, 0)], dtype=np.int64)
+
+    def __init__(self, side: int):
+        require_integer(side, "side", minimum=2)
+        self.side = int(side)
+        self._num_nodes = self.side * self.side
+
+    # ------------------------------------------------------------------
+    # Node encoding
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return self._num_nodes
+
+    def encode(self, x: np.ndarray | int, y: np.ndarray | int) -> np.ndarray | int:
+        """Encode coordinates ``(x, y)`` (taken modulo ``side``) as node labels."""
+        x_mod = np.mod(x, self.side)
+        y_mod = np.mod(y, self.side)
+        return x_mod * self.side + y_mod
+
+    def decode(self, nodes: np.ndarray | int) -> tuple[np.ndarray, np.ndarray]:
+        """Decode node labels into ``(x, y)`` coordinate arrays."""
+        nodes = np.asarray(nodes)
+        return nodes // self.side, nodes % self.side
+
+    # ------------------------------------------------------------------
+    # Walk dynamics
+    # ------------------------------------------------------------------
+    def neighbors(self, node: int) -> np.ndarray:
+        x, y = self.decode(np.asarray(node))
+        xs = (x + self.STEPS[:, 0]) % self.side
+        ys = (y + self.STEPS[:, 1]) % self.side
+        return np.asarray(self.encode(xs, ys), dtype=np.int64)
+
+    def step_many(self, positions: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        positions = np.asarray(positions, dtype=np.int64)
+        choices = rng.integers(0, 4, size=positions.shape)
+        dx = self.STEPS[choices, 0]
+        dy = self.STEPS[choices, 1]
+        x, y = self.decode(positions)
+        return np.asarray(self.encode(x + dx, y + dy), dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # Geometry helpers (used by tests and the swarm application)
+    # ------------------------------------------------------------------
+    def torus_distance(self, a: np.ndarray | int, b: np.ndarray | int) -> np.ndarray | int:
+        """L1 (Manhattan) distance on the torus between node labels ``a`` and ``b``."""
+        ax, ay = self.decode(np.asarray(a))
+        bx, by = self.decode(np.asarray(b))
+        dx = np.abs(ax - bx)
+        dy = np.abs(ay - by)
+        dx = np.minimum(dx, self.side - dx)
+        dy = np.minimum(dy, self.side - dy)
+        return dx + dy
+
+    def displacement(self, start: np.ndarray | int, end: np.ndarray | int) -> tuple[np.ndarray, np.ndarray]:
+        """Signed minimal displacement from ``start`` to ``end`` along each axis."""
+        sx, sy = self.decode(np.asarray(start))
+        ex, ey = self.decode(np.asarray(end))
+        half = self.side / 2.0
+        dx = (ex - sx + self.side) % self.side
+        dy = (ey - sy + self.side) % self.side
+        dx = np.where(dx > half, dx - self.side, dx)
+        dy = np.where(dy > half, dy - self.side, dy)
+        return dx, dy
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Torus2D(side={self.side})"
+
+
+__all__ = ["Torus2D"]

@@ -1,0 +1,27 @@
+"""Shared utilities: RNG handling, validation, tables, serialization.
+
+These helpers are intentionally small and dependency-free (NumPy only) so
+that every other subpackage can rely on them without import cycles.
+"""
+
+from repro.utils.rng import as_generator, spawn_generators
+from repro.utils.validation import (
+    require_in_range,
+    require_non_negative,
+    require_positive,
+    require_probability,
+)
+from repro.utils.tables import format_table
+from repro.utils.serialization import rows_to_csv, to_jsonable
+
+__all__ = [
+    "as_generator",
+    "spawn_generators",
+    "require_in_range",
+    "require_non_negative",
+    "require_positive",
+    "require_probability",
+    "format_table",
+    "rows_to_csv",
+    "to_jsonable",
+]

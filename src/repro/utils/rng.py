@@ -1,0 +1,81 @@
+"""Random-number-generator plumbing.
+
+Every public entry point in the library accepts either ``None`` (fresh
+entropy), an integer seed, or an existing :class:`numpy.random.Generator`.
+Centralising the conversion here keeps behaviour consistent: given the same
+integer seed, every simulation in the library is fully deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+SeedLike = Union[None, int, np.random.Generator, np.random.SeedSequence]
+
+
+def as_generator(seed: SeedLike = None) -> np.random.Generator:
+    """Coerce ``seed`` into a :class:`numpy.random.Generator`.
+
+    Parameters
+    ----------
+    seed:
+        ``None`` for OS entropy, an ``int`` seed, a ``SeedSequence``, or an
+        existing ``Generator`` (returned unchanged).
+
+    Returns
+    -------
+    numpy.random.Generator
+        A generator usable by all simulation code.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if isinstance(seed, np.random.SeedSequence):
+        return np.random.default_rng(seed)
+    return np.random.default_rng(seed)
+
+
+def spawn_generators(seed: SeedLike, count: int) -> list[np.random.Generator]:
+    """Create ``count`` statistically independent child generators.
+
+    Useful for running independent trials (or independent agents) whose
+    streams must not overlap, while remaining reproducible from one seed.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    if isinstance(seed, np.random.Generator):
+        # Derive children from the generator's bit stream deterministically.
+        child_seeds = seed.integers(0, 2**63 - 1, size=count)
+        return [np.random.default_rng(int(s)) for s in child_seeds]
+    sequence = seed if isinstance(seed, np.random.SeedSequence) else np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in sequence.spawn(count)]
+
+
+def random_seed_from(rng: np.random.Generator) -> int:
+    """Draw a fresh integer seed from an existing generator."""
+    return int(rng.integers(0, 2**63 - 1))
+
+
+def permutation_without_replacement(
+    rng: np.random.Generator, population: int, size: int
+) -> np.ndarray:
+    """Sample ``size`` distinct integers from ``range(population)``.
+
+    Thin wrapper over ``Generator.choice`` with validation, used when
+    placing agents on distinct nodes.
+    """
+    if size > population:
+        raise ValueError(
+            f"cannot draw {size} distinct values from a population of {population}"
+        )
+    return rng.choice(population, size=size, replace=False)
+
+
+__all__ = [
+    "SeedLike",
+    "as_generator",
+    "spawn_generators",
+    "random_seed_from",
+    "permutation_without_replacement",
+]

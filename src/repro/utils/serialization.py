@@ -1,0 +1,62 @@
+"""Serialisation helpers: turn experiment results into JSON/CSV-friendly data.
+
+Experiment results are dataclasses holding NumPy scalars and arrays; these
+helpers convert them into plain Python containers so they can be dumped with
+``json`` or written as CSV without custom encoders.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import io
+import json
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+
+def to_jsonable(value: Any) -> Any:
+    """Recursively convert ``value`` into JSON-serialisable Python objects.
+
+    Handles dataclasses, NumPy scalars and arrays, mappings, and sequences.
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {field.name: to_jsonable(getattr(value, field.name)) for field in dataclasses.fields(value)}
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        return [to_jsonable(v) for v in value.tolist()]
+    if isinstance(value, Mapping):
+        return {str(k): to_jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [to_jsonable(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def dumps(value: Any, *, indent: int = 2) -> str:
+    """JSON-encode any library object via :func:`to_jsonable`."""
+    return json.dumps(to_jsonable(value), indent=indent, sort_keys=False)
+
+
+def rows_to_csv(records: Sequence[Mapping[str, Any]], *, columns: Sequence[str] | None = None) -> str:
+    """Render dict records as CSV text (header + rows)."""
+    if not records:
+        return ""
+    cols = list(columns) if columns is not None else list(records[0].keys())
+    buffer = io.StringIO()
+    buffer.write(",".join(cols) + "\n")
+    for record in records:
+        cells = []
+        for col in cols:
+            value = to_jsonable(record.get(col, ""))
+            text = "" if value is None else str(value)
+            if "," in text or '"' in text:
+                text = '"' + text.replace('"', '""') + '"'
+            cells.append(text)
+        buffer.write(",".join(cells) + "\n")
+    return buffer.getvalue()
+
+
+__all__ = ["to_jsonable", "dumps", "rows_to_csv"]

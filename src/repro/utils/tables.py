@@ -1,0 +1,83 @@
+"""Plain-text table formatting for experiment and benchmark output.
+
+The experiment harness prints tables resembling the rows a paper would
+report (one row per parameter setting, columns for empirical and predicted
+values). We keep formatting dependency-free so it works anywhere.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping, Sequence
+
+
+def _format_cell(value: Any, float_format: str) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return format(value, float_format)
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Any]],
+    *,
+    float_format: str = ".4g",
+    title: str | None = None,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned plain-text table.
+
+    Parameters
+    ----------
+    headers:
+        Column names.
+    rows:
+        Iterable of row sequences; each row must have ``len(headers)`` cells.
+    float_format:
+        ``format()`` spec applied to float cells.
+    title:
+        Optional title line printed above the table.
+    """
+    materialized = [[_format_cell(cell, float_format) for cell in row] for row in rows]
+    for row in materialized:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} headers"
+            )
+    widths = [len(str(h)) for h in headers]
+    for row in materialized:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(render_row([str(h) for h in headers]))
+    lines.append(render_row(["-" * w for w in widths]))
+    lines.extend(render_row(row) for row in materialized)
+    return "\n".join(lines)
+
+
+def format_records(
+    records: Sequence[Mapping[str, Any]],
+    *,
+    columns: Sequence[str] | None = None,
+    float_format: str = ".4g",
+    title: str | None = None,
+) -> str:
+    """Render a list of dict records as a table.
+
+    ``columns`` selects and orders the columns; by default the keys of the
+    first record are used.
+    """
+    if not records:
+        return title or "(empty table)"
+    cols = list(columns) if columns is not None else list(records[0].keys())
+    rows = [[record.get(col, "") for col in cols] for record in records]
+    return format_table(cols, rows, float_format=float_format, title=title)
+
+
+__all__ = ["format_table", "format_records"]

@@ -1,0 +1,62 @@
+"""Argument validation helpers shared across the library.
+
+All validators raise ``ValueError`` with a message that names the offending
+parameter, so failures surface close to the caller's mistake rather than deep
+inside a NumPy broadcast.
+"""
+
+from __future__ import annotations
+
+from numbers import Real
+from typing import Any
+
+
+def require_positive(value: Any, name: str) -> None:
+    """Raise ``ValueError`` unless ``value`` is a real number > 0."""
+    if not isinstance(value, Real) or isinstance(value, bool):
+        raise ValueError(f"{name} must be a positive number, got {value!r}")
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value!r}")
+
+
+def require_non_negative(value: Any, name: str) -> None:
+    """Raise ``ValueError`` unless ``value`` is a real number >= 0."""
+    if not isinstance(value, Real) or isinstance(value, bool):
+        raise ValueError(f"{name} must be a non-negative number, got {value!r}")
+    if value < 0:
+        raise ValueError(f"{name} must be non-negative, got {value!r}")
+
+
+def require_probability(value: Any, name: str, *, allow_zero: bool = True, allow_one: bool = True) -> None:
+    """Raise ``ValueError`` unless ``value`` lies in [0, 1] (bounds optional)."""
+    if not isinstance(value, Real) or isinstance(value, bool):
+        raise ValueError(f"{name} must be a probability in [0, 1], got {value!r}")
+    low_ok = value > 0 or (allow_zero and value == 0)
+    high_ok = value < 1 or (allow_one and value == 1)
+    if not (low_ok and high_ok):
+        raise ValueError(f"{name} must be a probability in [0, 1], got {value!r}")
+
+
+def require_in_range(value: Any, name: str, low: float, high: float) -> None:
+    """Raise ``ValueError`` unless ``low <= value <= high``."""
+    if not isinstance(value, Real) or isinstance(value, bool):
+        raise ValueError(f"{name} must be a number in [{low}, {high}], got {value!r}")
+    if not (low <= value <= high):
+        raise ValueError(f"{name} must be in [{low}, {high}], got {value!r}")
+
+
+def require_integer(value: Any, name: str, *, minimum: int | None = None) -> None:
+    """Raise ``ValueError`` unless ``value`` is an integer (>= minimum if given)."""
+    if isinstance(value, bool) or not isinstance(value, (int,)):
+        raise ValueError(f"{name} must be an integer, got {value!r}")
+    if minimum is not None and value < minimum:
+        raise ValueError(f"{name} must be >= {minimum}, got {value!r}")
+
+
+__all__ = [
+    "require_positive",
+    "require_non_negative",
+    "require_probability",
+    "require_in_range",
+    "require_integer",
+]

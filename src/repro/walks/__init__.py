@@ -1,0 +1,82 @@
+"""Random-walk simulation and analysis tools.
+
+This package provides the measurement side of the paper's technical core:
+
+* :mod:`repro.walks.single` — simulating single and multiple walks.
+* :mod:`repro.walks.recollision` — empirical re-collision probability
+  profiles β(m) (Lemma 4 and its topology-specific analogues, Lemmas 20,
+  22, 23, 25).
+* :mod:`repro.walks.equalization` — return-to-origin (equalization)
+  statistics (Corollaries 10 and 16).
+* :mod:`repro.walks.moments` — empirical moments of pairwise collision
+  counts and node visit counts (Lemma 11, Corollary 15).
+* :mod:`repro.walks.mixing` — local mixing sums B(t) (Lemma 19) and
+  empirical global mixing measurements.
+"""
+
+from repro.walks.single import end_positions, walk_path, walk_paths
+from repro.walks.recollision import recollision_profile, recollision_probability
+from repro.walks.equalization import (
+    count_equalizations,
+    equalization_counts,
+    equalization_profile,
+)
+from repro.walks.moments import (
+    central_moments,
+    pairwise_collision_counts,
+    visit_counts,
+)
+from repro.walks.mixing import (
+    empirical_mixing_time,
+    empirical_total_variation,
+    local_mixing_sum,
+)
+from repro.walks.coverage import (
+    CoverageStatistics,
+    coverage_statistics,
+    distinct_nodes_visited,
+    repeat_visit_fraction,
+)
+from repro.walks.movement import (
+    BiasedTorusWalk,
+    CollisionAvoidingWalk,
+    LazyRandomWalk,
+    MovementModel,
+    UniformRandomWalk,
+)
+from repro.walks.meeting import (
+    FirstPassageStatistics,
+    hitting_times,
+    meeting_times,
+    summarize_first_passage,
+)
+
+__all__ = [
+    "FirstPassageStatistics",
+    "hitting_times",
+    "meeting_times",
+    "summarize_first_passage",
+    "walk_path",
+    "walk_paths",
+    "end_positions",
+    "recollision_profile",
+    "recollision_probability",
+    "equalization_profile",
+    "equalization_counts",
+    "count_equalizations",
+    "central_moments",
+    "pairwise_collision_counts",
+    "visit_counts",
+    "local_mixing_sum",
+    "empirical_total_variation",
+    "empirical_mixing_time",
+    "CoverageStatistics",
+    "coverage_statistics",
+    "distinct_nodes_visited",
+    "repeat_visit_fraction",
+    "MovementModel",
+    "UniformRandomWalk",
+    "LazyRandomWalk",
+    "BiasedTorusWalk",
+    "CollisionAvoidingWalk",
+]

@@ -1,0 +1,159 @@
+"""Movement models beyond the pure random walk (Section 6.1 extension).
+
+The paper's model has agents take a uniformly random unit step each round,
+and Section 6.1 suggests studying perturbed movement: lazy agents that
+sometimes stay put, or agents whose step distribution is biased towards some
+direction. A movement model replaces :meth:`Topology.step_many` in the
+simulation; the encounter-rate estimator itself is unchanged, which lets the
+E19 ablation quantify how much accuracy (and unbiasedness) each perturbation
+costs.
+
+All models here are defined for the two-dimensional torus, the setting the
+paper's discussion refers to; :class:`UniformRandomWalk` additionally works
+on every topology since it simply delegates to the topology's own step.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.topology.base import Topology
+from repro.topology.torus import Torus2D
+from repro.utils.validation import require_probability
+
+
+class MovementModel(abc.ABC):
+    """How agents move in each round.
+
+    A movement model maps the vector of current positions to the vector of
+    next positions; the default model is the paper's uniform random walk.
+    """
+
+    #: Short label used in experiment tables.
+    name: str = "movement"
+
+    @abc.abstractmethod
+    def step(
+        self, topology: Topology, positions: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Advance every agent by one round."""
+
+
+@dataclass(frozen=True)
+class UniformRandomWalk(MovementModel):
+    """The paper's model: step to a uniformly random neighbour every round."""
+
+    name: str = "uniform_random_walk"
+
+    def step(
+        self, topology: Topology, positions: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        return topology.step_many(positions, rng)
+
+
+@dataclass(frozen=True)
+class LazyRandomWalk(MovementModel):
+    """Stay put with probability ``stay_probability``, otherwise walk.
+
+    The lazy walk keeps the estimator unbiased (the stationary distribution
+    remains uniform) but weakens local mixing: effectively only a
+    ``1 - stay_probability`` fraction of the rounds advance the walk, so more
+    rounds are needed for the same accuracy.
+    """
+
+    stay_probability: float = 0.5
+    name: str = "lazy_random_walk"
+
+    def __post_init__(self) -> None:
+        require_probability(self.stay_probability, "stay_probability", allow_one=False)
+
+    def step(
+        self, topology: Topology, positions: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        positions = np.asarray(positions, dtype=np.int64)
+        moved = topology.step_many(positions, rng)
+        stay = rng.random(positions.shape) < self.stay_probability
+        return np.where(stay, positions, moved)
+
+
+@dataclass(frozen=True)
+class BiasedTorusWalk(MovementModel):
+    """A torus walk whose step distribution is biased towards +x.
+
+    ``bias`` interpolates between the uniform walk (0) and always stepping in
+    the +x direction (1): the +x step gets probability ``1/4 + 3·bias/4`` and
+    the other three steps share the remainder equally. Because every agent
+    drifts the same way, relative positions still perform an unbiased walk,
+    so encounter rates remain meaningful — a point the E19 ablation makes
+    measurable.
+    """
+
+    bias: float = 0.2
+    name: str = "biased_torus_walk"
+
+    def __post_init__(self) -> None:
+        require_probability(self.bias, "bias")
+
+    def step_probabilities(self) -> np.ndarray:
+        """Probabilities of the four unit steps, ordered as ``Torus2D.STEPS``."""
+        # Torus2D.STEPS order: (0,1), (0,-1), (1,0), (-1,0); bias favours (1, 0).
+        other = (1.0 - (0.25 + 0.75 * self.bias)) / 3.0
+        return np.array([other, other, 0.25 + 0.75 * self.bias, other])
+
+    def step(
+        self, topology: Topology, positions: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        if not isinstance(topology, Torus2D):
+            raise TypeError("BiasedTorusWalk requires a Torus2D topology")
+        positions = np.asarray(positions, dtype=np.int64)
+        probabilities = self.step_probabilities()
+        choices = rng.choice(4, size=positions.shape, p=probabilities)
+        dx = Torus2D.STEPS[choices, 0]
+        dy = Torus2D.STEPS[choices, 1]
+        x, y = topology.decode(positions)
+        return np.asarray(topology.encode(x + dx, y + dy), dtype=np.int64)
+
+
+@dataclass(frozen=True)
+class CollisionAvoidingWalk(MovementModel):
+    """Agents that try to step away after a collision (Section 6.1 discussion).
+
+    After any round in which an agent shared a node with another agent, it
+    takes ``avoidance_steps`` extra random steps in the next round, modelling
+    ants that move away from recently encountered ants. This lowers the
+    encounter rate below the density, so the estimator becomes biased — the
+    behaviour [GPT93, NTD05] report for real ants and the E19 ablation
+    quantifies.
+    """
+
+    avoidance_steps: int = 1
+    name: str = "collision_avoiding_walk"
+
+    def __post_init__(self) -> None:
+        if self.avoidance_steps < 0:
+            raise ValueError(f"avoidance_steps must be non-negative, got {self.avoidance_steps}")
+
+    def step(
+        self, topology: Topology, positions: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        positions = np.asarray(positions, dtype=np.int64)
+        moved = topology.step_many(positions, rng)
+        # Agents that were colliding before the step flee: extra steps.
+        _, inverse, counts = np.unique(positions, return_inverse=True, return_counts=True)
+        colliding = counts[inverse] > 1
+        for _ in range(self.avoidance_steps):
+            fled = topology.step_many(moved, rng)
+            moved = np.where(colliding, fled, moved)
+        return moved
+
+
+__all__ = [
+    "MovementModel",
+    "UniformRandomWalk",
+    "LazyRandomWalk",
+    "BiasedTorusWalk",
+    "CollisionAvoidingWalk",
+]

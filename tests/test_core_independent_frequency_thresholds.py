@@ -1,0 +1,130 @@
+"""Tests for Algorithm 4, property-frequency estimation, and quorum detection."""
+
+import numpy as np
+import pytest
+
+from repro.core.frequency import estimate_property_frequency
+from repro.core.independent import IndependentSamplingEstimator, estimate_density_independent
+from repro.core.thresholds import QuorumDecision, QuorumDetector
+from repro.topology.hypercube import Hypercube
+from repro.topology.ring import Ring
+from repro.topology.torus import Torus2D
+from repro.topology.torus_kd import TorusKD
+
+
+class TestIndependentSamplingEstimator:
+    def test_run_shapes(self):
+        torus = Torus2D(20)
+        run = IndependentSamplingEstimator(torus, 50, 15).run(seed=0)
+        assert run.estimates.shape == (50,)
+        assert run.algorithm == "independent_sampling"
+
+    def test_mean_estimate_near_truth(self):
+        torus = Torus2D(40)
+        estimator = IndependentSamplingEstimator(torus, 320, 30)
+        run = estimator.run(seed=1)
+        assert run.mean_estimate() == pytest.approx(run.true_density, rel=0.2)
+
+    def test_walking_fraction_recorded(self):
+        torus = Torus2D(20)
+        run = IndependentSamplingEstimator(torus, 200, 10).run(seed=2)
+        assert 0.3 < run.metadata["walking_fraction"] < 0.7
+
+    def test_supports_ring_and_kd_torus(self):
+        for topology in (Ring(100), TorusKD(8, 3)):
+            run = IndependentSamplingEstimator(topology, 30, 5).run(seed=3)
+            assert run.estimates.shape == (30,)
+
+    def test_rejects_non_torus_topologies(self):
+        with pytest.raises(TypeError):
+            IndependentSamplingEstimator(Hypercube(6), 10, 5)
+
+    def test_convenience_function(self):
+        run = estimate_density_independent(Torus2D(16), 20, 5, seed=0)
+        assert run.num_agents == 20
+
+    def test_estimates_non_negative(self):
+        run = IndependentSamplingEstimator(Torus2D(16), 64, 10).run(seed=4)
+        assert np.all(run.estimates >= 0)
+
+    def test_deterministic_given_seed(self):
+        torus = Torus2D(24)
+        a = IndependentSamplingEstimator(torus, 60, 12).run(seed=9)
+        b = IndependentSamplingEstimator(torus, 60, 12).run(seed=9)
+        assert np.array_equal(a.estimates, b.estimates)
+
+
+class TestPropertyFrequency:
+    def test_output_shapes_and_truth(self):
+        torus = Torus2D(24)
+        outcome = estimate_property_frequency(torus, 120, 80, 0.3, seed=0)
+        assert outcome.density_estimates.shape == (120,)
+        assert outcome.frequency_estimates.shape == (120,)
+        assert 0.0 < outcome.true_frequency < 1.0
+
+    def test_marked_density_never_exceeds_density(self):
+        torus = Torus2D(24)
+        outcome = estimate_property_frequency(torus, 150, 60, 0.4, seed=1)
+        assert outcome.true_marked_density <= outcome.true_density + 1e-12
+        assert np.all(outcome.marked_density_estimates <= outcome.density_estimates + 1e-12)
+
+    def test_frequency_estimates_cluster_near_truth(self):
+        torus = Torus2D(30)
+        outcome = estimate_property_frequency(torus, 400, 300, 0.25, seed=2)
+        median = float(np.median(outcome.frequency_estimates))
+        assert median == pytest.approx(outcome.true_frequency, abs=0.1)
+
+    def test_fraction_within_monotone_in_epsilon(self):
+        torus = Torus2D(24)
+        outcome = estimate_property_frequency(torus, 150, 100, 0.3, seed=3)
+        assert outcome.fraction_within(0.5) >= outcome.fraction_within(0.1)
+
+    def test_invalid_parameters(self):
+        torus = Torus2D(16)
+        with pytest.raises(ValueError):
+            estimate_property_frequency(torus, 1, 10, 0.5)
+        with pytest.raises(ValueError):
+            estimate_property_frequency(torus, 10, 10, 0.0)
+
+    def test_zero_truth_raises_on_relative_error(self):
+        torus = Torus2D(16)
+        # With an extremely small marked fraction, no agent may be marked.
+        outcome = estimate_property_frequency(torus, 5, 5, 1e-9, seed=4)
+        if outcome.true_frequency == 0:
+            with pytest.raises(ValueError):
+                outcome.frequency_relative_errors()
+
+
+class TestQuorumDetector:
+    def test_rounds_derived_when_missing(self):
+        detector = QuorumDetector(Torus2D(20), num_agents=50, threshold=0.1)
+        assert detector.rounds >= 1
+
+    def test_explicit_rounds_respected(self):
+        detector = QuorumDetector(Torus2D(20), num_agents=50, threshold=0.1, rounds=77)
+        assert detector.rounds == 77
+
+    def test_decisions_shape_and_type(self):
+        detector = QuorumDetector(Torus2D(20), num_agents=40, threshold=0.1, rounds=50)
+        decisions, estimates = detector.decide(seed=0)
+        assert decisions.shape == (40,)
+        assert estimates.shape == (40,)
+        assert set(decisions.tolist()).issubset({QuorumDecision.ABOVE, QuorumDecision.BELOW})
+
+    def test_high_density_reports_above(self):
+        torus = Torus2D(20)
+        num_agents = int(0.3 * torus.num_nodes)
+        detector = QuorumDetector(torus, num_agents=num_agents, threshold=0.05, rounds=300)
+        assert detector.fraction_above(seed=1) > 0.9
+
+    def test_low_density_reports_below(self):
+        torus = Torus2D(30)
+        num_agents = int(0.02 * torus.num_nodes)
+        detector = QuorumDetector(torus, num_agents=num_agents, threshold=0.2, rounds=300)
+        assert detector.fraction_above(seed=2) < 0.1
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            QuorumDetector(Torus2D(10), num_agents=10, threshold=0.0)
+        with pytest.raises(ValueError):
+            QuorumDetector(Torus2D(10), num_agents=10, threshold=0.1, margin=1.5)

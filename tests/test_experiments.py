@@ -1,0 +1,121 @@
+"""Tests for the experiment suite (structure and key qualitative claims)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import EXPERIMENTS, run_all, run_experiment
+from repro.experiments.base import ExperimentResult, summarize_many
+
+
+class TestRegistry:
+    def test_all_ids_present(self):
+        expected = {f"E{i:02d}" for i in range(1, 23)}
+        assert set(EXPERIMENTS) == expected
+
+    def test_unknown_id_raises(self):
+        with pytest.raises(KeyError):
+            run_experiment("E99")
+
+    def test_case_insensitive_lookup(self):
+        result = run_experiment("e17", quick=True, seed=0)
+        assert result.experiment_id == "E17"
+
+    def test_quick_configs_exist(self):
+        for module, config_cls in EXPERIMENTS.values():
+            quick = config_cls.quick()
+            assert isinstance(quick, config_cls)
+
+
+@pytest.mark.parametrize("experiment_id", sorted(EXPERIMENTS))
+class TestEveryExperimentRuns:
+    def test_quick_run_produces_records(self, experiment_id):
+        result = run_experiment(experiment_id, quick=True, seed=0)
+        assert isinstance(result, ExperimentResult)
+        assert result.experiment_id == experiment_id
+        assert len(result.records) > 0
+        assert result.claim
+        # Every record exposes the declared columns.
+        if result.columns:
+            for record in result.records:
+                for column in result.columns:
+                    assert column in record
+        # Table rendering never fails.
+        assert experiment_id in result.to_table()
+
+
+class TestExperimentResultHelpers:
+    def test_column_extraction(self):
+        result = ExperimentResult("EX", "t", "c", records=[{"a": 1}, {"a": 2}])
+        assert result.column("a") == [1, 2]
+
+    def test_add_and_len(self):
+        result = ExperimentResult("EX", "t", "c")
+        result.add(a=1)
+        assert len(result) == 1
+
+    def test_summarize_many(self):
+        result = ExperimentResult("EX", "t", "c", records=[{"a": 1}])
+        text = summarize_many({"EX": result})
+        assert "EX" in text
+
+
+class TestQualitativeClaims:
+    """Spot-check the qualitative shape of key experiments at quick scale.
+
+    These are deliberately loose (quick configurations are noisy); the full
+    configurations used by the benchmark harness give the cleaner numbers
+    recorded in EXPERIMENTS.md.
+    """
+
+    def test_e01_error_decreases_with_rounds(self):
+        result = run_experiment("E01", quick=True, seed=11)
+        eps = result.column("empirical_epsilon")
+        assert eps[-1] < eps[0]
+
+    def test_e03_recollision_decays(self):
+        result = run_experiment("E03", quick=True, seed=11)
+        probabilities = result.column("recollision_probability")
+        assert probabilities[-1] < probabilities[0]
+        # Every measurement respects the Lemma 4 bound up to a constant.
+        for record in result.records:
+            assert record["recollision_probability"] <= 4 * record["lemma4_bound"] + 0.05
+
+    def test_e04_moments_finite_and_positive(self):
+        result = run_experiment("E04", quick=True, seed=11)
+        for record in result.records:
+            assert np.isfinite(record["pair_collision_moment"])
+            assert record["lemma11_bound_fitted"] > 0
+
+    def test_e08_ring_grows_fastest(self):
+        result = run_experiment("E08", quick=True, seed=11)
+        growth = {record["topology"]: record["growth_ratio"] for record in result.records}
+        assert growth["ring"] >= growth["torus_3d"]
+        assert growth["ring"] >= growth["hypercube"]
+
+    def test_e11_longer_burn_in_reduces_bias(self):
+        result = run_experiment("E11", quick=True, seed=11)
+        biases = [abs(record["signed_bias"]) for record in result.records]
+        assert biases[-1] < biases[0]
+
+    def test_e15_clustering_inflates_spread(self):
+        result = run_experiment("E15", quick=True, seed=11)
+        spread = {record["placement"]: record["estimate_spread"] for record in result.records}
+        assert spread["clustered_80pct"] > spread["uniform"]
+
+    def test_e17_bias_is_small(self):
+        result = run_experiment("E17", quick=True, seed=11)
+        for record in result.records:
+            assert abs(record["relative_bias"]) < 0.25
+
+    def test_e18_separated_densities_decided_correctly(self):
+        result = run_experiment("E18", quick=True, seed=11)
+        for record in result.records:
+            assert record["fraction_correct"] > 0.6
+
+
+class TestRunAll:
+    def test_run_all_quick(self):
+        # Smoke-test the aggregate entry point on a subset-sized budget: it
+        # must return one result per experiment id.
+        results = run_all(quick=True, seed=1)
+        assert set(results) == set(EXPERIMENTS)

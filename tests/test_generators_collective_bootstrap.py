@@ -1,0 +1,156 @@
+"""Tests for graph generators, collective quorum voting, and bootstrap CIs."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.bootstrap import (
+    bootstrap_interval,
+    difference_is_significant,
+)
+from repro.netsize.generators import (
+    available_generators,
+    barabasi_albert_graph,
+    expander_graph,
+    make_graph,
+    powerlaw_cluster_graph,
+    small_world_graph,
+    torus_3d_graph,
+)
+from repro.swarm.collective import MajorityQuorumVote
+from repro.topology.torus import Torus2D
+
+
+class TestGenerators:
+    def test_expander_graph(self):
+        topology = expander_graph(100, degree=4, seed=0)
+        assert topology.num_nodes == 100
+        assert topology.is_regular
+
+    def test_powerlaw_cluster_graph(self):
+        topology = powerlaw_cluster_graph(200, seed=1)
+        assert topology.num_nodes == 200
+        assert not topology.is_regular
+
+    def test_barabasi_albert_graph(self):
+        topology = barabasi_albert_graph(150, edges_per_node=2, seed=2)
+        assert topology.num_nodes == 150
+        # Preferential attachment produces a heavy tail: some node has a much
+        # larger degree than the minimum.
+        degrees = np.asarray(topology.degree_of(np.arange(150)))
+        assert degrees.max() >= 4 * degrees.min()
+
+    def test_small_world_graph_connected(self):
+        topology = small_world_graph(120, seed=3)
+        assert topology.num_nodes == 120
+        assert topology.min_degree >= 1
+
+    def test_torus_3d_graph(self):
+        topology = torus_3d_graph(5)
+        assert topology.num_nodes == 125
+        assert topology.is_regular
+        assert topology.average_degree == pytest.approx(6.0)
+
+    def test_make_graph_by_name(self):
+        topology = make_graph("expander", size=60, degree=4, seed=4)
+        assert topology.num_nodes == 60
+
+    def test_make_graph_unknown_name(self):
+        with pytest.raises(KeyError):
+            make_graph("nope", size=10)
+
+    def test_registry_contents(self):
+        names = set(available_generators())
+        assert {"expander", "powerlaw_cluster", "barabasi_albert", "small_world", "torus_3d_graph"} == names
+
+    def test_deterministic_given_seed(self):
+        a = powerlaw_cluster_graph(100, seed=9)
+        b = powerlaw_cluster_graph(100, seed=9)
+        assert a.num_edges == b.num_edges
+
+
+class TestMajorityQuorumVote:
+    def test_decision_fields(self):
+        vote = MajorityQuorumVote(Torus2D(20), num_agents=80, threshold=0.1, rounds=100)
+        outcome = vote.decide(seed=0)
+        assert 0.0 <= outcome.vote_fraction_above <= 1.0
+        assert 0.0 <= outcome.individual_accuracy <= 1.0
+        assert outcome.collective_correct in (True, False)
+
+    def test_clear_majority_when_density_far_above_threshold(self):
+        torus = Torus2D(20)
+        vote = MajorityQuorumVote(torus, num_agents=120, threshold=0.05, rounds=200)
+        outcome = vote.decide(seed=1)
+        assert outcome.decision_above
+        assert outcome.collective_correct
+
+    def test_collective_at_least_as_good_as_individual(self):
+        # With a moderate separation, the majority vote should fail at most as
+        # often as a typical individual agent.
+        torus = Torus2D(24)
+        vote = MajorityQuorumVote(torus, num_agents=100, threshold=0.12, rounds=150)
+        individual, collective = vote.failure_rates(trials=6, seed=2)
+        assert collective <= individual + 0.05
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            MajorityQuorumVote(Torus2D(10), num_agents=0, threshold=0.1, rounds=10)
+        with pytest.raises(ValueError):
+            MajorityQuorumVote(Torus2D(10), num_agents=10, threshold=-0.1, rounds=10)
+
+
+class TestBootstrap:
+    def test_interval_contains_point_estimate(self):
+        samples = np.random.default_rng(0).normal(5.0, 1.0, size=200)
+        interval = bootstrap_interval(samples, seed=1)
+        assert interval.lower <= interval.point_estimate <= interval.upper
+        assert interval.contains(interval.point_estimate)
+
+    def test_interval_covers_true_mean(self):
+        samples = np.random.default_rng(2).normal(3.0, 0.5, size=500)
+        interval = bootstrap_interval(samples, confidence=0.99, seed=3)
+        assert interval.contains(3.0)
+
+    def test_width_shrinks_with_sample_size(self):
+        rng = np.random.default_rng(4)
+        small = bootstrap_interval(rng.normal(0, 1, size=30), seed=5)
+        large = bootstrap_interval(rng.normal(0, 1, size=3000), seed=5)
+        assert large.width < small.width
+
+    def test_custom_statistic(self):
+        samples = np.arange(100, dtype=float)
+        interval = bootstrap_interval(samples, statistic=np.median, seed=6)
+        assert interval.point_estimate == pytest.approx(49.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_interval(np.array([]))
+        with pytest.raises(ValueError):
+            bootstrap_interval(np.array([1.0]), confidence=1.0)
+
+    def test_difference_significant_for_separated_samples(self):
+        rng = np.random.default_rng(7)
+        a = rng.normal(5.0, 0.5, size=200)
+        b = rng.normal(3.0, 0.5, size=200)
+        assert difference_is_significant(a, b, seed=8)
+
+    def test_difference_not_significant_for_identical_distributions(self):
+        rng = np.random.default_rng(9)
+        a = rng.normal(0.0, 1.0, size=200)
+        b = rng.normal(0.0, 1.0, size=200)
+        assert not difference_is_significant(a, b, seed=10)
+
+
+class TestNewExperiments:
+    def test_e19_runs_and_shows_avoidance_bias(self):
+        from repro.experiments import run_experiment
+
+        result = run_experiment("E19", quick=True, seed=0)
+        rows = {record["movement_model"]: record for record in result.records}
+        assert rows["collision_avoiding_walk"]["relative_bias"] < 0.0
+
+    def test_e20_runs_and_is_unbiased(self):
+        from repro.experiments import run_experiment
+
+        result = run_experiment("E20", quick=True, seed=0)
+        for record in result.records:
+            assert abs(record["relative_bias"]) < 0.3

@@ -1,0 +1,101 @@
+"""Integration tests: end-to-end checks of the paper's headline guarantees.
+
+These tests exercise multiple subsystems together (topologies, simulation,
+estimators, bounds) at a scale small enough for CI but large enough that the
+statistical claims hold with margin.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import bounds
+from repro.core.estimator import RandomWalkDensityEstimator
+from repro.core.frequency import estimate_property_frequency
+from repro.core.independent import IndependentSamplingEstimator
+from repro.topology.complete import CompleteGraph
+from repro.topology.ring import Ring
+from repro.topology.torus import Torus2D
+from repro.topology.torus_kd import TorusKD
+from repro.walks.recollision import recollision_profile
+
+
+class TestTheoremOneEndToEnd:
+    def test_most_agents_within_epsilon_at_theorem_budget(self):
+        """Run Algorithm 1 at (a constant-adjusted) Theorem 1 budget and check
+        that at least 1 - delta of the agents are within epsilon."""
+        torus = Torus2D(40)
+        num_agents = 161  # d ~ 0.1
+        density = (num_agents - 1) / torus.num_nodes
+        epsilon, delta = 0.35, 0.15
+        rounds = min(2000, bounds.theorem1_rounds(density, epsilon, delta, constant=0.2))
+        run = RandomWalkDensityEstimator(torus, num_agents, rounds).run(seed=0)
+        assert run.fraction_within(epsilon) >= 1 - 2 * delta
+
+    def test_error_decay_rate_close_to_minus_half(self):
+        torus = Torus2D(40)
+        num_agents = 161
+        density = (num_agents - 1) / torus.num_nodes
+        rounds_grid = [50, 200, 800]
+        epsilons = []
+        for i, rounds in enumerate(rounds_grid):
+            run = RandomWalkDensityEstimator(torus, num_agents, rounds).run(seed=100 + i)
+            epsilons.append(run.empirical_epsilon(0.1))
+        log_slope = np.polyfit(np.log(rounds_grid), np.log(epsilons), 1)[0]
+        assert -0.8 < log_slope < -0.25
+
+    def test_unbiasedness_across_runs(self):
+        torus = Torus2D(24)
+        num_agents = 58
+        density = (num_agents - 1) / torus.num_nodes
+        means = [
+            RandomWalkDensityEstimator(torus, num_agents, 100).run(seed=s).mean_estimate()
+            for s in range(6)
+        ]
+        assert np.mean(means) == pytest.approx(density, rel=0.1)
+
+
+class TestCrossTopologyOrdering:
+    def test_ring_worse_than_torus_worse_or_equal_complete(self):
+        """The Section 4 ordering of estimation difficulty by local mixing."""
+        rounds, trials = 200, 2
+        results = {}
+        for name, topology in (
+            ("ring", Ring(1600)),
+            ("torus", Torus2D(40)),
+            ("complete", CompleteGraph(1600)),
+        ):
+            num_agents = int(0.1 * topology.num_nodes) + 1
+            density = (num_agents - 1) / topology.num_nodes
+            eps = []
+            for s in range(trials):
+                run = RandomWalkDensityEstimator(topology, num_agents, rounds).run(seed=s)
+                eps.append(run.empirical_epsilon(0.1))
+            results[name] = float(np.mean(eps))
+        assert results["ring"] > results["complete"]
+        assert results["torus"] < results["ring"] * 1.2
+
+    def test_recollision_ordering_matches_local_mixing(self):
+        offset, trials = 16, 15000
+        ring = recollision_profile(Ring(4000), offset, trials=trials, seed=0)
+        torus = recollision_profile(Torus2D(64), offset, trials=trials, seed=0)
+        torus3 = recollision_profile(TorusKD(16, 3), offset, trials=trials, seed=0)
+        assert ring.probability[offset] > torus.probability[offset] > torus3.probability[offset]
+
+
+class TestAlgorithmComparison:
+    def test_random_walk_within_logfactor_of_independent(self):
+        torus = Torus2D(40)
+        num_agents = 161
+        density = (num_agents - 1) / torus.num_nodes
+        rounds = 200
+        rw = RandomWalkDensityEstimator(torus, num_agents, rounds).run(seed=0)
+        ind = IndependentSamplingEstimator(torus, num_agents, rounds).run(seed=0)
+        rw_eps = rw.empirical_epsilon(0.1)
+        ind_eps = ind.empirical_epsilon(0.1)
+        # Theorem 1 vs Theorem 32: within a small multiplicative factor.
+        assert rw_eps <= 5 * ind_eps
+
+    def test_frequency_estimation_composes_with_density_estimation(self):
+        torus = Torus2D(30)
+        outcome = estimate_property_frequency(torus, 270, 300, 0.3, seed=1)
+        assert outcome.fraction_within(0.35) > 0.7

@@ -1,0 +1,133 @@
+"""Cross-cutting invariant and property-based tests.
+
+These tests state invariants that must hold for *any* parameter choice —
+conservation laws of the simulation, monotonicity of the theoretical bounds,
+determinism given a seed — and let hypothesis explore the parameter space.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import bounds
+from repro.core.encounter import collision_counts
+from repro.core.estimator import RandomWalkDensityEstimator
+from repro.core.simulation import SimulationConfig, simulate_density_estimation
+from repro.topology.torus import Torus2D
+
+
+densities = st.floats(min_value=0.005, max_value=0.5)
+epsilons = st.floats(min_value=0.01, max_value=0.9)
+deltas = st.floats(min_value=0.001, max_value=0.5)
+
+
+class TestBoundsProperties:
+    @given(
+        d=st.floats(min_value=0.005, max_value=0.3),
+        eps=st.floats(min_value=0.01, max_value=0.5),
+        delta=deltas,
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_theorem1_rounds_at_least_independent_sampling(self, d, eps, delta):
+        # In the regime the theorem targets (d·eps well below 1, so the
+        # squared log factor exceeds 1), the torus bound dominates the
+        # independent-sampling bound.
+        assert bounds.theorem1_rounds(d, eps, delta) >= bounds.independent_sampling_rounds(
+            d, eps, delta
+        )
+
+    @given(d=densities, eps=epsilons, delta=deltas)
+    @settings(max_examples=60, deadline=None)
+    def test_rounds_monotone_in_epsilon(self, d, eps, delta):
+        tighter = max(eps / 2.0, 0.005)
+        assert bounds.theorem1_rounds(d, tighter, delta) >= bounds.theorem1_rounds(d, eps, delta)
+
+    @given(d=densities, eps=epsilons, delta=deltas)
+    @settings(max_examples=60, deadline=None)
+    def test_rounds_monotone_in_delta(self, d, eps, delta):
+        stricter = delta / 2.0
+        assert bounds.theorem1_rounds(d, eps, stricter) >= bounds.theorem1_rounds(d, eps, delta)
+
+    @given(
+        m=st.integers(min_value=0, max_value=10**6),
+        num_nodes=st.integers(min_value=1, max_value=10**9),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_recollision_bounds_are_probabilistically_sane(self, m, num_nodes):
+        for value in (
+            bounds.recollision_bound_torus2d(m, num_nodes),
+            bounds.recollision_bound_ring(m, num_nodes),
+            bounds.recollision_bound_torus_kd(m, num_nodes, 3),
+            bounds.recollision_bound_hypercube(m, num_nodes),
+        ):
+            assert value > 0
+
+    @given(
+        m=st.integers(min_value=1, max_value=1000),
+        num_nodes=st.integers(min_value=10, max_value=10**6),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_recollision_bound_ordering_by_local_mixing(self, m, num_nodes):
+        ring = bounds.recollision_bound_ring(m, num_nodes)
+        torus = bounds.recollision_bound_torus2d(m, num_nodes)
+        torus3 = bounds.recollision_bound_torus_kd(m, num_nodes, 3)
+        assert ring >= torus >= torus3
+
+    @given(eps=epsilons, delta=deltas)
+    @settings(max_examples=40, deadline=None)
+    def test_ring_never_beats_torus(self, eps, delta):
+        d = 0.1
+        assert bounds.ring_rounds_theorem21(d, eps, delta) >= bounds.theorem1_rounds(d, eps, delta) or (
+            # For very loose requirements both bounds bottom out at one round.
+            bounds.ring_rounds_theorem21(d, eps, delta) == 1
+        )
+
+
+class TestSimulationInvariants:
+    @given(
+        side=st.integers(min_value=4, max_value=24),
+        num_agents=st.integers(min_value=1, max_value=80),
+        rounds=st.integers(min_value=1, max_value=20),
+        seed=st.integers(min_value=0, max_value=10**6),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_collision_totals_bounded_and_even(self, side, num_agents, rounds, seed):
+        topology = Torus2D(side)
+        config = SimulationConfig(num_agents=num_agents, rounds=rounds)
+        outcome = simulate_density_estimation(topology, config, seed=seed)
+        totals = outcome.collision_totals
+        assert np.all(totals >= 0)
+        assert np.all(totals <= rounds * (num_agents - 1))
+        # Collisions are mutual: the population-wide total per round is even,
+        # hence so is the grand total.
+        assert int(totals.sum()) % 2 == 0
+
+    @given(
+        side=st.integers(min_value=4, max_value=20),
+        num_agents=st.integers(min_value=2, max_value=60),
+        seed=st.integers(min_value=0, max_value=10**6),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_runs_are_deterministic_given_seed(self, side, num_agents, seed):
+        topology = Torus2D(side)
+        first = RandomWalkDensityEstimator(topology, num_agents, 10).run(seed=seed)
+        second = RandomWalkDensityEstimator(topology, num_agents, 10).run(seed=seed)
+        assert np.array_equal(first.estimates, second.estimates)
+
+    @given(positions=st.lists(st.integers(min_value=0, max_value=30), min_size=1, max_size=100))
+    @settings(max_examples=50, deadline=None)
+    def test_collision_counts_consistent_with_occupancy(self, positions):
+        counts = collision_counts(np.array(positions))
+        # Sum of per-agent counts equals sum over nodes of k(k-1).
+        _, occupancy = np.unique(np.array(positions), return_counts=True)
+        assert counts.sum() == int(np.sum(occupancy * (occupancy - 1)))
+
+    def test_estimates_scale_inversely_with_area_on_average(self):
+        # Doubling the torus area (at fixed agent count) halves the density
+        # and the average estimate follows.
+        small = RandomWalkDensityEstimator(Torus2D(20), 100, 200).run(seed=0)
+        large = RandomWalkDensityEstimator(Torus2D(29), 100, 200).run(seed=0)
+        ratio = small.mean_estimate() / max(large.mean_estimate(), 1e-9)
+        expected = (29 * 29) / (20 * 20)
+        assert ratio == pytest.approx(expected, rel=0.35)

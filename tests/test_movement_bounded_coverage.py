@@ -1,0 +1,194 @@
+"""Tests for movement models, the bounded grid, and walk coverage statistics."""
+
+import numpy as np
+import pytest
+
+from repro.core.estimator import RandomWalkDensityEstimator
+from repro.topology.bounded_grid import BoundedGrid
+from repro.topology.ring import Ring
+from repro.topology.torus import Torus2D
+from repro.walks.coverage import (
+    coverage_statistics,
+    distinct_nodes_visited,
+    repeat_visit_fraction,
+)
+from repro.walks.movement import (
+    BiasedTorusWalk,
+    CollisionAvoidingWalk,
+    LazyRandomWalk,
+    UniformRandomWalk,
+)
+
+
+class TestUniformRandomWalk:
+    def test_matches_topology_step_distribution(self, small_torus, rng):
+        model = UniformRandomWalk()
+        positions = small_torus.uniform_nodes(200, rng)
+        stepped = model.step(small_torus, positions, rng)
+        assert np.all(small_torus.torus_distance(positions, stepped) == 1)
+
+    def test_estimator_accepts_movement_model(self, small_torus):
+        run = RandomWalkDensityEstimator(
+            small_torus, 40, 30, movement=UniformRandomWalk()
+        ).run(seed=0)
+        assert run.estimates.shape == (40,)
+
+
+class TestLazyRandomWalk:
+    def test_stay_probability_respected(self, small_torus):
+        model = LazyRandomWalk(stay_probability=0.7)
+        rng = np.random.default_rng(0)
+        positions = small_torus.uniform_nodes(5000, rng)
+        stepped = model.step(small_torus, positions, rng)
+        stay_fraction = np.mean(stepped == positions)
+        assert stay_fraction == pytest.approx(0.7, abs=0.03)
+
+    def test_zero_laziness_always_moves(self, small_torus, rng):
+        model = LazyRandomWalk(stay_probability=0.0)
+        positions = small_torus.uniform_nodes(500, rng)
+        stepped = model.step(small_torus, positions, rng)
+        assert np.all(stepped != positions)
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            LazyRandomWalk(stay_probability=1.0)
+
+    def test_estimator_remains_unbiased(self):
+        torus = Torus2D(30)
+        run = RandomWalkDensityEstimator(
+            torus, 270, 300, movement=LazyRandomWalk(stay_probability=0.5)
+        ).run(seed=1)
+        assert run.mean_estimate() == pytest.approx(run.true_density, rel=0.15)
+
+
+class TestBiasedTorusWalk:
+    def test_probabilities_sum_to_one(self):
+        model = BiasedTorusWalk(bias=0.4)
+        assert model.step_probabilities().sum() == pytest.approx(1.0)
+
+    def test_full_bias_always_steps_plus_x(self):
+        torus = Torus2D(20)
+        model = BiasedTorusWalk(bias=1.0)
+        rng = np.random.default_rng(0)
+        positions = torus.uniform_nodes(300, rng)
+        stepped = model.step(torus, positions, rng)
+        x0, _ = torus.decode(positions)
+        x1, _ = torus.decode(stepped)
+        assert np.all((x1 - x0) % torus.side == 1)
+
+    def test_requires_torus(self, rng):
+        with pytest.raises(TypeError):
+            BiasedTorusWalk().step(Ring(20), np.zeros(3, dtype=np.int64), rng)
+
+    def test_estimator_remains_unbiased_under_common_drift(self):
+        torus = Torus2D(30)
+        run = RandomWalkDensityEstimator(
+            torus, 270, 300, movement=BiasedTorusWalk(bias=0.5)
+        ).run(seed=2)
+        assert run.mean_estimate() == pytest.approx(run.true_density, rel=0.15)
+
+
+class TestCollisionAvoidingWalk:
+    def test_negative_avoidance_rejected(self):
+        with pytest.raises(ValueError):
+            CollisionAvoidingWalk(avoidance_steps=-1)
+
+    def test_zero_avoidance_matches_uniform_statistics(self, small_torus, rng):
+        model = CollisionAvoidingWalk(avoidance_steps=0)
+        positions = small_torus.uniform_nodes(100, rng)
+        stepped = model.step(small_torus, positions, rng)
+        assert np.all(small_torus.torus_distance(positions, stepped) == 1)
+
+    def test_estimator_biased_downwards(self):
+        torus = Torus2D(30)
+        run = RandomWalkDensityEstimator(
+            torus, 270, 300, movement=CollisionAvoidingWalk(avoidance_steps=2)
+        ).run(seed=3)
+        assert run.mean_estimate() < run.true_density * 0.95
+
+
+class TestBoundedGrid:
+    def test_degrees_by_location(self):
+        grid = BoundedGrid(5)
+        assert grid.degree_of(int(grid.encode(0, 0))) == 2       # corner
+        assert grid.degree_of(int(grid.encode(0, 2))) == 3       # edge
+        assert grid.degree_of(int(grid.encode(2, 2))) == 4       # interior
+        assert not grid.is_regular
+
+    def test_neighbors_stay_in_grid(self):
+        grid = BoundedGrid(4)
+        for node in range(grid.num_nodes):
+            neighbors = grid.neighbors(node)
+            assert len(neighbors) == grid.degree_of(node)
+            grid.validate_nodes(neighbors)
+
+    def test_step_never_leaves_grid(self, rng):
+        grid = BoundedGrid(6)
+        positions = grid.uniform_nodes(500, rng)
+        for _ in range(50):
+            positions = grid.step_many(positions, rng)
+            grid.validate_nodes(positions)
+
+    def test_step_moves_at_most_one(self, rng):
+        grid = BoundedGrid(8)
+        positions = grid.uniform_nodes(300, rng)
+        stepped = grid.step_many(positions, rng)
+        x0, y0 = grid.decode(positions)
+        x1, y1 = grid.decode(stepped)
+        assert np.all(np.abs(x1 - x0) + np.abs(y1 - y0) <= 1)
+
+    def test_encode_rejects_out_of_range(self):
+        grid = BoundedGrid(4)
+        with pytest.raises(ValueError):
+            grid.encode(4, 0)
+        with pytest.raises(ValueError):
+            grid.encode(-1, 2)
+
+    def test_boundary_nodes_count(self):
+        grid = BoundedGrid(5)
+        assert len(grid.boundary_nodes()) == 16  # perimeter of a 5x5 grid
+
+    def test_corner_walker_sometimes_stays(self):
+        grid = BoundedGrid(10)
+        rng = np.random.default_rng(0)
+        corner = int(grid.encode(0, 0))
+        positions = np.full(4000, corner, dtype=np.int64)
+        stepped = grid.step_many(positions, rng)
+        # Half the moves from a corner are blocked -> the walker stays put.
+        assert np.mean(stepped == corner) == pytest.approx(0.5, abs=0.05)
+
+    def test_estimator_unbiased_on_bounded_grid(self):
+        grid = BoundedGrid(24)
+        run = RandomWalkDensityEstimator(grid, 120, 300).run(seed=4)
+        assert run.mean_estimate() == pytest.approx(run.true_density, rel=0.2)
+
+
+class TestCoverage:
+    def test_distinct_nodes_visited(self):
+        assert distinct_nodes_visited(np.array([1, 2, 1, 3])) == 3
+
+    def test_distinct_requires_nonempty(self):
+        with pytest.raises(ValueError):
+            distinct_nodes_visited(np.array([]))
+
+    def test_repeat_visit_fraction_extremes(self):
+        assert repeat_visit_fraction(np.array([0, 1, 2, 3])) == pytest.approx(0.0)
+        assert repeat_visit_fraction(np.array([0, 0, 0])) == pytest.approx(1.0)
+
+    def test_repeat_visit_needs_a_step(self):
+        with pytest.raises(ValueError):
+            repeat_visit_fraction(np.array([5]))
+
+    def test_coverage_statistics_fields(self, small_torus):
+        stats = coverage_statistics(small_torus, steps=50, trials=100, seed=0)
+        assert stats.steps == 50
+        assert 1 <= stats.min_distinct_nodes <= stats.max_distinct_nodes <= 51
+        assert 0.0 <= stats.mean_repeat_fraction <= 1.0
+        assert stats.mean_coverage_rate <= 1.0
+
+    def test_torus_covers_more_than_ring(self):
+        # Strong local mixing (torus) discovers more distinct nodes than the
+        # ring for the same number of steps.
+        torus_stats = coverage_statistics(Torus2D(60), steps=200, trials=200, seed=1)
+        ring_stats = coverage_statistics(Ring(3600), steps=200, trials=200, seed=1)
+        assert torus_stats.mean_distinct_nodes > ring_stats.mean_distinct_nodes

@@ -1,0 +1,104 @@
+"""Property-based and cross-topology invariant tests.
+
+These tests run against every built-in regular topology (via the
+``regular_topology`` fixture) and use hypothesis to explore parameter space
+for the invariants that every topology must satisfy: valid node labels,
+symmetric adjacency, degree-consistent neighbour lists, and steps that always
+land on neighbours.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.topology.hypercube import Hypercube
+from repro.topology.ring import Ring
+from repro.topology.torus import Torus2D
+from repro.topology.torus_kd import TorusKD
+
+
+class TestRegularTopologyInvariants:
+    def test_neighbor_count_matches_degree(self, regular_topology):
+        for node in range(0, regular_topology.num_nodes, max(1, regular_topology.num_nodes // 10)):
+            assert len(regular_topology.neighbors(node)) == regular_topology.degree
+
+    def test_neighbors_are_valid_nodes(self, regular_topology):
+        neighbors = regular_topology.neighbors(0)
+        regular_topology.validate_nodes(neighbors)
+
+    def test_adjacency_symmetric(self, regular_topology):
+        sample_nodes = range(0, regular_topology.num_nodes, max(1, regular_topology.num_nodes // 8))
+        for node in sample_nodes:
+            for neighbor in regular_topology.neighbors(node):
+                assert node in regular_topology.neighbors(int(neighbor)).tolist()
+
+    def test_step_lands_on_a_neighbor(self, regular_topology, rng):
+        positions = regular_topology.uniform_nodes(50, rng)
+        stepped = regular_topology.step_many(positions, rng)
+        for before, after in zip(positions, stepped):
+            assert int(after) in regular_topology.neighbors(int(before)).tolist()
+
+    def test_uniform_placement_in_range(self, regular_topology, rng):
+        nodes = regular_topology.uniform_nodes(500, rng)
+        assert nodes.min() >= 0
+        assert nodes.max() < regular_topology.num_nodes
+
+    def test_stationary_equals_uniform_for_regular(self, regular_topology):
+        # For regular topologies stationary_nodes must behave like uniform_nodes
+        # distribution-wise; spot-check the range and determinism given a seed.
+        a = regular_topology.stationary_nodes(100, 7)
+        b = regular_topology.uniform_nodes(100, 7)
+        assert np.array_equal(a, b)
+
+    def test_walk_stays_on_graph(self, regular_topology, rng):
+        path = regular_topology.walk(0, 50, rng)
+        regular_topology.validate_nodes(path)
+        for before, after in zip(path[:-1], path[1:]):
+            assert int(after) in regular_topology.neighbors(int(before)).tolist()
+
+
+class TestHypothesisTorus:
+    @given(side=st.integers(min_value=2, max_value=20), steps=st.integers(min_value=0, max_value=30))
+    @settings(max_examples=30, deadline=None)
+    def test_walk_length(self, side, steps):
+        torus = Torus2D(side)
+        path = torus.walk(0, steps, 1)
+        assert len(path) == steps + 1
+
+    @given(side=st.integers(min_value=3, max_value=25))
+    @settings(max_examples=25, deadline=None)
+    def test_distance_symmetric(self, side):
+        torus = Torus2D(side)
+        rng = np.random.default_rng(side)
+        a, b = rng.integers(0, torus.num_nodes, size=2)
+        assert torus.torus_distance(int(a), int(b)) == torus.torus_distance(int(b), int(a))
+
+    @given(side=st.integers(min_value=3, max_value=25))
+    @settings(max_examples=25, deadline=None)
+    def test_distance_triangle_inequality(self, side):
+        torus = Torus2D(side)
+        rng = np.random.default_rng(side + 1)
+        a, b, c = (int(v) for v in rng.integers(0, torus.num_nodes, size=3))
+        assert torus.torus_distance(a, c) <= torus.torus_distance(a, b) + torus.torus_distance(b, c)
+
+
+class TestHypothesisEncodings:
+    @given(side=st.integers(min_value=2, max_value=8), dims=st.integers(min_value=1, max_value=4))
+    @settings(max_examples=30, deadline=None)
+    def test_torus_kd_roundtrip(self, side, dims):
+        topology = TorusKD(side, dims)
+        nodes = np.arange(topology.num_nodes)
+        assert np.array_equal(topology.encode(topology.decode(nodes)), nodes)
+
+    @given(dims=st.integers(min_value=1, max_value=12))
+    @settings(max_examples=20, deadline=None)
+    def test_hypercube_neighbor_count(self, dims):
+        cube = Hypercube(dims)
+        assert len(cube.neighbors(0)) == dims
+
+    @given(size=st.integers(min_value=3, max_value=200))
+    @settings(max_examples=30, deadline=None)
+    def test_ring_distance_bounded_by_half(self, size):
+        ring = Ring(size)
+        assert ring.ring_distance(0, size // 2) <= size // 2

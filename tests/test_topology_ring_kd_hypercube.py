@@ -1,0 +1,151 @@
+"""Tests for the ring, k-dimensional torus, hypercube, and complete graph."""
+
+import numpy as np
+import pytest
+
+from repro.topology.complete import CompleteGraph
+from repro.topology.hypercube import Hypercube
+from repro.topology.ring import Ring
+from repro.topology.torus_kd import TorusKD
+
+
+class TestRing:
+    def test_num_nodes_and_degree(self):
+        ring = Ring(10)
+        assert ring.num_nodes == 10
+        assert ring.degree == 2
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            Ring(2)
+
+    def test_neighbors(self):
+        ring = Ring(10)
+        assert sorted(ring.neighbors(0).tolist()) == [1, 9]
+        assert sorted(ring.neighbors(5).tolist()) == [4, 6]
+
+    def test_step_moves_to_adjacent(self, rng):
+        ring = Ring(20)
+        positions = ring.uniform_nodes(500, rng)
+        stepped = ring.step_many(positions, rng)
+        assert np.all(ring.ring_distance(positions, stepped) == 1)
+
+    def test_ring_distance_wraps(self):
+        ring = Ring(12)
+        assert ring.ring_distance(0, 11) == 1
+        assert ring.ring_distance(0, 6) == 6
+
+    def test_both_directions_taken(self):
+        ring = Ring(100)
+        rng = np.random.default_rng(3)
+        positions = np.full(2000, 50, dtype=np.int64)
+        stepped = ring.step_many(positions, rng)
+        assert set(np.unique(stepped).tolist()) == {49, 51}
+
+
+class TestTorusKD:
+    def test_num_nodes(self):
+        assert TorusKD(4, 3).num_nodes == 64
+        assert TorusKD(3, 4).num_nodes == 81
+
+    def test_degree(self):
+        assert TorusKD(5, 3).degree == 6
+        assert TorusKD(5, 1).degree == 2
+
+    def test_encode_decode_roundtrip(self):
+        topology = TorusKD(4, 3)
+        nodes = np.arange(topology.num_nodes)
+        coords = topology.decode(nodes)
+        assert np.array_equal(topology.encode(coords), nodes)
+
+    def test_neighbors_count_and_distinct(self):
+        topology = TorusKD(5, 3)
+        neighbors = topology.neighbors(17)
+        assert len(neighbors) == 6
+        assert len(set(neighbors.tolist())) == 6
+
+    def test_step_changes_one_coordinate_by_one(self, rng):
+        topology = TorusKD(7, 3)
+        positions = topology.uniform_nodes(300, rng)
+        stepped = topology.step_many(positions, rng)
+        before = topology.decode(positions)
+        after = topology.decode(stepped)
+        diff = np.abs(before - after)
+        diff = np.minimum(diff, topology.side - diff)
+        assert np.all(diff.sum(axis=-1) == 1)
+
+    def test_name_reflects_dimension(self):
+        assert TorusKD(5, 3).name == "torus_3d"
+
+    def test_one_dimensional_matches_ring_structure(self):
+        topology = TorusKD(10, 1)
+        assert sorted(topology.neighbors(0).tolist()) == [1, 9]
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            TorusKD(1, 3)
+        with pytest.raises(ValueError):
+            TorusKD(5, 0)
+
+
+class TestHypercube:
+    def test_num_nodes_and_degree(self):
+        cube = Hypercube(5)
+        assert cube.num_nodes == 32
+        assert cube.degree == 5
+
+    def test_neighbors_differ_by_one_bit(self):
+        cube = Hypercube(6)
+        node = 0b101010
+        for neighbor in cube.neighbors(node):
+            assert bin(node ^ int(neighbor)).count("1") == 1
+
+    def test_step_flips_exactly_one_bit(self, rng):
+        cube = Hypercube(8)
+        positions = cube.uniform_nodes(400, rng)
+        stepped = cube.step_many(positions, rng)
+        distances = cube.hamming_distance(positions, stepped)
+        assert np.all(np.asarray(distances) == 1)
+
+    def test_hamming_distance(self):
+        cube = Hypercube(4)
+        assert cube.hamming_distance(0b0000, 0b1111) == 4
+        assert cube.hamming_distance(0b0101, 0b0101) == 0
+
+    def test_too_many_dims_rejected(self):
+        with pytest.raises(ValueError):
+            Hypercube(63)
+
+    def test_positions_stay_valid(self, rng):
+        cube = Hypercube(7)
+        positions = cube.uniform_nodes(100, rng)
+        for _ in range(20):
+            positions = cube.step_many(positions, rng)
+        cube.validate_nodes(positions)
+
+
+class TestCompleteGraph:
+    def test_degree(self):
+        assert CompleteGraph(10).degree == 9
+
+    def test_step_never_stays(self, rng):
+        graph = CompleteGraph(30)
+        positions = graph.uniform_nodes(1000, rng)
+        stepped = graph.step_many(positions, rng)
+        assert np.all(stepped != positions)
+
+    def test_step_covers_all_other_nodes(self):
+        graph = CompleteGraph(5)
+        rng = np.random.default_rng(0)
+        positions = np.full(5000, 2, dtype=np.int64)
+        stepped = graph.step_many(positions, rng)
+        assert set(np.unique(stepped).tolist()) == {0, 1, 3, 4}
+
+    def test_neighbors_exclude_self(self):
+        graph = CompleteGraph(6)
+        assert 3 not in graph.neighbors(3).tolist()
+        assert len(graph.neighbors(3)) == 5
+
+    def test_minimum_size(self):
+        with pytest.raises(ValueError):
+            CompleteGraph(1)

@@ -1,0 +1,154 @@
+"""Tests for the two-dimensional torus topology."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.topology.torus import Torus2D
+
+
+class TestConstruction:
+    def test_num_nodes(self):
+        assert Torus2D(5).num_nodes == 25
+
+    def test_degree_is_four(self):
+        torus = Torus2D(7)
+        assert torus.degree == 4
+        assert torus.degree_of(3) == 4
+        assert np.all(torus.degree_of(np.arange(10)) == 4)
+
+    def test_is_regular(self):
+        assert Torus2D(4).is_regular
+
+    @pytest.mark.parametrize("side", [0, 1, -3])
+    def test_invalid_side_rejected(self, side):
+        with pytest.raises(ValueError):
+            Torus2D(side)
+
+    def test_non_integer_side_rejected(self):
+        with pytest.raises(ValueError):
+            Torus2D(4.5)
+
+
+class TestEncoding:
+    def test_encode_decode_roundtrip(self):
+        torus = Torus2D(9)
+        nodes = np.arange(torus.num_nodes)
+        x, y = torus.decode(nodes)
+        assert np.array_equal(torus.encode(x, y), nodes)
+
+    def test_encode_wraps_coordinates(self):
+        torus = Torus2D(10)
+        assert torus.encode(10, 0) == torus.encode(0, 0)
+        assert torus.encode(-1, 0) == torus.encode(9, 0)
+        assert torus.encode(0, 13) == torus.encode(0, 3)
+
+    @given(
+        side=st.integers(min_value=2, max_value=30),
+        x=st.integers(min_value=-100, max_value=100),
+        y=st.integers(min_value=-100, max_value=100),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_encode_always_valid_label(self, side, x, y):
+        torus = Torus2D(side)
+        node = int(torus.encode(x, y))
+        assert 0 <= node < torus.num_nodes
+
+
+class TestNeighbors:
+    def test_four_distinct_neighbors(self):
+        torus = Torus2D(5)
+        neighbors = torus.neighbors(12)
+        assert len(neighbors) == 4
+        assert len(set(neighbors.tolist())) == 4
+
+    def test_neighbors_are_adjacent(self):
+        torus = Torus2D(6)
+        node = 14
+        for neighbor in torus.neighbors(node):
+            assert torus.torus_distance(node, int(neighbor)) == 1
+
+    def test_neighbor_relation_is_symmetric(self):
+        torus = Torus2D(5)
+        for node in range(torus.num_nodes):
+            for neighbor in torus.neighbors(node):
+                assert node in torus.neighbors(int(neighbor)).tolist()
+
+
+class TestStepping:
+    def test_step_preserves_shape_and_validity(self, rng):
+        torus = Torus2D(8)
+        positions = torus.uniform_nodes(100, rng)
+        stepped = torus.step_many(positions, rng)
+        assert stepped.shape == positions.shape
+        torus.validate_nodes(stepped)
+
+    def test_step_moves_distance_one(self, rng):
+        torus = Torus2D(11)
+        positions = torus.uniform_nodes(200, rng)
+        stepped = torus.step_many(positions, rng)
+        distances = torus.torus_distance(positions, stepped)
+        assert np.all(distances == 1)
+
+    def test_step_2d_array_shape(self, rng):
+        torus = Torus2D(6)
+        positions = np.zeros((3, 4), dtype=np.int64)
+        stepped = torus.step_many(positions, rng)
+        assert stepped.shape == (3, 4)
+
+    def test_walk_length_and_start(self, rng):
+        torus = Torus2D(9)
+        path = torus.walk(5, 20, rng)
+        assert path.shape == (21,)
+        assert path[0] == 5
+        torus.validate_nodes(path)
+
+    def test_all_directions_used(self):
+        torus = Torus2D(15)
+        rng = np.random.default_rng(0)
+        start = torus.encode(7, 7)
+        positions = np.full(2000, start, dtype=np.int64)
+        stepped = torus.step_many(positions, rng)
+        # All 4 neighbours of the start should appear with roughly equal frequency.
+        unique, counts = np.unique(stepped, return_counts=True)
+        assert len(unique) == 4
+        assert counts.min() > 2000 / 4 * 0.7
+
+
+class TestGeometry:
+    def test_distance_zero_to_self(self):
+        torus = Torus2D(7)
+        assert torus.torus_distance(10, 10) == 0
+
+    def test_distance_wraps_around(self):
+        torus = Torus2D(10)
+        a = torus.encode(0, 0)
+        b = torus.encode(9, 0)
+        assert torus.torus_distance(a, b) == 1
+
+    def test_displacement_signs(self):
+        torus = Torus2D(10)
+        a = torus.encode(0, 0)
+        b = torus.encode(1, 9)
+        dx, dy = torus.displacement(a, b)
+        assert dx == 1
+        assert dy == -1
+
+    def test_uniform_nodes_within_range(self, rng):
+        torus = Torus2D(12)
+        nodes = torus.uniform_nodes(1000, rng)
+        assert nodes.min() >= 0
+        assert nodes.max() < torus.num_nodes
+
+    def test_uniform_nodes_cover_grid(self):
+        torus = Torus2D(4)
+        nodes = torus.uniform_nodes(5000, np.random.default_rng(1))
+        assert len(np.unique(nodes)) == torus.num_nodes
+
+    def test_validate_nodes_rejects_out_of_range(self):
+        torus = Torus2D(4)
+        with pytest.raises(ValueError):
+            torus.validate_nodes(np.array([16]))
+        with pytest.raises(ValueError):
+            torus.validate_nodes(np.array([-1]))

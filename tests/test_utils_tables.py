@@ -1,0 +1,95 @@
+"""Tests for repro.utils.tables and repro.utils.serialization."""
+
+import dataclasses
+import json
+
+import numpy as np
+import pytest
+
+from repro.utils.serialization import dumps, rows_to_csv, to_jsonable
+from repro.utils.tables import format_records, format_table
+
+
+class TestFormatTable:
+    def test_headers_and_rows_rendered(self):
+        text = format_table(["a", "b"], [[1, 2], [3, 4]])
+        assert "a" in text and "b" in text
+        assert "1" in text and "4" in text
+
+    def test_title_included(self):
+        text = format_table(["x"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_float_formatting(self):
+        text = format_table(["x"], [[0.123456789]], float_format=".2f")
+        assert "0.12" in text
+
+    def test_row_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_column_alignment(self):
+        text = format_table(["col"], [[1], [1000]])
+        lines = text.splitlines()
+        assert len(lines[-1]) == len(lines[-2])
+
+
+class TestFormatRecords:
+    def test_empty_records(self):
+        assert "(empty table)" in format_records([])
+
+    def test_column_selection(self):
+        text = format_records([{"a": 1, "b": 2}], columns=["b"])
+        assert "b" in text
+        assert "a" not in text.splitlines()[0]
+
+    def test_missing_column_filled_blank(self):
+        text = format_records([{"a": 1}], columns=["a", "missing"])
+        assert "missing" in text
+
+
+class TestToJsonable:
+    def test_numpy_scalars(self):
+        assert to_jsonable(np.float64(1.5)) == 1.5
+        assert to_jsonable(np.int64(3)) == 3
+
+    def test_numpy_arrays(self):
+        assert to_jsonable(np.array([1, 2])) == [1, 2]
+
+    def test_dataclass(self):
+        @dataclasses.dataclass
+        class Point:
+            x: int
+            y: float
+
+        assert to_jsonable(Point(1, 2.0)) == {"x": 1, "y": 2.0}
+
+    def test_nested_mapping(self):
+        value = {"a": np.array([1.0]), "b": {"c": np.int64(2)}}
+        assert to_jsonable(value) == {"a": [1.0], "b": {"c": 2}}
+
+    def test_dumps_produces_valid_json(self):
+        text = dumps({"x": np.arange(3)})
+        assert json.loads(text) == {"x": [0, 1, 2]}
+
+    def test_unknown_type_stringified(self):
+        class Weird:
+            def __str__(self):
+                return "weird"
+
+        assert to_jsonable(Weird()) == "weird"
+
+
+class TestRowsToCsv:
+    def test_empty(self):
+        assert rows_to_csv([]) == ""
+
+    def test_header_and_rows(self):
+        text = rows_to_csv([{"a": 1, "b": "x"}, {"a": 2, "b": "y"}])
+        lines = text.strip().splitlines()
+        assert lines[0] == "a,b"
+        assert lines[1] == "1,x"
+
+    def test_quoting_of_commas(self):
+        text = rows_to_csv([{"a": "x,y"}])
+        assert '"x,y"' in text

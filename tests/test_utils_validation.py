@@ -1,0 +1,97 @@
+"""Tests for repro.utils.validation."""
+
+import pytest
+
+from repro.utils.validation import (
+    require_in_range,
+    require_integer,
+    require_non_negative,
+    require_positive,
+    require_probability,
+)
+
+
+class TestRequirePositive:
+    def test_accepts_positive(self):
+        require_positive(1, "x")
+        require_positive(0.5, "x")
+
+    @pytest.mark.parametrize("value", [0, -1, -0.5])
+    def test_rejects_non_positive(self, value):
+        with pytest.raises(ValueError, match="x"):
+            require_positive(value, "x")
+
+    @pytest.mark.parametrize("value", ["a", None, True])
+    def test_rejects_non_numbers(self, value):
+        with pytest.raises(ValueError):
+            require_positive(value, "x")
+
+
+class TestRequireNonNegative:
+    def test_accepts_zero_and_positive(self):
+        require_non_negative(0, "x")
+        require_non_negative(3.2, "x")
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            require_non_negative(-0.1, "x")
+
+    def test_rejects_bool(self):
+        with pytest.raises(ValueError):
+            require_non_negative(True, "x")
+
+
+class TestRequireProbability:
+    @pytest.mark.parametrize("value", [0.0, 0.5, 1.0])
+    def test_accepts_unit_interval(self, value):
+        require_probability(value, "p")
+
+    @pytest.mark.parametrize("value", [-0.01, 1.01, 2])
+    def test_rejects_outside(self, value):
+        with pytest.raises(ValueError):
+            require_probability(value, "p")
+
+    def test_zero_rejected_when_disallowed(self):
+        with pytest.raises(ValueError):
+            require_probability(0.0, "p", allow_zero=False)
+
+    def test_one_rejected_when_disallowed(self):
+        with pytest.raises(ValueError):
+            require_probability(1.0, "p", allow_one=False)
+
+    def test_interior_always_allowed(self):
+        require_probability(0.5, "p", allow_zero=False, allow_one=False)
+
+
+class TestRequireInRange:
+    def test_accepts_inside(self):
+        require_in_range(0.5, "x", 0.0, 1.0)
+        require_in_range(0.0, "x", 0.0, 1.0)
+        require_in_range(1.0, "x", 0.0, 1.0)
+
+    def test_rejects_outside(self):
+        with pytest.raises(ValueError):
+            require_in_range(1.5, "x", 0.0, 1.0)
+
+    def test_rejects_non_number(self):
+        with pytest.raises(ValueError):
+            require_in_range("mid", "x", 0.0, 1.0)
+
+
+class TestRequireInteger:
+    def test_accepts_integers(self):
+        require_integer(3, "n")
+        require_integer(0, "n")
+
+    def test_rejects_floats(self):
+        with pytest.raises(ValueError):
+            require_integer(3.0, "n")
+
+    def test_rejects_bool(self):
+        with pytest.raises(ValueError):
+            require_integer(True, "n")
+
+    def test_minimum_enforced(self):
+        require_integer(5, "n", minimum=5)
+        with pytest.raises(ValueError):
+            require_integer(4, "n", minimum=5)
