@@ -12,7 +12,14 @@ A complete, executable reproduction of Musco, Su, and Lynch,
 * the applications: social-network size estimation (Algorithms 2–3 and the
   [KLSC14] baseline), robot-swarm density / property-frequency estimation,
   and sensor-network token sampling,
-* an experiment suite that regenerates the paper's quantitative claims.
+* an experiment suite that regenerates the paper's quantitative claims,
+* an execution engine (:mod:`repro.engine`) that runs replicate workloads
+  fast: :class:`ExecutionEngine` batches independent Algorithm 1 replicates
+  into one matrix simulation (``ExecutionEngine.run_replicates`` /
+  :func:`repro.engine.simulate_density_estimation_batch`), schedules
+  non-batchable tasks over worker processes with bit-identical results for
+  any worker count (``ExecutionEngine.map``), and
+  :class:`repro.engine.RunCache` skips settings already computed.
 
 Quickstart
 ----------
@@ -21,6 +28,15 @@ Quickstart
 >>> run = estimate_density(Torus2D(side=64), num_agents=200, rounds=400, seed=0)
 >>> abs(run.mean_estimate() - run.true_density) / run.true_density < 0.2
 True
+
+Batched replicates via the engine:
+
+>>> from repro import ExecutionEngine
+>>> from repro.core.simulation import SimulationConfig
+>>> batch = ExecutionEngine().run_replicates(
+...     Torus2D(side=64), SimulationConfig(num_agents=200, rounds=400), 32, seed=0)
+>>> batch.estimates().shape
+(32, 200)
 """
 
 from repro.core import (
@@ -33,6 +49,7 @@ from repro.core import (
     estimate_property_frequency,
 )
 from repro.core.results import AccuracySummary, DensityEstimationRun
+from repro.engine import BatchSimulationResult, ExecutionEngine, RunCache
 from repro.netsize import (
     NetworkSizeEstimationPipeline,
     estimate_average_degree,
@@ -51,7 +68,7 @@ from repro.topology import (
     TorusKD,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -65,6 +82,10 @@ __all__ = [
     "bounds",
     "DensityEstimationRun",
     "AccuracySummary",
+    # Execution engine
+    "ExecutionEngine",
+    "BatchSimulationResult",
+    "RunCache",
     # Topologies
     "Torus2D",
     "Ring",

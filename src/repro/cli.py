@@ -6,8 +6,21 @@ Usage (after installing the package)::
     python -m repro run E03                   # run one experiment (full scale)
     python -m repro run E03 --quick           # scaled-down configuration
     python -m repro run all --quick           # the whole suite
+    python -m repro run all --workers 4       # fan trials out over 4 processes
+    python -m repro run all --cache-dir .repro-cache
+                                              # skip settings already computed
     python -m repro report --output EXPERIMENTS.md
                                               # regenerate the markdown report
+
+``--workers`` selects the execution engine's process count; records are
+bit-identical for every worker count, so the flag only changes wall-clock.
+``--cache-dir`` points at a content-addressed run store
+(:class:`repro.engine.RunCache`): a completed (experiment, config, seed)
+setting is loaded from disk instead of re-simulated.
+
+With ``--json``, a single experiment prints one JSON object; several
+experiments (e.g. ``run all``) print a single JSON **array** of those
+objects, so the output is machine-parseable end to end.
 
 The CLI is a thin layer over :mod:`repro.experiments`; anything it can do is
 also available programmatically.
@@ -16,12 +29,30 @@ also available programmatically.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
+from pathlib import Path
 from typing import Sequence
 
+from repro import __version__
+from repro.engine import ExecutionEngine, RunCache
 from repro.experiments import EXPERIMENTS, run_experiment
+from repro.experiments.base import ExperimentResult
 from repro.experiments.report import generate_report
 from repro.utils.serialization import dumps
+
+#: Bump when the cached payload layout changes; folded into every cache key.
+_CACHE_SCHEMA = 1
+
+
+def _positive_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}")
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be a positive integer, got {value}")
+    return value
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -37,7 +68,11 @@ def _build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("experiment", help="experiment id, e.g. E03, or 'all'")
     run_parser.add_argument("--quick", action="store_true", help="use the scaled-down configuration")
     run_parser.add_argument("--seed", type=int, default=0, help="random seed (default: 0)")
-    run_parser.add_argument("--json", action="store_true", help="emit JSON instead of a table")
+    run_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit JSON instead of a table (an array when running several experiments)",
+    )
     run_parser.add_argument(
         "--figure",
         action="store_true",
@@ -50,6 +85,21 @@ def _build_parser() -> argparse.ArgumentParser:
     report_parser.add_argument(
         "--output", default="-", help="output file (default: '-' for standard output)"
     )
+
+    for sub in (run_parser, report_parser):
+        sub.add_argument(
+            "--workers",
+            type=_positive_int,
+            default=1,
+            metavar="N",
+            help="engine worker processes (default: 1; results are identical for any N)",
+        )
+        sub.add_argument(
+            "--cache-dir",
+            default=None,
+            metavar="DIR",
+            help="content-addressed run cache; completed settings are loaded, not re-run",
+        )
     return parser
 
 
@@ -61,27 +111,129 @@ def _command_list() -> int:
     return 0
 
 
-def _command_run(experiment: str, quick: bool, seed: int, as_json: bool, figure: bool) -> int:
-    ids = sorted(EXPERIMENTS) if experiment.lower() == "all" else [experiment]
-    for experiment_id in ids:
-        result = run_experiment(experiment_id, quick=quick, seed=seed)
-        if as_json:
-            print(dumps({"experiment": result.experiment_id, "records": result.records, "notes": result.notes}))
-        else:
-            print(result.to_table())
-            if figure:
-                from repro.experiments.figures import default_figure
+def _experiment_cache_key(cache: RunCache, experiment_id: str, quick: bool, seed: int) -> str:
+    """Content key of one experiment run: id + full config + seed + version.
 
-                rendered = default_figure(result)
-                if rendered is not None:
-                    print()
-                    print(rendered)
-            print()
+    The dataclass repr pins every configuration field, so editing an
+    experiment's parameters automatically misses the cache, and the package
+    version invalidates entries across upgrades whose code changes could
+    alter records. The engine's worker count is deliberately *not* part of
+    the key: records are bit-identical across worker counts.
+    """
+    _, config_cls = EXPERIMENTS[experiment_id]
+    config = config_cls.quick() if quick else config_cls()
+    return cache.key(
+        kind="experiment",
+        schema=_CACHE_SCHEMA,
+        version=__version__,
+        experiment=experiment_id,
+        quick=quick,
+        seed=seed,
+        config=repr(config),
+    )
+
+
+def _result_from_payload(payload: dict) -> ExperimentResult:
+    return ExperimentResult(
+        experiment_id=payload["experiment_id"],
+        title=payload["title"],
+        claim=payload["claim"],
+        records=list(payload["records"]),
+        columns=payload.get("columns"),
+        notes=list(payload.get("notes", [])),
+    )
+
+
+def _run_one_cached(
+    experiment_id: str, *, quick: bool, seed: int, engine: ExecutionEngine, cache: RunCache | None
+) -> tuple[ExperimentResult, bool]:
+    """Run one experiment through the cache; returns (result, was_cache_hit)."""
+    if cache is None:
+        return run_experiment(experiment_id, quick=quick, seed=seed, engine=engine), False
+    if experiment_id not in EXPERIMENTS:
+        raise KeyError(
+            f"unknown experiment id {experiment_id!r}; known ids: {sorted(EXPERIMENTS)}"
+        )
+    key = _experiment_cache_key(cache, experiment_id, quick, seed)
+    payload = cache.load(key)
+    if payload is not None:
+        return _result_from_payload(payload), True
+    result = run_experiment(experiment_id, quick=quick, seed=seed, engine=engine)
+    cache.store(
+        key,
+        {
+            "experiment_id": result.experiment_id,
+            "title": result.title,
+            "claim": result.claim,
+            "records": result.records,
+            "columns": list(result.columns) if result.columns else None,
+            "notes": result.notes,
+        },
+    )
+    return result, False
+
+
+def _open_cache(cache_dir: str | None) -> RunCache | None:
+    """Build the run cache, rejecting unusable paths before any work is done."""
+    if not cache_dir:
+        return None
+    path = Path(cache_dir)
+    if path.exists() and not path.is_dir():
+        raise ValueError(f"--cache-dir {cache_dir!r} exists and is not a directory")
+    return RunCache(path)
+
+
+def _command_run(
+    experiment: str,
+    quick: bool,
+    seed: int,
+    as_json: bool,
+    figure: bool,
+    workers: int,
+    cache_dir: str | None,
+) -> int:
+    # Normalise the id up front so cache keys and registry lookups agree
+    # ('e01' and 'E01' must hit the same cache entry).
+    ids = sorted(EXPERIMENTS) if experiment.lower() == "all" else [experiment.upper()]
+    engine = ExecutionEngine(workers=workers)
+    cache = _open_cache(cache_dir)
+    json_payloads = []
+    for experiment_id in ids:
+        result, cached = _run_one_cached(
+            experiment_id, quick=quick, seed=seed, engine=engine, cache=cache
+        )
+        if as_json:
+            json_payloads.append(
+                {"experiment": result.experiment_id, "records": result.records, "notes": result.notes}
+            )
+            continue
+        if cached:
+            print(f"[{result.experiment_id}] (cached)")
+        print(result.to_table())
+        if figure:
+            from repro.experiments.figures import default_figure
+
+            rendered = default_figure(result)
+            if rendered is not None:
+                print()
+                print(rendered)
+        print()
+    if as_json:
+        # One object for a single experiment (stable interface); a single
+        # JSON array -- not bare concatenated objects -- for several.
+        print(dumps(json_payloads[0] if len(json_payloads) == 1 else json_payloads))
     return 0
 
 
-def _command_report(quick: bool, seed: int, output: str) -> int:
-    text = generate_report(quick=quick, seed=seed)
+def _command_report(quick: bool, seed: int, output: str, workers: int, cache_dir: str | None) -> int:
+    engine = ExecutionEngine(workers=workers)
+    cache = _open_cache(cache_dir)
+    run = None
+    if cache is not None:
+        run = lambda experiment_id: _run_one_cached(  # noqa: E731
+            experiment_id, quick=quick, seed=seed, engine=engine, cache=cache
+        )[0]
+    text = generate_report(quick=quick, seed=seed, engine=engine, run=run)
     if output == "-":
         print(text)
     else:
@@ -94,16 +246,36 @@ def _command_report(quick: bool, seed: int, output: str) -> int:
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point used by ``python -m repro``."""
     args = _build_parser().parse_args(argv)
-    if args.command == "list":
-        return _command_list()
-    if args.command == "run":
-        try:
-            return _command_run(args.experiment, args.quick, args.seed, args.json, args.figure)
-        except KeyError as error:
-            print(f"error: {error}", file=sys.stderr)
-            return 2
-    if args.command == "report":
-        return _command_report(args.quick, args.seed, args.output)
+    try:
+        if args.command == "list":
+            return _command_list()
+        if args.command == "run":
+            try:
+                return _command_run(
+                    args.experiment,
+                    args.quick,
+                    args.seed,
+                    args.json,
+                    args.figure,
+                    args.workers,
+                    args.cache_dir,
+                )
+            except (KeyError, ValueError) as error:
+                print(f"error: {error}", file=sys.stderr)
+                return 2
+        if args.command == "report":
+            try:
+                return _command_report(
+                    args.quick, args.seed, args.output, args.workers, args.cache_dir
+                )
+            except ValueError as error:
+                print(f"error: {error}", file=sys.stderr)
+                return 2
+    except BrokenPipeError:  # pragma: no cover - depends on the consumer
+        # The downstream consumer (e.g. `| head`) closed the pipe; park
+        # stdout on /dev/null so the interpreter's exit flush stays quiet.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
     return 2  # pragma: no cover - argparse enforces the choices
 
 

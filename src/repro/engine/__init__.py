@@ -1,0 +1,43 @@
+"""Execution engine: batched replicates, parallel scheduling, and a run cache.
+
+The experiment suite establishes every claim by averaging independent
+replicates. This package is the subsystem that runs those replicates fast
+and reproducibly:
+
+* :mod:`repro.engine.batch` — run ``R`` replicates of Algorithm 1 as **one
+  matrix simulation** (an ``(R, n)`` position matrix through the round loop,
+  one offset-label ``np.unique`` collision pass for all replicates);
+* :mod:`repro.engine.scheduler` — a deterministic **process-parallel
+  scheduler** for independent tasks that cannot be batched (movement
+  models, noise hooks, network-size pipelines), bit-identical across worker
+  counts;
+* :mod:`repro.engine.cache` — a **content-addressed run store** (key =
+  topology + config + seed hash) so repeated sweeps skip completed settings.
+
+:class:`ExecutionEngine` is the facade experiments accept via their
+``engine=`` parameter::
+
+    from repro.engine import ExecutionEngine
+    engine = ExecutionEngine(workers=4)
+    result = run_experiment("E09", quick=True, engine=engine)
+"""
+
+from repro.engine.batch import BatchSimulationResult, simulate_density_estimation_batch
+from repro.engine.cache import RunCache, cache_key
+from repro.engine.scheduler import (
+    ExecutionEngine,
+    ExecutionPlan,
+    build_plan,
+    execute_plan,
+)
+
+__all__ = [
+    "BatchSimulationResult",
+    "ExecutionEngine",
+    "ExecutionPlan",
+    "RunCache",
+    "build_plan",
+    "cache_key",
+    "execute_plan",
+    "simulate_density_estimation_batch",
+]

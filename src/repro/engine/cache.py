@@ -1,0 +1,152 @@
+"""Content-addressed store for completed runs.
+
+Sweeps over the experiment suite re-run many settings that have not changed
+since the last invocation. The cache keys each completed run by a SHA-256
+digest of its *content identity* — topology, configuration, and seed (plus
+anything else the caller folds in, e.g. the package version) — so a
+``repro run all --cache-dir …`` invocation skips every setting whose
+payload is already on disk, and any change to the identity automatically
+misses.
+
+Payloads are JSON documents written atomically (temp file + ``os.replace``),
+so a cache directory shared between concurrent runs never exposes a
+half-written entry.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Iterator, Mapping
+
+from repro.utils.serialization import to_jsonable
+
+
+def cache_key(**components: Any) -> str:
+    """SHA-256 digest of the canonical JSON form of ``components``.
+
+    Components are converted with
+    :func:`repro.utils.serialization.to_jsonable` (so dataclasses, NumPy
+    values, and nested containers are all fine) and serialised with sorted
+    keys and fixed separators, making the digest independent of dict
+    ordering and formatting.
+    """
+    canonical = json.dumps(
+        to_jsonable(components), sort_keys=True, separators=(",", ":"), ensure_ascii=True
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+class RunCache:
+    """A directory of completed-run payloads addressed by content key.
+
+    Parameters
+    ----------
+    directory:
+        Cache root; created on first use. One ``<key>.json`` file per entry.
+    """
+
+    def __init__(self, directory: str | Path):
+        self.directory = Path(directory)
+
+    # ------------------------------------------------------------------
+    # Key handling
+    # ------------------------------------------------------------------
+    def key(self, **components: Any) -> str:
+        """Compute the content key for ``components`` (see :func:`cache_key`)."""
+        return cache_key(**components)
+
+    def path_for(self, key: str) -> Path:
+        """Filesystem path of the entry with the given key."""
+        if not key or any(ch not in "0123456789abcdef" for ch in key):
+            raise ValueError(f"cache keys are lowercase hex digests, got {key!r}")
+        return self.directory / f"{key}.json"
+
+    # ------------------------------------------------------------------
+    # Store / load
+    # ------------------------------------------------------------------
+    def contains(self, key: str) -> bool:
+        return self.path_for(key).exists()
+
+    def load(self, key: str) -> dict[str, Any] | None:
+        """Return the stored payload for ``key``, or ``None`` on a miss.
+
+        A corrupt entry (e.g. from a crashed writer on a filesystem without
+        atomic replace) is treated as a miss and removed. A transient read
+        error (permissions, fd exhaustion, I/O) is a miss too, but the entry
+        is left in place — the data may be perfectly valid.
+        """
+        path = self.path_for(key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                return json.load(handle)
+        except FileNotFoundError:
+            return None
+        except ValueError:
+            # Undecodable bytes or malformed JSON: the entry is corrupt.
+            # (UnicodeDecodeError and json.JSONDecodeError are both ValueError.)
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        except OSError:
+            return None
+
+    def store(self, key: str, payload: Mapping[str, Any]) -> Path:
+        """Atomically write ``payload`` under ``key``; returns the entry path."""
+        path = self.path_for(key)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        document = json.dumps(to_jsonable(payload), indent=2, sort_keys=False)
+        fd, temp_name = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(document)
+            os.replace(temp_name, path)
+        except BaseException:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            raise
+        return path
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def keys(self) -> Iterator[str]:
+        """Keys of all entries currently in the cache.
+
+        Only files whose stem is a SHA-256 hex digest count as entries, so a
+        cache directory that also holds foreign files (``notes.json``, …)
+        enumerates — and :meth:`clear`\\ s — cleanly.
+        """
+        if not self.directory.is_dir():
+            return
+        digits = set("0123456789abcdef")
+        for entry in sorted(self.directory.glob("*.json")):
+            if len(entry.stem) == 64 and set(entry.stem) <= digits:
+                yield entry.stem
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.keys())
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        for key in list(self.keys()):
+            try:
+                self.path_for(key).unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"RunCache(directory={str(self.directory)!r})"
+
+
+__all__ = ["RunCache", "cache_key"]

@@ -16,9 +16,13 @@ Use :data:`EXPERIMENTS` to iterate over the whole suite, or
 
 from __future__ import annotations
 
-from typing import Callable
+import inspect
+from typing import TYPE_CHECKING, Callable
 
 from repro.experiments.base import ExperimentResult, summarize_many
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine import ExecutionEngine
 from repro.experiments import (
     e01_accuracy_vs_rounds,
     e02_accuracy_vs_density,
@@ -71,7 +75,13 @@ EXPERIMENTS: dict[str, tuple[object, type]] = {
 }
 
 
-def run_experiment(experiment_id: str, *, quick: bool = False, seed: int = 0) -> ExperimentResult:
+def run_experiment(
+    experiment_id: str,
+    *,
+    quick: bool = False,
+    seed: int = 0,
+    engine: "ExecutionEngine | None" = None,
+) -> ExperimentResult:
     """Run one experiment by id (e.g. ``"E03"``).
 
     Parameters
@@ -82,6 +92,12 @@ def run_experiment(experiment_id: str, *, quick: bool = False, seed: int = 0) ->
         Use the scaled-down configuration (seconds instead of minutes).
     seed:
         Seed forwarded to the experiment.
+    engine:
+        Optional :class:`repro.engine.ExecutionEngine`. Experiments migrated
+        onto the engine accept it as their ``engine=`` parameter (and use a
+        serial default engine otherwise); for the remaining experiments the
+        argument is ignored. Records never depend on the engine's worker
+        count — only wall-clock does.
     """
     key = experiment_id.upper()
     if key not in EXPERIMENTS:
@@ -89,12 +105,16 @@ def run_experiment(experiment_id: str, *, quick: bool = False, seed: int = 0) ->
     module, config_cls = EXPERIMENTS[key]
     config = config_cls.quick() if quick else config_cls()
     runner: Callable = module.run
+    if engine is not None and "engine" in inspect.signature(runner).parameters:
+        return runner(config, seed=seed, engine=engine)
     return runner(config, seed=seed)
 
 
-def run_all(*, quick: bool = True, seed: int = 0) -> dict[str, ExperimentResult]:
+def run_all(
+    *, quick: bool = True, seed: int = 0, engine: "ExecutionEngine | None" = None
+) -> dict[str, ExperimentResult]:
     """Run the whole suite (quick configurations by default) and return results by id."""
-    return {key: run_experiment(key, quick=quick, seed=seed) for key in EXPERIMENTS}
+    return {key: run_experiment(key, quick=quick, seed=seed, engine=engine) for key in EXPERIMENTS}
 
 
 __all__ = ["EXPERIMENTS", "ExperimentResult", "run_experiment", "run_all", "summarize_many"]

@@ -17,10 +17,11 @@ import numpy as np
 
 from repro.analysis.accuracy import empirical_epsilon, fit_power_law
 from repro.core import bounds
-from repro.core.estimator import RandomWalkDensityEstimator
+from repro.core.simulation import SimulationConfig
+from repro.engine import ExecutionEngine
 from repro.experiments.base import ExperimentResult
 from repro.topology.torus import Torus2D
-from repro.utils.rng import SeedLike, spawn_generators
+from repro.utils.rng import SeedLike, spawn_seed_sequences
 
 
 @dataclass(frozen=True)
@@ -39,9 +40,19 @@ class AccuracyVsRoundsConfig:
         return cls(side=32, num_agents=104, rounds_grid=(25, 50, 100), trials=1)
 
 
-def run(config: AccuracyVsRoundsConfig | None = None, seed: SeedLike = 0) -> ExperimentResult:
-    """Run E01 and return the accuracy-vs-rounds table."""
+def run(
+    config: AccuracyVsRoundsConfig | None = None,
+    seed: SeedLike = 0,
+    engine: ExecutionEngine | None = None,
+) -> ExperimentResult:
+    """Run E01 and return the accuracy-vs-rounds table.
+
+    The trials at each grid point execute on the engine's batched path: all
+    of them advance through the round loop as one ``(trials, n)`` matrix
+    simulation, so the per-round NumPy cost is shared across trials.
+    """
     config = config or AccuracyVsRoundsConfig()
+    engine = engine or ExecutionEngine()
     topology = Torus2D(config.side)
     density = (config.num_agents - 1) / topology.num_nodes
     result = ExperimentResult(
@@ -61,18 +72,20 @@ def run(config: AccuracyVsRoundsConfig | None = None, seed: SeedLike = 0) -> Exp
         ],
     )
 
-    rngs = spawn_generators(seed, len(config.rounds_grid) * config.trials)
-    rng_index = 0
+    grid_seeds = spawn_seed_sequences(seed, len(config.rounds_grid))
     measured: list[float] = []
-    for rounds in config.rounds_grid:
-        epsilons = []
-        mean_estimates = []
-        for _ in range(config.trials):
-            estimator = RandomWalkDensityEstimator(topology, config.num_agents, rounds)
-            run_result = estimator.run(rngs[rng_index])
-            rng_index += 1
-            epsilons.append(empirical_epsilon(run_result.estimates, density, config.delta))
-            mean_estimates.append(run_result.mean_estimate())
+    for rounds, grid_seed in zip(config.rounds_grid, grid_seeds):
+        batch = engine.run_replicates(
+            topology,
+            SimulationConfig(num_agents=config.num_agents, rounds=rounds),
+            config.trials,
+            grid_seed,
+        )
+        estimates = batch.estimates()
+        epsilons = [
+            empirical_epsilon(estimates[trial], density, config.delta)
+            for trial in range(config.trials)
+        ]
         measured.append(float(np.mean(epsilons)))
         result.add(
             rounds=rounds,
@@ -80,7 +93,7 @@ def run(config: AccuracyVsRoundsConfig | None = None, seed: SeedLike = 0) -> Exp
             empirical_epsilon=float(np.mean(epsilons)),
             theorem1_epsilon=bounds.theorem1_epsilon(rounds, density, config.delta),
             independent_epsilon=bounds.independent_sampling_epsilon(rounds, density, config.delta),
-            mean_estimate=float(np.mean(mean_estimates)),
+            mean_estimate=float(estimates.mean()),
         )
 
     # Fit the decay exponent of the measured curve; Theorem 1 predicts ~ -0.5

@@ -16,11 +16,12 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.analysis.accuracy import empirical_epsilon
-from repro.core.estimator import RandomWalkDensityEstimator
 from repro.core.independent import IndependentSamplingEstimator
+from repro.core.simulation import SimulationConfig
+from repro.engine import ExecutionEngine
 from repro.experiments.base import ExperimentResult
 from repro.topology.torus import Torus2D
-from repro.utils.rng import SeedLike, spawn_generators
+from repro.utils.rng import SeedLike, spawn_seed_sequences
 
 
 @dataclass(frozen=True)
@@ -43,11 +44,27 @@ class RandomWalkVsIndependentConfig:
         return cls(side=60, num_agents=361, rounds_grid=(20, 50), trials=1)
 
 
+def _independent_trial(
+    side: int, num_agents: int, rounds: int, rng: np.random.Generator
+) -> np.ndarray:
+    """One Algorithm 4 trial, as a module-level scheduler task (picklable)."""
+    topology = Torus2D(side)
+    return IndependentSamplingEstimator(topology, num_agents, rounds).run(rng).estimates
+
+
 def run(
-    config: RandomWalkVsIndependentConfig | None = None, seed: SeedLike = 0
+    config: RandomWalkVsIndependentConfig | None = None,
+    seed: SeedLike = 0,
+    engine: ExecutionEngine | None = None,
 ) -> ExperimentResult:
-    """Run E05 and return the random-walk vs independent-sampling table."""
+    """Run E05 and return the random-walk vs independent-sampling table.
+
+    Algorithm 1 trials run on the engine's batched matrix path; the
+    Algorithm 4 trials (deterministic lock-step motion, which the matrix
+    form does not express) run through the engine scheduler.
+    """
     config = config or RandomWalkVsIndependentConfig()
+    engine = engine or ExecutionEngine()
     topology = Torus2D(config.side)
     density = (config.num_agents - 1) / topology.num_nodes
 
@@ -66,22 +83,35 @@ def run(
         ],
     )
 
-    rngs = spawn_generators(seed, 2 * len(config.rounds_grid) * config.trials)
-    rng_index = 0
-    for rounds in config.rounds_grid:
-        rw_epsilons = []
-        ind_epsilons = []
-        for _ in range(config.trials):
-            rw_run = RandomWalkDensityEstimator(topology, config.num_agents, rounds).run(
-                rngs[rng_index]
-            )
-            rng_index += 1
-            ind_run = IndependentSamplingEstimator(topology, config.num_agents, rounds).run(
-                rngs[rng_index]
-            )
-            rng_index += 1
-            rw_epsilons.append(empirical_epsilon(rw_run.estimates, density, config.delta))
-            ind_epsilons.append(empirical_epsilon(ind_run.estimates, density, config.delta))
+    grid_seeds = spawn_seed_sequences(seed, len(config.rounds_grid) + 1)
+
+    # All independent-sampling trials go through the scheduler as one flat
+    # plan (one pool spin-up), sliced back per grid point below.
+    ind_settings = [
+        {"side": config.side, "num_agents": config.num_agents, "rounds": rounds}
+        for rounds in config.rounds_grid
+        for _ in range(config.trials)
+    ]
+    ind_outputs = engine.map(_independent_trial, ind_settings, grid_seeds[-1])
+
+    for grid_index, rounds in enumerate(config.rounds_grid):
+        rw_batch = engine.run_replicates(
+            topology,
+            SimulationConfig(num_agents=config.num_agents, rounds=rounds),
+            config.trials,
+            grid_seeds[grid_index],
+        )
+        rw_estimates = rw_batch.estimates()
+        rw_epsilons = [
+            empirical_epsilon(rw_estimates[trial], density, config.delta)
+            for trial in range(config.trials)
+        ]
+        ind_epsilons = [
+            empirical_epsilon(estimates, density, config.delta)
+            for estimates in ind_outputs[
+                grid_index * config.trials : (grid_index + 1) * config.trials
+            ]
+        ]
         rw_value = float(np.mean(rw_epsilons))
         ind_value = float(np.mean(ind_epsilons))
         result.add(

@@ -17,6 +17,7 @@ import networkx as nx
 import numpy as np
 
 from repro.core import bounds
+from repro.engine import ExecutionEngine
 from repro.experiments.base import ExperimentResult
 from repro.netsize.pipeline import NetworkSizeEstimationPipeline
 from repro.topology.graph import NetworkXTopology
@@ -60,9 +61,40 @@ def _graphs(config: NetworkSizeConfig, seed: SeedLike):
     yield NetworkXTopology(powerlaw_graph, name="powerlaw")
 
 
-def run(config: NetworkSizeConfig | None = None, seed: SeedLike = 0) -> ExperimentResult:
-    """Run E09 and return the size-estimation accuracy / query-cost table."""
+def _pipeline_trial(
+    topology: NetworkXTopology,
+    num_walks: int,
+    rounds: int,
+    burn_in: int,
+    baseline: bool,
+    rng: np.random.Generator,
+) -> dict[str, float]:
+    """One pipeline run, as a module-level scheduler task (picklable)."""
+    pipeline = NetworkSizeEstimationPipeline(
+        topology, num_walks=num_walks, rounds=rounds, burn_in=burn_in
+    )
+    report = pipeline.run_katzir_baseline(rng) if baseline else pipeline.run(rng)
+    return {
+        "relative_error": report.relative_error,
+        "link_queries": report.link_queries,
+        "size_estimate": report.size_estimate,
+    }
+
+
+def run(
+    config: NetworkSizeConfig | None = None,
+    seed: SeedLike = 0,
+    engine: ExecutionEngine | None = None,
+) -> ExperimentResult:
+    """Run E09 and return the size-estimation accuracy / query-cost table.
+
+    The pipeline trials are independent but cannot be batched (each drives
+    its own burn-in / degree-estimation / size-estimation stages), so they
+    run through the engine scheduler — across worker processes when the
+    engine has ``workers > 1``, with identical records either way.
+    """
     config = config or NetworkSizeConfig()
+    engine = engine or ExecutionEngine()
     result = ExperimentResult(
         experiment_id="E09",
         title="Network size estimation: Algorithm 2 vs the [KLSC14] baseline",
@@ -84,8 +116,12 @@ def run(config: NetworkSizeConfig | None = None, seed: SeedLike = 0) -> Experime
 
     rngs = spawn_generators(seed, 4)
     graphs = list(_graphs(config, rngs[0]))
-    trial_rngs = spawn_generators(rngs[1], (len(config.rounds_grid) + 1) * len(graphs) * config.trials)
-    rng_index = 0
+
+    # Lay out every pipeline trial as one flat execution plan so the engine
+    # can fan all of them out at once; ``rows`` remembers how consecutive
+    # blocks of ``trials`` outputs aggregate into table rows.
+    settings: list[dict] = []
+    rows: list[dict] = []
     for topology in graphs:
         degrees = np.asarray(topology.degree_of(np.arange(topology.num_nodes)))
         # Walk budget from Theorem 27 at each t (B(t) approximated by the
@@ -101,30 +137,13 @@ def run(config: NetworkSizeConfig | None = None, seed: SeedLike = 0) -> Experime
                 config.delta,
             )
             walks = min(walks, topology.num_nodes // 2)
-            errors = []
-            queries = []
-            estimates = []
-            for _ in range(config.trials):
-                pipeline = NetworkSizeEstimationPipeline(
-                    topology,
-                    num_walks=walks,
-                    rounds=rounds,
-                    burn_in=config.burn_in,
-                )
-                report = pipeline.run(trial_rngs[rng_index])
-                rng_index += 1
-                errors.append(report.relative_error)
-                queries.append(report.link_queries)
-                estimates.append(report.size_estimate)
-            result.add(
-                graph=topology.name,
-                method="algorithm2",
-                rounds=rounds,
-                num_walks=walks,
-                size_estimate=float(np.median(estimates)),
-                true_size=topology.num_nodes,
-                relative_error=float(np.median(errors)),
-                link_queries=int(np.mean(queries)),
+            rows.append(
+                {"graph": topology.name, "method": "algorithm2", "rounds": rounds,
+                 "num_walks": walks, "true_size": topology.num_nodes}
+            )
+            settings.extend(
+                [{"topology": topology, "num_walks": walks, "rounds": rounds,
+                  "burn_in": config.burn_in, "baseline": False}] * config.trials
             )
 
         # [KLSC14] baseline: same accuracy target, single collision round,
@@ -133,30 +152,27 @@ def run(config: NetworkSizeConfig | None = None, seed: SeedLike = 0) -> Experime
             topology.num_nodes, degrees, config.epsilon, config.delta
         )
         baseline_walks = min(baseline_walks, topology.num_nodes // 2)
-        errors = []
-        queries = []
-        estimates = []
-        for _ in range(config.trials):
-            pipeline = NetworkSizeEstimationPipeline(
-                topology,
-                num_walks=baseline_walks,
-                rounds=1,
-                burn_in=config.burn_in,
-            )
-            report = pipeline.run_katzir_baseline(trial_rngs[rng_index])
-            rng_index += 1
-            errors.append(report.relative_error)
-            queries.append(report.link_queries)
-            estimates.append(report.size_estimate)
+        rows.append(
+            {"graph": topology.name, "method": "katzir_baseline", "rounds": 0,
+             "num_walks": baseline_walks, "true_size": topology.num_nodes}
+        )
+        settings.extend(
+            [{"topology": topology, "num_walks": baseline_walks, "rounds": 1,
+              "burn_in": config.burn_in, "baseline": True}] * config.trials
+        )
+
+    outputs = engine.map(_pipeline_trial, settings, rngs[1])
+    for row_index, row in enumerate(rows):
+        block = outputs[row_index * config.trials : (row_index + 1) * config.trials]
         result.add(
-            graph=topology.name,
-            method="katzir_baseline",
-            rounds=0,
-            num_walks=baseline_walks,
-            size_estimate=float(np.median(estimates)),
-            true_size=topology.num_nodes,
-            relative_error=float(np.median(errors)),
-            link_queries=int(np.mean(queries)),
+            graph=row["graph"],
+            method=row["method"],
+            rounds=row["rounds"],
+            num_walks=row["num_walks"],
+            size_estimate=float(np.median([o["size_estimate"] for o in block])),
+            true_size=row["true_size"],
+            relative_error=float(np.median([o["relative_error"] for o in block])),
+            link_queries=int(np.mean([o["link_queries"] for o in block])),
         )
 
     result.notes.append(

@@ -13,14 +13,15 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.estimator import RandomWalkDensityEstimator
+from repro.core.simulation import SimulationConfig
+from repro.engine import ExecutionEngine
 from repro.experiments.base import ExperimentResult
 from repro.topology.complete import CompleteGraph
 from repro.topology.hypercube import Hypercube
 from repro.topology.ring import Ring
 from repro.topology.torus import Torus2D
 from repro.topology.torus_kd import TorusKD
-from repro.utils.rng import SeedLike, spawn_generators
+from repro.utils.rng import SeedLike, spawn_seed_sequences
 
 
 @dataclass(frozen=True)
@@ -40,9 +41,18 @@ class UnbiasednessConfig:
         return cls(rounds=50, trials=2, torus_side=30, ring_size=900, torus3d_side=10)
 
 
-def run(config: UnbiasednessConfig | None = None, seed: SeedLike = 0) -> ExperimentResult:
-    """Run E17 and return the per-topology bias table."""
+def run(
+    config: UnbiasednessConfig | None = None,
+    seed: SeedLike = 0,
+    engine: ExecutionEngine | None = None,
+) -> ExperimentResult:
+    """Run E17 and return the per-topology bias table.
+
+    The independent trials on each topology run on the engine's batched
+    path as one ``(trials, n)`` matrix simulation.
+    """
     config = config or UnbiasednessConfig()
+    engine = engine or ExecutionEngine()
     topologies = [
         Torus2D(config.torus_side),
         Ring(config.ring_size),
@@ -64,19 +74,17 @@ def run(config: UnbiasednessConfig | None = None, seed: SeedLike = 0) -> Experim
         ],
     )
 
-    rngs = spawn_generators(seed, len(topologies) * config.trials)
-    rng_index = 0
-    for topology in topologies:
+    topology_seeds = spawn_seed_sequences(seed, len(topologies))
+    for topology, topology_seed in zip(topologies, topology_seeds):
         num_agents = max(2, int(round(config.target_density * topology.num_nodes)) + 1)
         true_density = (num_agents - 1) / topology.num_nodes
-        all_estimates = []
-        for _ in range(config.trials):
-            run_result = RandomWalkDensityEstimator(topology, num_agents, config.rounds).run(
-                rngs[rng_index]
-            )
-            rng_index += 1
-            all_estimates.append(run_result.estimates)
-        stacked = np.concatenate(all_estimates)
+        batch = engine.run_replicates(
+            topology,
+            SimulationConfig(num_agents=num_agents, rounds=config.rounds),
+            config.trials,
+            topology_seed,
+        )
+        stacked = batch.estimates().reshape(-1)
         grand_mean = float(stacked.mean())
         result.add(
             topology=topology.name,

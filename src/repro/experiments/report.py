@@ -12,10 +12,13 @@ report after changing configurations::
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Mapping
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Mapping
 
 from repro.experiments import EXPERIMENTS, run_experiment
 from repro.experiments.base import ExperimentResult
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine import ExecutionEngine
 
 
 def _format_cell(value: Any) -> str:
@@ -68,6 +71,8 @@ def generate_report(
     seed: int = 0,
     experiment_ids: Iterable[str] | None = None,
     header: str | None = None,
+    engine: "ExecutionEngine | None" = None,
+    run: Callable[[str], ExperimentResult] | None = None,
 ) -> str:
     """Run the suite and return the full markdown report.
 
@@ -83,14 +88,26 @@ def generate_report(
         Subset of experiments to include (default: all, in id order).
     header:
         Optional markdown prepended before the per-experiment sections.
+    engine:
+        Optional :class:`repro.engine.ExecutionEngine` forwarded to every
+        experiment that supports one; the report text is identical for any
+        worker count.
+    run:
+        Optional replacement for the default ``run_experiment`` call, given
+        an experiment id and returning its :class:`ExperimentResult`. The
+        CLI uses this to route report generation through the run cache while
+        keeping a single section-assembly path.
     """
     ids = sorted(experiment_ids) if experiment_ids is not None else sorted(EXPERIMENTS)
+    if run is None:
+        run = lambda experiment_id: run_experiment(  # noqa: E731
+            experiment_id, quick=quick, seed=seed, engine=engine
+        )
     sections = []
     if header:
         sections.append(header.rstrip() + "\n")
     for experiment_id in ids:
-        result = run_experiment(experiment_id, quick=quick, seed=seed)
-        sections.append(result_to_markdown(result))
+        sections.append(result_to_markdown(run(experiment_id)))
     return "\n".join(sections)
 
 

@@ -60,7 +60,11 @@ class Topology(abc.ABC):
         Parameters
         ----------
         positions:
-            Integer array of current node labels (any shape).
+            Integer array of current node labels, of **any shape**. In
+            particular implementations must accept the ``(replicates,
+            agents)`` matrices carried by the batched execution engine
+            (:mod:`repro.engine.batch`), so batching needs no per-topology
+            special cases; every entry is stepped independently.
         rng:
             Generator supplying the randomness.
 
@@ -73,20 +77,27 @@ class Topology(abc.ABC):
     # ------------------------------------------------------------------
     # Placement helpers
     # ------------------------------------------------------------------
-    def uniform_nodes(self, count: int, seed: SeedLike = None) -> np.ndarray:
+    def uniform_nodes(
+        self, count: int | tuple[int, ...], seed: SeedLike = None
+    ) -> np.ndarray:
         """Place ``count`` agents independently and uniformly at random.
 
         This is the initial placement assumed throughout Section 2 of the
         paper ("each agent is placed independently at a uniform random node").
+        ``count`` may also be a shape tuple — the batched engine uses
+        ``(replicates, agents)`` to draw every replicate's placement at once.
         """
         rng = as_generator(seed)
         return rng.integers(0, self.num_nodes, size=count, dtype=np.int64)
 
-    def stationary_nodes(self, count: int, seed: SeedLike = None) -> np.ndarray:
+    def stationary_nodes(
+        self, count: int | tuple[int, ...], seed: SeedLike = None
+    ) -> np.ndarray:
         """Sample ``count`` independent nodes from the walk's stationary law.
 
         For regular topologies this is the uniform distribution; non-regular
-        topologies weight each node by its degree (Section 5.1).
+        topologies weight each node by its degree (Section 5.1). Like
+        :meth:`uniform_nodes`, ``count`` may be a shape tuple.
         """
         if self.is_regular:
             return self.uniform_nodes(count, seed)

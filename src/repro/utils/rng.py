@@ -41,15 +41,49 @@ def spawn_generators(seed: SeedLike, count: int) -> list[np.random.Generator]:
 
     Useful for running independent trials (or independent agents) whose
     streams must not overlap, while remaining reproducible from one seed.
+    Delegates to :func:`spawn_seed_sequences` so the two can never drift:
+    the execution engine's "identical records with or without an engine"
+    guarantee rests on both producing the same child streams.
+    """
+    return [np.random.default_rng(child) for child in spawn_seed_sequences(seed, count)]
+
+
+def as_seed_sequence(seed: SeedLike = None) -> np.random.SeedSequence:
+    """Coerce ``seed`` into a single :class:`numpy.random.SeedSequence`.
+
+    A ``Generator`` is reduced deterministically by drawing one integer from
+    its stream; everything else maps the obvious way.
+
+    For spawning *several* children use :func:`spawn_seed_sequences`, never
+    ``as_seed_sequence(seed).spawn(count)``: for ``Generator`` seeds the two
+    produce different child streams (this function draws one integer total,
+    ``spawn_seed_sequences`` draws one per child to mirror what
+    :func:`spawn_generators` has always done), and the engine-vs-legacy
+    record-equality guarantee depends on the latter.
+    """
+    if isinstance(seed, np.random.SeedSequence):
+        return seed
+    if isinstance(seed, np.random.Generator):
+        return np.random.SeedSequence(int(seed.integers(0, 2**63 - 1)))
+    return np.random.SeedSequence(seed)
+
+
+def spawn_seed_sequences(seed: SeedLike, count: int) -> list[np.random.SeedSequence]:
+    """Spawn ``count`` independent child ``SeedSequence`` objects from ``seed``.
+
+    The picklable counterpart of :func:`spawn_generators`: for every seed
+    type, ``np.random.default_rng(child)`` over these children yields
+    exactly the streams ``spawn_generators(seed, count)`` would (Generators
+    included — one integer is drawn per child, mirroring the legacy path),
+    and constructing the generator in any process gives the same stream, so
+    task results do not depend on which worker ran them.
     """
     if count < 0:
         raise ValueError(f"count must be non-negative, got {count}")
     if isinstance(seed, np.random.Generator):
-        # Derive children from the generator's bit stream deterministically.
         child_seeds = seed.integers(0, 2**63 - 1, size=count)
-        return [np.random.default_rng(int(s)) for s in child_seeds]
-    sequence = seed if isinstance(seed, np.random.SeedSequence) else np.random.SeedSequence(seed)
-    return [np.random.default_rng(child) for child in sequence.spawn(count)]
+        return [np.random.SeedSequence(int(s)) for s in child_seeds]
+    return list(as_seed_sequence(seed).spawn(count))
 
 
 def random_seed_from(rng: np.random.Generator) -> int:
@@ -75,7 +109,9 @@ def permutation_without_replacement(
 __all__ = [
     "SeedLike",
     "as_generator",
+    "as_seed_sequence",
     "spawn_generators",
+    "spawn_seed_sequences",
     "random_seed_from",
     "permutation_without_replacement",
 ]

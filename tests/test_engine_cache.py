@@ -1,0 +1,152 @@
+"""Tests for the content-addressed run cache (repro.engine.cache) and its CLI wiring."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.engine import RunCache, cache_key
+
+
+class TestCacheKey:
+    def test_stable_across_component_order(self):
+        assert cache_key(a=1, b="x") == cache_key(b="x", a=1)
+
+    def test_distinct_components_distinct_keys(self):
+        base = cache_key(topology="torus2d", config="c", seed=0)
+        assert base != cache_key(topology="torus2d", config="c", seed=1)
+        assert base != cache_key(topology="ring", config="c", seed=0)
+        assert base != cache_key(topology="torus2d", config="c2", seed=0)
+
+    def test_numpy_values_normalised(self):
+        # NumPy scalars and arrays hash like their Python counterparts.
+        assert cache_key(seed=np.int64(5), grid=np.array([1, 2])) == cache_key(
+            seed=5, grid=[1, 2]
+        )
+
+    def test_key_is_hex_digest(self):
+        key = cache_key(x=1)
+        assert len(key) == 64
+        assert set(key) <= set("0123456789abcdef")
+
+
+class TestRunCache:
+    def test_store_load_round_trip(self, tmp_path):
+        cache = RunCache(tmp_path / "cache")
+        key = cache.key(topology="torus2d", config="cfg", seed=3)
+        assert cache.load(key) is None
+        assert not cache.contains(key)
+        payload = {"records": [{"rounds": 25, "epsilon": 0.5}], "notes": ["n"]}
+        path = cache.store(key, payload)
+        assert path.exists()
+        assert cache.contains(key)
+        assert cache.load(key) == payload
+
+    def test_numpy_payloads_serialised(self, tmp_path):
+        cache = RunCache(tmp_path)
+        key = cache.key(k=1)
+        cache.store(key, {"value": np.float64(0.25), "vector": np.arange(3)})
+        assert cache.load(key) == {"value": 0.25, "vector": [0, 1, 2]}
+
+    def test_corrupt_entry_is_a_miss_and_removed(self, tmp_path):
+        cache = RunCache(tmp_path)
+        key = cache.key(k=2)
+        cache.store(key, {"ok": True})
+        cache.path_for(key).write_text("{not json", encoding="utf-8")
+        assert cache.load(key) is None
+        assert not cache.contains(key)
+
+    def test_undecodable_entry_is_a_miss_and_removed(self, tmp_path):
+        # A crashed writer can leave bytes that are not even UTF-8.
+        cache = RunCache(tmp_path)
+        key = cache.key(k=3)
+        cache.store(key, {"ok": True})
+        cache.path_for(key).write_bytes(b"\xff\xfe\x00garbage")
+        assert cache.load(key) is None
+        assert not cache.contains(key)
+
+    def test_keys_and_len_and_clear(self, tmp_path):
+        cache = RunCache(tmp_path)
+        assert len(cache) == 0
+        for index in range(3):
+            cache.store(cache.key(index=index), {"index": index})
+        assert len(cache) == 3
+        assert all(len(k) == 64 for k in cache.keys())
+        assert cache.clear() == 3
+        assert len(cache) == 0
+
+    def test_foreign_files_ignored_by_keys_and_clear(self, tmp_path):
+        cache = RunCache(tmp_path)
+        cache.store(cache.key(a=1), {"a": 1})
+        (tmp_path / "notes.json").write_text("{}", encoding="utf-8")
+        (tmp_path / "README.txt").write_text("not a cache entry", encoding="utf-8")
+        assert len(cache) == 1
+        assert cache.clear() == 1
+        assert (tmp_path / "notes.json").exists()
+
+    def test_path_for_rejects_non_digest_keys(self, tmp_path):
+        cache = RunCache(tmp_path)
+        with pytest.raises(ValueError):
+            cache.path_for("../escape")
+        with pytest.raises(ValueError):
+            cache.path_for("")
+
+    def test_missing_directory_is_empty_cache(self, tmp_path):
+        cache = RunCache(tmp_path / "never_created")
+        assert list(cache.keys()) == []
+        assert cache.load(cache.key(a=1)) is None
+
+
+class TestCliCacheIntegration:
+    def test_second_run_hits_cache_with_identical_table(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        assert main(["run", "E17", "--quick", "--seed", "3", "--cache-dir", cache_dir]) == 0
+        first = capsys.readouterr().out
+        assert "(cached)" not in first
+        assert len(RunCache(cache_dir)) == 1
+
+        assert main(["run", "E17", "--quick", "--seed", "3", "--cache-dir", cache_dir]) == 0
+        second = capsys.readouterr().out
+        assert "[E17] (cached)" in second
+        assert second.replace("[E17] (cached)\n", "") == first
+        assert len(RunCache(cache_dir)) == 1
+
+    def test_lowercase_id_shares_cache_entry(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        assert main(["run", "e17", "--quick", "--cache-dir", cache_dir]) == 0
+        capsys.readouterr()
+        assert main(["run", "E17", "--quick", "--cache-dir", cache_dir]) == 0
+        assert "[E17] (cached)" in capsys.readouterr().out
+        assert len(RunCache(cache_dir)) == 1
+
+    def test_unknown_id_with_cache_reports_known_ids(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        assert main(["run", "e99", "--quick", "--cache-dir", cache_dir]) == 2
+        assert "unknown experiment id" in capsys.readouterr().err
+        assert len(RunCache(cache_dir)) == 0
+
+    def test_different_seed_misses_cache(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        assert main(["run", "E17", "--quick", "--seed", "3", "--cache-dir", cache_dir]) == 0
+        assert main(["run", "E17", "--quick", "--seed", "4", "--cache-dir", cache_dir]) == 0
+        capsys.readouterr()
+        assert len(RunCache(cache_dir)) == 2
+
+    def test_cached_json_output_matches_fresh(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        assert main(["run", "E17", "--quick", "--json", "--cache-dir", cache_dir]) == 0
+        fresh = json.loads(capsys.readouterr().out)
+        assert main(["run", "E17", "--quick", "--json", "--cache-dir", cache_dir]) == 0
+        cached = json.loads(capsys.readouterr().out)
+        assert cached == fresh
+
+    def test_report_with_cache(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        target = tmp_path / "report.md"
+        assert main(["run", "all", "--quick", "--cache-dir", cache_dir]) == 0
+        capsys.readouterr()
+        # Report re-uses the run cache: all 22 experiments load from disk.
+        assert main(["report", "--quick", "--cache-dir", cache_dir, "--output", str(target)]) == 0
+        text = target.read_text()
+        assert "### E01" in text and "### E22" in text

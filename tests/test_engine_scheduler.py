@@ -1,0 +1,175 @@
+"""Tests for the deterministic parallel scheduler (repro.engine.scheduler)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.sweep import repeat_and_average, run_sweep
+from repro.engine import ExecutionEngine, ExecutionPlan, build_plan, execute_plan
+from repro.experiments import e09_network_size
+from repro.utils.rng import spawn_seed_sequences
+
+
+def sample_task(label, scale, rng):
+    """Module-level task so process workers can unpickle it."""
+    return {"label": label, "value": float(scale * rng.normal())}
+
+
+def scalar_trial(rng):
+    """Module-level scalar trial for repeat/repeat_and_average tests."""
+    return float(rng.normal(5.0, 0.1))
+
+
+def sweep_runner(a, rng):
+    """Module-level sweep runner returning one record."""
+    return {"draw": float(rng.random()), "doubled": 2 * a}
+
+
+SETTINGS = [{"label": f"s{i}", "scale": i + 1} for i in range(11)]
+
+
+class TestExecutionPlan:
+    def test_build_plan_freezes_settings_and_spawns_seeds(self):
+        plan = build_plan(sample_task, SETTINGS, seed=3)
+        assert len(plan) == len(SETTINGS)
+        assert len(plan.seed_sequences) == len(SETTINGS)
+        assert all(isinstance(s, np.random.SeedSequence) for s in plan.seed_sequences)
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError, match="seed sequences"):
+            ExecutionPlan(
+                task=sample_task,
+                settings=({"label": "a", "scale": 1},),
+                seed_sequences=tuple(spawn_seed_sequences(0, 2)),
+            )
+
+    def test_empty_plan(self):
+        assert execute_plan(build_plan(sample_task, [], seed=0)) == []
+
+
+class TestExecutePlan:
+    def test_serial_results_in_plan_order(self):
+        plan = build_plan(sample_task, SETTINGS, seed=5)
+        results = execute_plan(plan, workers=1)
+        assert [r["label"] for r in results] == [s["label"] for s in SETTINGS]
+
+    def test_bit_identical_across_worker_counts(self):
+        plan = build_plan(sample_task, SETTINGS, seed=5)
+        serial = execute_plan(plan, workers=1)
+        parallel = execute_plan(plan, workers=4)
+        assert serial == parallel  # exact float equality, not approx
+
+    def test_bit_identical_across_chunk_sizes(self):
+        plan = build_plan(sample_task, SETTINGS, seed=5)
+        assert execute_plan(plan, workers=2, chunk_size=1) == execute_plan(
+            plan, workers=2, chunk_size=7
+        )
+
+    def test_stream_depends_on_plan_index_not_layout(self):
+        # Rebuilding the same plan gives the same per-task streams.
+        first = execute_plan(build_plan(sample_task, SETTINGS, seed=9), workers=1)
+        second = execute_plan(build_plan(sample_task, SETTINGS, seed=9), workers=1)
+        assert first == second
+
+    def test_workers_validated(self):
+        plan = build_plan(sample_task, SETTINGS, seed=0)
+        with pytest.raises(ValueError):
+            execute_plan(plan, workers=0)
+
+
+class TestExecutionEngine:
+    def test_map_matches_plan_execution(self):
+        engine = ExecutionEngine()
+        plan = build_plan(sample_task, SETTINGS, seed=2)
+        assert engine.map(sample_task, SETTINGS, seed=2) == execute_plan(plan)
+
+    def test_repeat_returns_value_vector(self):
+        values = ExecutionEngine().repeat(scalar_trial, 40, seed=0)
+        assert values.shape == (40,)
+        assert values.mean() == pytest.approx(5.0, abs=0.1)
+
+    def test_repeat_identical_across_workers(self):
+        serial = ExecutionEngine(workers=1).repeat(scalar_trial, 12, seed=8)
+        parallel = ExecutionEngine(workers=3).repeat(scalar_trial, 12, seed=8)
+        assert np.array_equal(serial, parallel)
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ValueError):
+            ExecutionEngine(workers=0)
+        with pytest.raises(ValueError):
+            ExecutionEngine(workers=2, chunk_size=0)
+
+    def test_run_replicates_shape(self):
+        from repro.core.simulation import SimulationConfig
+        from repro.topology import Torus2D
+
+        batch = ExecutionEngine().run_replicates(
+            Torus2D(8), SimulationConfig(num_agents=10, rounds=5), 4, seed=0
+        )
+        assert batch.estimates().shape == (4, 10)
+
+
+class TestSweepEngineIntegration:
+    def test_run_sweep_with_engine_matches_default_path(self):
+        # For int seeds the engine's serial path consumes the same spawned
+        # child streams as the legacy loop, so records match exactly.
+        settings = [{"a": 1}, {"a": 5}, {"a": 9}]
+        legacy = run_sweep(sweep_runner, settings, seed=4)
+        engine = run_sweep(sweep_runner, settings, seed=4, engine=ExecutionEngine())
+        assert legacy == engine
+
+    def test_run_sweep_engine_matches_default_for_generator_seed(self):
+        # Generator seeds draw one child seed per task on both paths, so the
+        # engine route matches the legacy loop even mid-stream.
+        settings = [{"a": 1}, {"a": 5}, {"a": 9}]
+        legacy = run_sweep(sweep_runner, settings, seed=np.random.default_rng(7))
+        engine = run_sweep(
+            sweep_runner, settings, seed=np.random.default_rng(7), engine=ExecutionEngine()
+        )
+        assert legacy == engine
+
+    def test_run_sweep_parallel_matches_serial(self):
+        settings = [{"a": i} for i in range(9)]
+        serial = run_sweep(sweep_runner, settings, seed=1, engine=ExecutionEngine(workers=1))
+        parallel = run_sweep(sweep_runner, settings, seed=1, engine=ExecutionEngine(workers=3))
+        assert serial == parallel
+
+    def test_repeat_and_average_with_engine_matches_default_path(self):
+        legacy = repeat_and_average(scalar_trial, 25, seed=6)
+        engine = repeat_and_average(scalar_trial, 25, seed=6, engine=ExecutionEngine())
+        assert legacy == engine
+
+
+class TestExperimentDeterminism:
+    """ISSUE 1 acceptance: same seed => identical records for any worker count."""
+
+    CONFIG = e09_network_size.NetworkSizeConfig(
+        expander_size=120,
+        powerlaw_size=120,
+        rounds_grid=(4,),
+        burn_in=8,
+        trials=2,
+    )
+
+    def test_e09_records_identical_workers_1_vs_4(self):
+        serial = e09_network_size.run(self.CONFIG, seed=13, engine=ExecutionEngine(workers=1))
+        parallel = e09_network_size.run(self.CONFIG, seed=13, engine=ExecutionEngine(workers=4))
+        assert serial.records == parallel.records
+
+    def test_e09_json_byte_identical_workers_1_vs_4(self):
+        from repro.utils.serialization import dumps
+
+        serial = e09_network_size.run(self.CONFIG, seed=13, engine=ExecutionEngine(workers=1))
+        parallel = e09_network_size.run(self.CONFIG, seed=13, engine=ExecutionEngine(workers=4))
+        assert dumps(serial.records) == dumps(parallel.records)
+
+    def test_batched_experiments_ignore_worker_count(self):
+        from repro.experiments import run_experiment
+
+        for experiment_id in ("E01", "E17"):
+            serial = run_experiment(
+                experiment_id, quick=True, seed=3, engine=ExecutionEngine(workers=1)
+            )
+            parallel = run_experiment(
+                experiment_id, quick=True, seed=3, engine=ExecutionEngine(workers=4)
+            )
+            assert serial.records == parallel.records
