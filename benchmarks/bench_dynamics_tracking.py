@@ -1,0 +1,103 @@
+"""Benchmark: batched online density tracking vs the static batched path.
+
+The dynamics driver adds a per-round hook to the batched ``(R, n)``
+simulation loop: three online estimators, a change detector, a confidence
+band, and the event-schedule lookup. The hook's work is O(R) per round
+(ring-buffer sums over replicate columns) against the loop's O(R·n log
+R·n) collision counting, so tracking must remain a small constant
+overhead — the ISSUE 2 acceptance gate pins it at **within 1.5x** of the
+static batched path on the same 32 replicates x 200 agents x 400 rounds
+``Torus2D(side=32)`` workload.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_dynamics_tracking.py
+
+or through pytest (the assertion is the acceptance gate)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_dynamics_tracking.py -s
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.simulation import SimulationConfig
+from repro.dynamics.driver import track_scenario_batch
+from repro.dynamics.scenario import build_scenario
+from repro.engine import simulate_density_estimation_batch
+from repro.topology.torus import Torus2D
+
+SIDE = 32
+NUM_AGENTS = 200
+ROUNDS = 400
+REPLICATES = 32
+MAX_SLOWDOWN = 1.5
+
+
+def _run_static() -> None:
+    """The PR-1 path: batched replicates, no per-round hook."""
+    topology = Torus2D(SIDE)
+    config = SimulationConfig(num_agents=NUM_AGENTS, rounds=ROUNDS)
+    simulate_density_estimation_batch(topology, config, REPLICATES, seed=0)
+
+
+def _run_tracked() -> None:
+    """The dynamics path: same workload with full online tracking installed."""
+    scenario = build_scenario(
+        "stable", rounds=ROUNDS, side=SIDE, num_agents=NUM_AGENTS
+    )
+    track_scenario_batch(scenario, REPLICATES, seed=0)
+
+
+def _time(fn, repeats: int = 3) -> float:
+    """Best-of-``repeats`` wall-clock seconds (first call also warms caches)."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def measure() -> dict[str, float]:
+    static_seconds = _time(_run_static)
+    tracked_seconds = _time(_run_tracked)
+    return {
+        "static_seconds": static_seconds,
+        "tracked_seconds": tracked_seconds,
+        "slowdown": tracked_seconds / static_seconds,
+    }
+
+
+def _report(stats: dict[str, float]) -> None:
+    print(
+        f"\n{REPLICATES} replicates of ({NUM_AGENTS} agents x {ROUNDS} rounds "
+        f"on Torus2D(side={SIDE}))"
+    )
+    print(f"  static batched    : {stats['static_seconds']:7.3f} s")
+    print(f"  online tracking   : {stats['tracked_seconds']:7.3f} s")
+    print(f"  tracking overhead : {stats['slowdown']:7.2f}x (gate: <= {MAX_SLOWDOWN}x)")
+
+
+def test_tracking_overhead_within_gate():
+    """Acceptance gate: batched online tracking within 1.5x of static batched."""
+    stats = measure()
+    _report(stats)
+
+    # Sanity: the tracked run produces per-round estimates that agree with
+    # the true density of the static world.
+    scenario = build_scenario("stable", rounds=ROUNDS, side=SIDE, num_agents=NUM_AGENTS)
+    outcome = track_scenario_batch(scenario, 4, seed=0)
+    density = (NUM_AGENTS - 1) / (SIDE * SIDE)
+    final = outcome.estimates["window"][-1].mean()
+    assert abs(final - density) / density < 0.15
+
+    assert stats["slowdown"] <= MAX_SLOWDOWN, (
+        f"online tracking overhead {stats['slowdown']:.2f}x exceeds the "
+        f"{MAX_SLOWDOWN}x gate"
+    )
+
+
+if __name__ == "__main__":
+    test_tracking_overhead_within_gate()

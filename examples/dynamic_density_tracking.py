@@ -1,0 +1,109 @@
+"""Online density tracking through a population crash.
+
+Runs the ``crash`` scenario from the dynamics catalog — 60% of the swarm
+departs at mid-run — and shows what each anytime estimator reports round by
+round: Algorithm 1's running ``c/t`` average goes stale after the shock,
+while the sliding-window tracker (reset by the change detector) re-converges
+to the new density within one window. Finishes with a churn sweep showing
+that uniformly placed arrivals keep the estimate unbiased.
+
+Run with::
+
+    PYTHONPATH=src python examples/dynamic_density_tracking.py
+"""
+
+from __future__ import annotations
+
+from repro import build_scenario, run_scenario
+from repro.dynamics import Scenario, random_churn_schedule
+from repro.utils.tables import format_table
+
+
+def crash_tracking() -> None:
+    scenario = build_scenario("crash", rounds=240, side=24, num_agents=120)
+    shock_round = scenario.events.events[0].round + 1
+    print(
+        f"Scenario '{scenario.name}': {scenario.description}\n"
+        f"Torus 24x24, {scenario.num_agents} agents, {scenario.rounds} rounds; "
+        f"the crash hits after round {shock_round}.\n"
+    )
+
+    outcome = run_scenario(scenario, replicates=8, seed=0)
+    rows = []
+    for record in outcome.records()[19::20]:
+        rows.append(
+            [
+                record["round"],
+                record["population"],
+                record["true_density"],
+                record["running"],
+                record["window"],
+                f"[{record['ci_low']:.3f}, {record['ci_high']:.3f}]",
+                "*" if record["change_fraction"] > 0 else "",
+            ]
+        )
+    print(
+        format_table(
+            ["round", "agents", "true d", "running c/t", "window", "90% CI", "flag"],
+            rows,
+            float_format=".4f",
+        )
+    )
+
+    detections = []
+    false_alarms = 0
+    for rounds in outcome.change_rounds():
+        post = [r for r in rounds if r >= shock_round]
+        false_alarms += len(rounds) - len(post)
+        if post:
+            detections.append(post[0])
+    print(
+        f"\nchange detector: {len(detections)}/{outcome.replicates} replicates "
+        f"flagged the crash (rounds {sorted(detections)}), "
+        f"{false_alarms} pre-shock false alarm(s)"
+    )
+    summary = outcome.summary()
+    print("mean relative tracking error over the whole run:")
+    for name, error in summary["mean_relative_error"].items():
+        print(f"  {name:11s} {error:.3f}")
+
+
+def churn_sweep() -> None:
+    print("\nSymmetric Poisson churn (arrivals = departures in expectation):\n")
+    rows = []
+    for rate in (0.0, 0.01, 0.05):
+        events = random_churn_schedule(200, rate * 120, rate * 120, seed=7)
+        scenario = Scenario(
+            name=f"churn-{rate:g}",
+            description="uniform arrivals keep the encounter rate unbiased",
+            topology={"kind": "torus2d", "side": 24},
+            num_agents=120,
+            rounds=200,
+            events=events,
+        )
+        outcome = run_scenario(scenario, replicates=8, seed=1)
+        density = outcome.true_density
+        window = outcome.estimates["window"].mean(axis=1)
+        tail = slice(100, None)
+        error = float(
+            (abs(window[tail] - density[tail]) / density[tail]).mean()
+        )
+        rows.append([rate, int(outcome.population[-1]), float(density[-1]), error])
+    print(
+        format_table(
+            ["churn rate", "final agents", "final d", "window rel. error"],
+            rows,
+            float_format=".4f",
+        )
+    )
+    print("\nTracking error grows only mildly with churn: arrivals land on the")
+    print("walk's stationary distribution, so the estimator stays unbiased.")
+
+
+def main() -> None:
+    crash_tracking()
+    churn_sweep()
+
+
+if __name__ == "__main__":
+    main()

@@ -19,7 +19,12 @@ A complete, executable reproduction of Musco, Su, and Lynch,
   :func:`repro.engine.simulate_density_estimation_batch`), schedules
   non-batchable tasks over worker processes with bit-identical results for
   any worker count (``ExecutionEngine.map``), and
-  :class:`repro.engine.RunCache` skips settings already computed.
+  :class:`repro.engine.RunCache` skips settings already computed,
+* a dynamics layer (:mod:`repro.dynamics`) for time-varying worlds: seeded
+  event schedules (agent churn, density shocks, topology rewiring, sensor
+  degradation), a catalog of named :class:`Scenario` specs, and online
+  anytime density tracking with per-round confidence bands and change
+  detection (:func:`run_scenario`).
 
 Quickstart
 ----------
@@ -37,6 +42,13 @@ Batched replicates via the engine:
 ...     Torus2D(side=64), SimulationConfig(num_agents=200, rounds=400), 32, seed=0)
 >>> batch.estimates().shape
 (32, 200)
+
+Online tracking of a time-varying world:
+
+>>> from repro import build_scenario, run_scenario
+>>> outcome = run_scenario(build_scenario("crash", quick=True), replicates=4, seed=0)
+>>> len(outcome.records())
+80
 """
 
 from repro.core import (
@@ -49,6 +61,14 @@ from repro.core import (
     estimate_property_frequency,
 )
 from repro.core.results import AccuracySummary, DensityEstimationRun
+from repro.dynamics import (
+    EventSchedule,
+    Scenario,
+    ScenarioRunResult,
+    build_scenario,
+    run_scenario,
+    scenario_names,
+)
 from repro.engine import BatchSimulationResult, ExecutionEngine, RunCache
 from repro.netsize import (
     NetworkSizeEstimationPipeline,
@@ -68,7 +88,7 @@ from repro.topology import (
     TorusKD,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "__version__",
@@ -86,6 +106,13 @@ __all__ = [
     "ExecutionEngine",
     "BatchSimulationResult",
     "RunCache",
+    # Dynamics: time-varying scenarios and online tracking
+    "Scenario",
+    "ScenarioRunResult",
+    "EventSchedule",
+    "build_scenario",
+    "run_scenario",
+    "scenario_names",
     # Topologies
     "Torus2D",
     "Ring",

@@ -12,6 +12,7 @@
 from repro.analysis.concentration import (
     chebyshev_deviation,
     chernoff_deviation,
+    chernoff_interval,
     median_of_means,
     subexponential_deviation,
 )
@@ -44,6 +45,7 @@ __all__ = [
     "bootstrap_interval",
     "difference_is_significant",
     "chernoff_deviation",
+    "chernoff_interval",
     "chebyshev_deviation",
     "subexponential_deviation",
     "median_of_means",

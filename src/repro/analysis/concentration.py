@@ -53,6 +53,47 @@ def subexponential_deviation(sigma_squared: float, scale: float, delta: float) -
     return scale * log_term + math.sqrt((scale * log_term) ** 2 + 2.0 * sigma_squared * log_term)
 
 
+def chernoff_interval(
+    estimates: np.ndarray | float,
+    collision_mass: np.ndarray | float,
+    delta: float,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorised multiplicative-Chernoff confidence band around estimates.
+
+    The anytime/streaming counterpart of :func:`chernoff_deviation`, used by
+    the online density trackers (:mod:`repro.dynamics.online`): a window
+    holding ``collision_mass`` observed collisions has multiplicative
+    deviation ``ε = sqrt(3·log(2/δ) / mass)``, so the true density lies in
+    ``[est·(1-ε), est·(1+ε)]`` with probability ``1 - δ`` (treating the
+    observed mass as a proxy for its expectation, the standard empirical
+    plug-in). Works elementwise on arrays of any shape so per-round,
+    per-replicate bands cost one vector expression.
+
+    Parameters
+    ----------
+    estimates:
+        Density estimates (any shape, broadcastable with ``collision_mass``).
+    collision_mass:
+        Total observed collisions supporting each estimate. Entries below 1
+        are clamped to 1 (an empty window yields an uninformatively wide,
+        but finite, band); the lower band is clipped at zero.
+    delta:
+        Failure probability of the band.
+
+    Returns
+    -------
+    (numpy.ndarray, numpy.ndarray)
+        Elementwise lower and upper confidence bounds.
+    """
+    require_probability(delta, "delta", allow_zero=False, allow_one=False)
+    estimates = np.asarray(estimates, dtype=np.float64)
+    mass = np.maximum(np.asarray(collision_mass, dtype=np.float64), 1.0)
+    epsilon = np.sqrt(3.0 * math.log(2.0 / delta) / mass)
+    lower = np.maximum(estimates * (1.0 - epsilon), 0.0)
+    upper = estimates * (1.0 + epsilon)
+    return lower, upper
+
+
 def median_of_means(samples: np.ndarray, groups: int) -> float:
     """Median of the means of ``groups`` contiguous blocks of ``samples``.
 
@@ -79,6 +120,7 @@ def hoeffding_samples(epsilon: float, delta: float) -> int:
 
 __all__ = [
     "chernoff_deviation",
+    "chernoff_interval",
     "chebyshev_deviation",
     "subexponential_deviation",
     "median_of_means",

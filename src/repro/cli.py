@@ -11,6 +11,9 @@ Usage (after installing the package)::
                                               # skip settings already computed
     python -m repro report --output EXPERIMENTS.md
                                               # regenerate the markdown report
+    python -m repro scenario list             # list the dynamic-scenario catalog
+    python -m repro scenario run --scenario crash --json
+                                              # per-round anytime density tracking
 
 ``--workers`` selects the execution engine's process count; records are
 bit-identical for every worker count, so the flag only changes wall-clock.
@@ -35,11 +38,14 @@ from pathlib import Path
 from typing import Sequence
 
 from repro import __version__
+from repro.dynamics.driver import run_scenario
+from repro.dynamics.scenario import SCENARIOS, build_scenario, scenario_names
 from repro.engine import ExecutionEngine, RunCache
 from repro.experiments import EXPERIMENTS, run_experiment
 from repro.experiments.base import ExperimentResult
 from repro.experiments.report import generate_report
 from repro.utils.serialization import dumps
+from repro.utils.tables import format_records
 
 #: Bump when the cached payload layout changes; folded into every cache key.
 _CACHE_SCHEMA = 1
@@ -59,6 +65,9 @@ def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Ant-inspired density estimation via random walks: experiment runner",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -86,7 +95,32 @@ def _build_parser() -> argparse.ArgumentParser:
         "--output", default="-", help="output file (default: '-' for standard output)"
     )
 
-    for sub in (run_parser, report_parser):
+    scenario_parser = subparsers.add_parser(
+        "scenario", help="time-varying scenarios with online (anytime) density tracking"
+    )
+    scenario_sub = scenario_parser.add_subparsers(dest="scenario_command", required=True)
+    scenario_sub.add_parser("list", help="list the scenario catalog")
+    scenario_run = scenario_sub.add_parser(
+        "run", help="run one scenario and emit per-round tracking records"
+    )
+    scenario_run.add_argument(
+        "--scenario", required=True, metavar="NAME", help="catalog scenario name (see 'scenario list')"
+    )
+    scenario_run.add_argument(
+        "--rounds", type=_positive_int, default=None, metavar="T",
+        help="override the scenario horizon (events rescale with it)",
+    )
+    scenario_run.add_argument(
+        "--replicates", type=_positive_int, default=8, metavar="R",
+        help="independent replicates to average over (default: 8)",
+    )
+    scenario_run.add_argument("--quick", action="store_true", help="use the scaled-down configuration")
+    scenario_run.add_argument("--seed", type=int, default=0, help="random seed (default: 0)")
+    scenario_run.add_argument(
+        "--json", action="store_true", help="emit one JSON object with per-round records"
+    )
+
+    for sub in (run_parser, report_parser, scenario_run):
         sub.add_argument(
             "--workers",
             type=_positive_int,
@@ -194,14 +228,29 @@ def _command_run(
 ) -> int:
     # Normalise the id up front so cache keys and registry lookups agree
     # ('e01' and 'E01' must hit the same cache entry).
-    ids = sorted(EXPERIMENTS) if experiment.lower() == "all" else [experiment.upper()]
+    running_all = experiment.lower() == "all"
+    ids = sorted(EXPERIMENTS) if running_all else [experiment.upper()]
     engine = ExecutionEngine(workers=workers)
     cache = _open_cache(cache_dir)
     json_payloads = []
+    failures: list[tuple[str, Exception]] = []
     for experiment_id in ids:
-        result, cached = _run_one_cached(
-            experiment_id, quick=quick, seed=seed, engine=engine, cache=cache
-        )
+        try:
+            result, cached = _run_one_cached(
+                experiment_id, quick=quick, seed=seed, engine=engine, cache=cache
+            )
+        except Exception as error:
+            # When running the whole suite, one broken experiment must not
+            # abort the rest: collect the failure, keep going, and report
+            # (with a non-zero exit) at the end. A single named experiment
+            # keeps the fail-fast behaviour.
+            if not running_all:
+                raise
+            failures.append((experiment_id, error))
+            print(f"error: [{experiment_id}] {error}", file=sys.stderr)
+            if as_json:
+                json_payloads.append({"experiment": experiment_id, "error": str(error)})
+            continue
         if as_json:
             json_payloads.append(
                 {"experiment": result.experiment_id, "records": result.records, "notes": result.notes}
@@ -222,6 +271,100 @@ def _command_run(
         # One object for a single experiment (stable interface); a single
         # JSON array -- not bare concatenated objects -- for several.
         print(dumps(json_payloads[0] if len(json_payloads) == 1 else json_payloads))
+    if failures:
+        failed_ids = ", ".join(experiment_id for experiment_id, _ in failures)
+        print(
+            f"error: {len(failures)} of {len(ids)} experiments failed: {failed_ids}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _command_scenario_list() -> int:
+    for name in scenario_names():
+        print(f"{name:18s} {SCENARIOS[name].description}")
+    return 0
+
+
+def _scenario_cache_key(
+    cache: RunCache, scenario_repr: str, replicates: int, seed: int
+) -> str:
+    """Content key of one scenario run: full spec + replicates + seed + version.
+
+    The scenario repr pins the topology, events, and tracking parameters,
+    so any change to the catalog (or a ``--rounds`` override) misses the
+    cache. Worker count is deliberately excluded: records are bit-identical
+    for every worker count.
+    """
+    return cache.key(
+        kind="scenario",
+        schema=_CACHE_SCHEMA,
+        version=__version__,
+        scenario=scenario_repr,
+        replicates=replicates,
+        seed=seed,
+    )
+
+
+def _command_scenario_run(
+    name: str,
+    rounds: int | None,
+    replicates: int,
+    quick: bool,
+    seed: int,
+    as_json: bool,
+    workers: int,
+    cache_dir: str | None,
+) -> int:
+    scenario = build_scenario(name, rounds=rounds, quick=quick)
+    engine = ExecutionEngine(workers=workers)
+    cache = _open_cache(cache_dir)
+    payload = None
+    key = None
+    if cache is not None:
+        key = _scenario_cache_key(cache, repr(scenario), replicates, seed)
+        payload = cache.load(key)
+    cached = payload is not None
+    if payload is None:
+        outcome = run_scenario(scenario, replicates=replicates, engine=engine, seed=seed)
+        payload = {
+            "scenario": scenario.to_dict(),
+            "replicates": replicates,
+            "records": outcome.records(),
+            "summary": outcome.summary(),
+        }
+        if cache is not None and key is not None:
+            cache.store(key, payload)
+    if as_json:
+        print(dumps(payload))
+        return 0
+    if cached:
+        print(f"[{name}] (cached)")
+    records = payload["records"]
+    # Thin long runs for terminal display; --json always carries every round.
+    stride = max(1, len(records) // 20)
+    shown = records[stride - 1 :: stride]
+    title = f"[{name}] {scenario.description} ({payload['replicates']} replicates)"
+    columns = [
+        "round",
+        "population",
+        "true_density",
+        "running",
+        "window",
+        "discounted",
+        "ci_low",
+        "ci_high",
+        "change_fraction",
+    ]
+    print(format_records(shown, columns=columns, float_format=".4g", title=title))
+    summary = payload["summary"]
+    print(
+        f"note: total change flags: {summary['total_changes_flagged']} across "
+        f"{payload['replicates']} replicates"
+    )
+    for tracker, error in summary["mean_relative_error"].items():
+        print(f"note: mean relative tracking error ({tracker}): {error:.4f}")
     return 0
 
 
@@ -270,6 +413,24 @@ def main(argv: Sequence[str] | None = None) -> int:
                 )
             except ValueError as error:
                 print(f"error: {error}", file=sys.stderr)
+                return 2
+        if args.command == "scenario":
+            if args.scenario_command == "list":
+                return _command_scenario_list()
+            try:
+                return _command_scenario_run(
+                    args.scenario,
+                    args.rounds,
+                    args.replicates,
+                    args.quick,
+                    args.seed,
+                    args.json,
+                    args.workers,
+                    args.cache_dir,
+                )
+            except (KeyError, ValueError) as error:
+                message = error.args[0] if isinstance(error, KeyError) and error.args else error
+                print(f"error: {message}", file=sys.stderr)
                 return 2
     except BrokenPipeError:  # pragma: no cover - depends on the consumer
         # The downstream consumer (e.g. `| head`) closed the pipe; park

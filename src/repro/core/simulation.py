@@ -57,6 +57,73 @@ class CollisionObservationModel(Protocol):
         ...
 
 
+@dataclass
+class RoundState:
+    """Mutable view of the live simulation handed to a per-round hook.
+
+    A hook may *read* everything (e.g. to stream this round's observations
+    into an anytime estimator) and may *replace* ``topology``,
+    ``positions``, ``totals``, ``marked``, and ``marked_totals`` — this is
+    how the dynamics driver (:mod:`repro.dynamics`) applies agent churn,
+    density shocks, and topology changes between rounds. After the hook
+    returns, the simulation loop re-reads those fields, so a replaced array
+    (even one of a different agent count) becomes the live state of the next
+    round. The loop validates that the per-agent arrays stay mutually
+    consistent and that positions remain valid nodes of ``topology``.
+
+    In the single-run engine the per-agent arrays have shape ``(n,)``; in
+    the batched engine (:mod:`repro.engine.batch`) they have shape
+    ``(R, n)`` with a leading replicate axis. ``observed`` is this round's
+    observed collision counts (already accumulated into ``totals``).
+    """
+
+    topology: Topology
+    positions: np.ndarray
+    totals: np.ndarray
+    marked: np.ndarray
+    marked_totals: np.ndarray
+    observed: np.ndarray
+    round_index: int
+    rng: np.random.Generator
+
+    @property
+    def num_agents(self) -> int:
+        """Live agents per replicate (the trailing axis of the state arrays)."""
+        return int(self.positions.shape[-1])
+
+
+#: Per-round hook contract; see :class:`RoundState`.
+RoundHook = Callable[[RoundState], None]
+
+
+def apply_round_hook(
+    hook: RoundHook,
+    state: RoundState,
+) -> RoundState:
+    """Invoke ``hook`` and validate the (possibly replaced) state arrays.
+
+    Shared by the single-run and batched engines so both enforce the same
+    contract: the per-agent arrays must keep one common shape and positions
+    must be valid nodes of the (possibly replaced) topology.
+    """
+    hook(state)
+    state.positions = np.asarray(state.positions, dtype=np.int64)
+    state.totals = np.asarray(state.totals, dtype=np.float64)
+    state.marked = np.asarray(state.marked, dtype=bool)
+    state.marked_totals = np.asarray(state.marked_totals, dtype=np.float64)
+    shape = state.positions.shape
+    if state.num_agents < 1:
+        raise ValueError("round_hook must leave at least one live agent")
+    for name in ("totals", "marked", "marked_totals"):
+        if getattr(state, name).shape != shape:
+            raise ValueError(
+                f"round_hook left inconsistent state: positions have shape {shape} "
+                f"but {name} has shape {getattr(state, name).shape}"
+            )
+    state.topology.validate_nodes(state.positions)
+    return state
+
+
 @dataclass(frozen=True)
 class SimulationConfig:
     """Configuration of a multi-agent encounter-rate simulation.
@@ -83,6 +150,14 @@ class SimulationConfig:
     record_trajectory:
         When ``True``, cumulative collision counts are recorded after every
         round (memory ``O(num_agents * rounds)``), allowing convergence plots.
+    round_hook:
+        Optional per-round callback receiving a :class:`RoundState` after
+        each round's observation has been accumulated. The hook may replace
+        the state arrays and the topology, which is how the dynamics layer
+        (:mod:`repro.dynamics`) injects agent churn, density shocks, and
+        environment changes mid-run. Incompatible with
+        ``record_trajectory`` (the trajectory matrix assumes a fixed
+        population).
     """
 
     num_agents: int
@@ -92,6 +167,7 @@ class SimulationConfig:
     collision_model: Optional[CollisionObservationModel] = None
     movement: Optional[MovementModelLike] = None
     record_trajectory: bool = False
+    round_hook: Optional[RoundHook] = None
 
     def __post_init__(self) -> None:
         require_integer(self.num_agents, "num_agents", minimum=1)
@@ -99,6 +175,12 @@ class SimulationConfig:
         if not 0.0 <= self.marked_fraction <= 1.0:
             raise ValueError(
                 f"marked_fraction must lie in [0, 1], got {self.marked_fraction}"
+            )
+        if self.round_hook is not None and self.record_trajectory:
+            raise ValueError(
+                "round_hook may change the population mid-run; trajectory "
+                "recording requires a fixed population, so the two cannot "
+                "be combined"
             )
 
 
@@ -247,6 +329,26 @@ def simulate_density_estimation(
         if trajectory is not None:
             trajectory[round_index] = totals
 
+        if config.round_hook is not None:
+            state = apply_round_hook(
+                config.round_hook,
+                RoundState(
+                    topology=topology,
+                    positions=positions,
+                    totals=totals,
+                    marked=marked,
+                    marked_totals=marked_totals,
+                    observed=observed,
+                    round_index=round_index,
+                    rng=rng,
+                ),
+            )
+            topology = state.topology
+            positions = state.positions
+            totals = state.totals
+            marked = state.marked
+            marked_totals = state.marked_totals
+
     return SimulationResult(
         collision_totals=totals,
         marked_collision_totals=marked_totals,
@@ -266,6 +368,9 @@ __all__ = [
     "SimulationResult",
     "CollisionObservationModel",
     "MovementModelLike",
+    "RoundState",
+    "RoundHook",
+    "apply_round_hook",
     "simulate_density_estimation",
     "uniform_placement",
 ]

@@ -1,0 +1,266 @@
+"""Declarative, seeded schedules of mid-run environment events.
+
+The paper's model (and every experiment E01–E22) is static: a fixed
+topology, a fixed population, one estimate at the end. Real deployments —
+ant colonies, robot swarms, sensor fields — churn: agents join and leave,
+the arena reshapes, sensors degrade. This module gives those dynamics a
+*declarative* form: an :class:`EventSchedule` is an immutable, sorted bag
+of events, each pinned to the 0-based round index after whose observation
+it fires. Schedules are plain data (JSON-round-trippable via
+:func:`event_to_dict` / :func:`event_from_dict`), so a
+:class:`~repro.dynamics.scenario.Scenario` can carry them through caches,
+process pools, and the CLI without losing determinism: the schedule is
+fixed *before* any execution fan-out, which is what makes scenario records
+bit-identical at any worker count.
+
+Five event kinds cover the scenario catalog:
+
+* :class:`AgentArrival` / :class:`AgentDeparture` — population churn;
+* :class:`DensityShock` — multiplicative population jump (ramp / crash);
+* :class:`TopologyChange` — swap the environment mid-run (rewire / resize);
+* :class:`NoiseWindow` — a transient window of degraded collision sensing.
+
+:func:`random_churn_schedule` generates Poisson birth/death traffic from a
+seed — the same seed always yields the bit-identical schedule, regardless
+of where or how the scenario later executes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from typing import Any, Iterable, Mapping
+
+
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import (
+    require_integer,
+    require_non_negative,
+    require_probability,
+)
+
+
+@dataclass(frozen=True)
+class Event:
+    """Base class: something that happens after round ``round`` (0-based)."""
+
+    round: int
+
+    #: Registry key; each concrete subclass overrides this.
+    kind = "event"
+
+    def __post_init__(self) -> None:
+        require_integer(self.round, "round", minimum=0)
+
+
+@dataclass(frozen=True)
+class AgentArrival(Event):
+    """``count`` new agents join, placed at independent uniform nodes."""
+
+    count: int
+
+    kind = "arrival"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        require_integer(self.count, "count", minimum=1)
+
+
+@dataclass(frozen=True)
+class AgentDeparture(Event):
+    """``count`` uniformly random agents leave (clamped so ≥ 1 remains)."""
+
+    count: int
+
+    kind = "departure"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        require_integer(self.count, "count", minimum=1)
+
+
+@dataclass(frozen=True)
+class DensityShock(Event):
+    """Scale the live population to ``round(n · factor)`` agents.
+
+    ``factor > 1`` triggers arrivals, ``factor < 1`` departures; the
+    resulting population never drops below one agent.
+    """
+
+    factor: float
+
+    kind = "shock"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not self.factor > 0:
+            raise ValueError(f"factor must be positive, got {self.factor}")
+
+
+@dataclass(frozen=True)
+class TopologyChange(Event):
+    """Replace the environment with the one described by ``topology``.
+
+    ``topology`` is a plain spec dict understood by
+    :func:`repro.dynamics.scenario.build_topology` (e.g. ``{"kind":
+    "torus2d", "side": 24}``). ``remap`` chooses how surviving agents are
+    re-positioned on the new node set: ``"uniform"`` (default) re-places
+    them independently and uniformly — preserving the placement assumption
+    of Section 2 — while ``"mod"`` maps each old label to ``label %
+    num_nodes`` (deterministic, keeps spatial locality on shrinking tori).
+    """
+
+    topology: Mapping[str, Any]
+    remap: str = "uniform"
+
+    kind = "rewire"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.remap not in ("uniform", "mod"):
+            raise ValueError(f"remap must be 'uniform' or 'mod', got {self.remap!r}")
+        if "kind" not in self.topology:
+            raise ValueError("topology spec must carry a 'kind' key")
+
+
+@dataclass(frozen=True)
+class NoiseWindow(Event):
+    """Degraded collision sensing for ``duration`` rounds starting next round.
+
+    While active, each round's observed counts are re-filtered through a
+    :class:`~repro.swarm.noise.NoisyCollisionModel` with the given miss
+    probability and spurious rate — the "failing sensors" scenario.
+    """
+
+    duration: int
+    miss_probability: float = 0.0
+    spurious_rate: float = 0.0
+
+    kind = "noise"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        require_integer(self.duration, "duration", minimum=1)
+        require_probability(self.miss_probability, "miss_probability")
+        require_non_negative(self.spurious_rate, "spurious_rate")
+
+
+#: Registry used by :func:`event_from_dict`.
+EVENT_KINDS: dict[str, type[Event]] = {
+    cls.kind: cls
+    for cls in (AgentArrival, AgentDeparture, DensityShock, TopologyChange, NoiseWindow)
+}
+
+
+def event_to_dict(event: Event) -> dict[str, Any]:
+    """Flatten an event into a JSON-friendly dict with a ``kind`` tag."""
+    payload: dict[str, Any] = {"kind": event.kind}
+    for f in fields(event):
+        value = getattr(event, f.name)
+        payload[f.name] = dict(value) if isinstance(value, Mapping) else value
+    return payload
+
+
+def event_from_dict(payload: Mapping[str, Any]) -> Event:
+    """Inverse of :func:`event_to_dict` (dispatches on the ``kind`` tag)."""
+    data = dict(payload)
+    kind = data.pop("kind", None)
+    if kind not in EVENT_KINDS:
+        raise ValueError(
+            f"unknown event kind {kind!r}; known kinds: {sorted(EVENT_KINDS)}"
+        )
+    return EVENT_KINDS[kind](**data)
+
+
+@dataclass(frozen=True)
+class EventSchedule:
+    """An immutable schedule: events sorted by round, O(1) per-round lookup.
+
+    Construction normalises the event order (stable sort by round), so two
+    schedules built from the same events in any order compare equal — and a
+    schedule regenerated from the same seed is bit-identical wherever it is
+    built, which the worker-count-independence guarantee of scenario runs
+    rests on.
+    """
+
+    events: tuple[Event, ...] = ()
+    _by_round: dict[int, tuple[Event, ...]] = field(
+        init=False, repr=False, compare=False, hash=False, default_factory=dict
+    )
+
+    def __post_init__(self) -> None:
+        ordered = tuple(sorted(self.events, key=lambda event: event.round))
+        object.__setattr__(self, "events", ordered)
+        by_round: dict[int, list[Event]] = {}
+        for event in ordered:
+            by_round.setdefault(event.round, []).append(event)
+        object.__setattr__(
+            self, "_by_round", {r: tuple(evts) for r, evts in by_round.items()}
+        )
+
+    def at(self, round_index: int) -> tuple[Event, ...]:
+        """Events that fire after round ``round_index`` (possibly empty)."""
+        return self._by_round.get(round_index, ())
+
+    @property
+    def last_round(self) -> int:
+        """Round of the latest event, or ``-1`` for an empty schedule."""
+        return self.events[-1].round if self.events else -1
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def to_dicts(self) -> list[dict[str, Any]]:
+        """The schedule as a JSON-friendly list of event dicts."""
+        return [event_to_dict(event) for event in self.events]
+
+    @classmethod
+    def from_dicts(cls, payloads: Iterable[Mapping[str, Any]]) -> "EventSchedule":
+        """Rebuild a schedule from :meth:`to_dicts` output."""
+        return cls(events=tuple(event_from_dict(payload) for payload in payloads))
+
+
+def random_churn_schedule(
+    rounds: int,
+    arrival_rate: float,
+    departure_rate: float,
+    seed: SeedLike = None,
+) -> EventSchedule:
+    """Poisson birth/death traffic: a seeded, reproducible churn schedule.
+
+    Each round independently receives ``Poisson(arrival_rate)`` arrivals and
+    ``Poisson(departure_rate)`` departures (events are only emitted for
+    non-zero draws). The schedule is a pure function of ``(rounds, rates,
+    seed)`` — generate it once, before any parallel fan-out, and every
+    worker sees the identical dynamics.
+    """
+    require_integer(rounds, "rounds", minimum=1)
+    require_non_negative(arrival_rate, "arrival_rate")
+    require_non_negative(departure_rate, "departure_rate")
+    rng = as_generator(seed)
+    arrivals = rng.poisson(arrival_rate, size=rounds)
+    departures = rng.poisson(departure_rate, size=rounds)
+    events: list[Event] = []
+    for round_index in range(rounds):
+        if arrivals[round_index] > 0:
+            events.append(AgentArrival(round=round_index, count=int(arrivals[round_index])))
+        if departures[round_index] > 0:
+            events.append(AgentDeparture(round=round_index, count=int(departures[round_index])))
+    return EventSchedule(events=tuple(events))
+
+
+__all__ = [
+    "Event",
+    "AgentArrival",
+    "AgentDeparture",
+    "DensityShock",
+    "TopologyChange",
+    "NoiseWindow",
+    "EVENT_KINDS",
+    "EventSchedule",
+    "event_to_dict",
+    "event_from_dict",
+    "random_churn_schedule",
+]

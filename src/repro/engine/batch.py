@@ -21,9 +21,20 @@ The replicates are mutually independent by construction — exactly as if
 each had been run in its own loop with its own slice of the generator's
 stream — but the per-round cost is amortised over all of them.
 
-Workloads the matrix form cannot express (movement models, observation
-noise hooks, the network-size pipelines) belong on the process-parallel
+Movement and observation-noise models whose array operations are purely
+elementwise declare ``batch_safe = True`` and run directly on the ``(R, n)``
+matrix (each replicate still sees its own independent randomness). Models
+that mix information *across* agents in ways that would leak between
+replicates (e.g. :class:`~repro.walks.movement.CollisionAvoidingWalk`) stay
+banned here; such workloads — and anything else the matrix form cannot
+express, like the network-size pipelines — belong on the process-parallel
 scheduler instead; see :mod:`repro.engine.scheduler`.
+
+A :class:`~repro.core.simulation.SimulationConfig` may also carry a
+``round_hook``: the hook receives the live ``(R, n)`` state after every
+round, which is how the dynamics layer (:mod:`repro.dynamics`) runs
+time-varying scenarios — agent churn, density shocks, topology changes —
+at batched throughput.
 """
 
 from __future__ import annotations
@@ -33,7 +44,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.encounter import batched_collision_counts, batched_collision_profiles
-from repro.core.simulation import SimulationConfig, SimulationResult
+from repro.core.simulation import RoundState, SimulationConfig, SimulationResult, apply_round_hook
 from repro.topology.base import Topology
 from repro.utils.rng import SeedLike, as_generator
 from repro.utils.validation import require_integer
@@ -114,10 +125,14 @@ def simulate_density_estimation_batch(
         Topology to walk on; any :class:`~repro.topology.Topology` (their
         ``step_many`` implementations are shape-polymorphic).
     config:
-        Simulation parameters shared by every replicate. Configurations with
-        a ``movement`` model or a ``collision_model`` cannot be expressed as
-        a matrix simulation — run those through
-        :class:`repro.engine.scheduler.ExecutionEngine` instead.
+        Simulation parameters shared by every replicate. ``movement`` and
+        ``collision_model`` hooks must declare ``batch_safe = True``
+        (elementwise over the ``(R, n)`` matrix); models that mix
+        information across agents cannot be expressed as a matrix
+        simulation — run those through
+        :class:`repro.engine.scheduler.ExecutionEngine` instead. A
+        ``round_hook`` receives the live ``(R, n)`` state each round and
+        may apply churn or environment changes (see :mod:`repro.dynamics`).
     replicates:
         Number of independent replicates ``R``.
     seed:
@@ -131,15 +146,16 @@ def simulate_density_estimation_batch(
         Per-replicate, per-agent collision totals (shape ``(R, n)``).
     """
     require_integer(replicates, "replicates", minimum=1)
-    if config.movement is not None:
+    if config.movement is not None and not getattr(config.movement, "batch_safe", False):
         raise ValueError(
-            "movement models step replicates through Python hooks and cannot be "
-            "batched; run them through the engine scheduler instead"
+            "this movement model mixes information across agents and would leak "
+            "between replicates if batched; run it through the engine scheduler instead"
         )
-    if config.collision_model is not None:
+    if config.collision_model is not None and not getattr(config.collision_model, "batch_safe", False):
         raise ValueError(
-            "collision observation models expect per-replicate (n,) count vectors "
-            "and cannot be batched; run them through the engine scheduler instead"
+            "this collision observation model does not declare itself batch-safe "
+            "(elementwise over (R, n) count matrices); run it through the engine "
+            "scheduler instead"
         )
 
     rng = as_generator(seed)
@@ -182,20 +198,56 @@ def simulate_density_estimation_batch(
         else None
     )
 
-    num_nodes = topology.num_nodes
     for round_index in range(config.rounds):
-        positions = topology.step_many(positions, rng)
+        if config.movement is not None:
+            positions = np.asarray(config.movement.step(topology, positions, rng), dtype=np.int64)
+        else:
+            positions = topology.step_many(positions, rng)
+        num_nodes = topology.num_nodes
         if track_marked:
             counts, marked_counts = batched_collision_profiles(positions, marked, num_nodes)
-            totals += counts
             marked_totals += marked_counts
             if marked_trajectory is not None:
                 marked_trajectory[round_index] = marked_totals
         else:
-            totals += batched_collision_counts(positions, num_nodes)
+            counts = batched_collision_counts(positions, num_nodes)
+        if config.collision_model is not None:
+            observed = np.asarray(config.collision_model.observe(counts, rng), dtype=np.float64)
+            if observed.shape != counts.shape:
+                raise ValueError(
+                    "collision_model.observe must preserve the shape of its input"
+                )
+        else:
+            observed = counts.astype(np.float64)
+        totals += observed
 
         if trajectory is not None:
             trajectory[round_index] = totals
+
+        if config.round_hook is not None:
+            state = apply_round_hook(
+                config.round_hook,
+                RoundState(
+                    topology=topology,
+                    positions=positions,
+                    totals=totals,
+                    marked=marked,
+                    marked_totals=marked_totals,
+                    observed=observed,
+                    round_index=round_index,
+                    rng=rng,
+                ),
+            )
+            if state.positions.ndim != 2 or state.positions.shape[0] != replicates:
+                raise ValueError(
+                    "round_hook must preserve the replicate axis: expected "
+                    f"({replicates}, n) arrays, got shape {state.positions.shape}"
+                )
+            topology = state.topology
+            positions = state.positions
+            totals = state.totals
+            marked = state.marked
+            marked_totals = state.marked_totals
 
     return BatchSimulationResult(
         collision_totals=totals,
@@ -204,7 +256,7 @@ def simulate_density_estimation_batch(
         initial_positions=initial_positions,
         final_positions=positions,
         rounds=config.rounds,
-        num_nodes=num_nodes,
+        num_nodes=topology.num_nodes,
         trajectory=trajectory,
         marked_trajectory=marked_trajectory,
         metadata={"topology": topology.name, "replicates": replicates},

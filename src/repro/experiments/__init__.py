@@ -46,6 +46,8 @@ from repro.experiments import (
     e20_boundary_effects,
     e21_adaptive_estimation,
     e22_collective_quorum,
+    e23_density_tracking,
+    e24_churn_robustness,
 )
 
 #: Registry: experiment id -> (module, config class).
@@ -72,6 +74,8 @@ EXPERIMENTS: dict[str, tuple[object, type]] = {
     "E20": (e20_boundary_effects, e20_boundary_effects.BoundaryEffectsConfig),
     "E21": (e21_adaptive_estimation, e21_adaptive_estimation.AdaptiveEstimationConfig),
     "E22": (e22_collective_quorum, e22_collective_quorum.CollectiveQuorumConfig),
+    "E23": (e23_density_tracking, e23_density_tracking.DensityTrackingConfig),
+    "E24": (e24_churn_robustness, e24_churn_robustness.ChurnRobustnessConfig),
 }
 
 

@@ -11,7 +11,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
 
 from repro.core.simulation import SimulationConfig
 from repro.engine import ExecutionEngine

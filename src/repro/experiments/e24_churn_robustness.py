@@ -1,0 +1,140 @@
+"""E24 — Robustness of encounter-rate density estimation under agent churn.
+
+The paper argues random-walk collision counting is a *robust* primitive
+for biological and robotic swarms. Real swarms churn: agents fail, join,
+or get recruited away. This experiment sweeps a symmetric Poisson
+birth/death rate (expected arrivals = expected departures per round, so
+the population stays statistically level while its *composition* turns
+over) and measures how well the sliding-window tracker follows the
+instantaneous true density.
+
+Because arrivals are placed at independent uniform nodes — the stationary
+law of the walk — churn does not bias the per-round encounter rate: each
+round's population mean collision count still has expectation equal to
+the live density. The measurable cost of churn is therefore variance, not
+bias: the tracking error should grow only mildly with the churn rate,
+while the population turnover column confirms the composition really did
+change. This is the dynamic counterpart of E17's static unbiasedness
+check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dynamics.driver import run_scenario
+from repro.dynamics.events import random_churn_schedule
+from repro.dynamics.scenario import Scenario
+from repro.engine import ExecutionEngine
+from repro.experiments.base import ExperimentResult
+from repro.utils.rng import SeedLike, spawn_seed_sequences
+
+
+@dataclass(frozen=True)
+class ChurnRobustnessConfig:
+    """Parameters of experiment E24."""
+
+    side: int = 32
+    num_agents: int = 200
+    rounds: int = 300
+    #: Expected per-round arrivals and departures, as fractions of the
+    #: initial population (0.01 → about two agents churn per round at the
+    #: default population).
+    churn_rates: tuple[float, ...] = (0.0, 0.005, 0.01, 0.02, 0.05)
+    replicates: int = 8
+
+    @classmethod
+    def quick(cls) -> "ChurnRobustnessConfig":
+        """Scaled-down configuration for tests and benchmarks."""
+        return cls(
+            side=16,
+            num_agents=60,
+            rounds=60,
+            churn_rates=(0.0, 0.02, 0.05),
+            replicates=4,
+        )
+
+
+def run(
+    config: ChurnRobustnessConfig | None = None,
+    seed: SeedLike = 0,
+    engine: ExecutionEngine | None = None,
+) -> ExperimentResult:
+    """Run E24 and return the error-vs-churn-rate table."""
+    config = config or ChurnRobustnessConfig()
+    engine = engine or ExecutionEngine()
+    result = ExperimentResult(
+        experiment_id="E24",
+        title="Density tracking accuracy vs agent churn rate (2-D torus)",
+        claim=(
+            "Uniformly placed arrivals keep the encounter rate unbiased, so "
+            "tracking error grows only mildly with churn (robustness, Section 6.1)"
+        ),
+        columns=[
+            "churn_rate",
+            "expected_events_per_round",
+            "final_population",
+            "final_density",
+            "window_error",
+            "running_error",
+            "mean_ci_width",
+        ],
+    )
+
+    # One child seed per churn rate: the schedule and the walks of each
+    # sweep point are independent, yet the whole table is a pure function
+    # of (config, seed) — regenerated identically at any worker count.
+    children = spawn_seed_sequences(seed, 2 * len(config.churn_rates))
+    schedule_seeds = children[: len(config.churn_rates)]
+    run_seeds = children[len(config.churn_rates) :]
+
+    for rate, schedule_seed, run_seed in zip(config.churn_rates, schedule_seeds, run_seeds):
+        per_round = rate * config.num_agents
+        events = (
+            random_churn_schedule(config.rounds, per_round, per_round, schedule_seed)
+            if rate > 0.0
+            else None
+        )
+        scenario = Scenario(
+            name=f"churn-{rate:g}",
+            description=f"symmetric Poisson churn at rate {rate:g} per agent per round",
+            topology={"kind": "torus2d", "side": config.side},
+            num_agents=config.num_agents,
+            rounds=config.rounds,
+            **({"events": events} if events is not None else {}),
+        )
+        outcome = run_scenario(
+            scenario, replicates=config.replicates, engine=engine, seed=run_seed
+        )
+
+        density = outcome.true_density
+        # Judge tracking over the second half, once every window has filled.
+        tail = slice(config.rounds // 2, None)
+        errors = {}
+        for name in ("window", "running"):
+            estimates = outcome.estimates[name].mean(axis=1)[tail]
+            errors[name] = float(
+                np.mean(np.abs(estimates - density[tail]) / np.maximum(density[tail], 1e-12))
+            )
+        result.add(
+            churn_rate=rate,
+            expected_events_per_round=2.0 * per_round,
+            final_population=int(outcome.population[-1]),
+            final_density=float(density[-1]),
+            window_error=errors["window"],
+            running_error=errors["running"],
+            mean_ci_width=float((outcome.ci_high - outcome.ci_low)[tail].mean()),
+        )
+
+    baseline = result.records[0]["window_error"]
+    worst = max(record["window_error"] for record in result.records)
+    result.notes.append(
+        f"window-tracker error: {baseline:.3f} with no churn, {worst:.3f} at the "
+        "worst sweep point — churn widens the noise band but does not bias the estimate"
+    )
+    return result
+
+
+__all__ = ["ChurnRobustnessConfig", "run"]

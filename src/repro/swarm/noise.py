@@ -37,6 +37,10 @@ class NoisyCollisionModel:
     miss_probability: float = 0.0
     spurious_rate: float = 0.0
 
+    #: Both noise effects act elementwise on the count array, so the batched
+    #: engine may apply this model to ``(R, n)`` replicate matrices directly.
+    batch_safe = True
+
     def __post_init__(self) -> None:
         require_probability(self.miss_probability, "miss_probability")
         require_non_negative(self.spurious_rate, "spurious_rate")

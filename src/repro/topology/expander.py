@@ -13,7 +13,6 @@ the theoretical bounds.
 from __future__ import annotations
 
 import networkx as nx
-import numpy as np
 
 from repro.topology.graph import NetworkXTopology
 from repro.topology.spectral import second_eigenvalue_magnitude

@@ -8,7 +8,7 @@ integer seed, every simulation in the library is fully deterministic.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Union
+from typing import Union
 
 import numpy as np
 

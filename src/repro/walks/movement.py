@@ -35,6 +35,11 @@ class MovementModel(abc.ABC):
     #: Short label used in experiment tables.
     name: str = "movement"
 
+    #: Whether :meth:`step` is purely elementwise over the position array,
+    #: so the batched engine may run it on ``(R, n)`` replicate matrices
+    #: without information leaking between replicates.
+    batch_safe: bool = False
+
     @abc.abstractmethod
     def step(
         self, topology: Topology, positions: np.ndarray, rng: np.random.Generator
@@ -47,6 +52,7 @@ class UniformRandomWalk(MovementModel):
     """The paper's model: step to a uniformly random neighbour every round."""
 
     name: str = "uniform_random_walk"
+    batch_safe: bool = True
 
     def step(
         self, topology: Topology, positions: np.ndarray, rng: np.random.Generator
@@ -66,6 +72,7 @@ class LazyRandomWalk(MovementModel):
 
     stay_probability: float = 0.5
     name: str = "lazy_random_walk"
+    batch_safe: bool = True
 
     def __post_init__(self) -> None:
         require_probability(self.stay_probability, "stay_probability", allow_one=False)
@@ -93,6 +100,7 @@ class BiasedTorusWalk(MovementModel):
 
     bias: float = 0.2
     name: str = "biased_torus_walk"
+    batch_safe: bool = True
 
     def __post_init__(self) -> None:
         require_probability(self.bias, "bias")

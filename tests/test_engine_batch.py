@@ -21,7 +21,7 @@ from repro.topology import (
     Torus2D,
     TorusKD,
 )
-from repro.walks.movement import UniformRandomWalk
+from repro.walks.movement import CollisionAvoidingWalk, LazyRandomWalk
 
 ALL_TOPOLOGIES = [
     Torus2D(8),
@@ -188,17 +188,46 @@ class TestBatchSimulation:
         with pytest.raises(ValueError, match="placement must return shape"):
             simulate_density_estimation_batch(Torus2D(6), config, 2, seed=0)
 
-    def test_movement_model_rejected(self):
-        config = SimulationConfig(num_agents=5, rounds=3, movement=UniformRandomWalk())
+    def test_cross_agent_movement_model_rejected(self):
+        # CollisionAvoidingWalk inspects the whole position vector at once,
+        # which would leak information between replicates if batched.
+        config = SimulationConfig(num_agents=5, rounds=3, movement=CollisionAvoidingWalk())
         with pytest.raises(ValueError, match="scheduler"):
             simulate_density_estimation_batch(Torus2D(6), config, 2, seed=0)
 
-    def test_collision_model_rejected(self):
+    def test_non_batch_safe_collision_model_rejected(self):
+        class WholePopulationModel:
+            # No batch_safe attribute: must stay on the scheduler path.
+            def observe(self, true_counts, rng):
+                return true_counts
+
         config = SimulationConfig(
-            num_agents=5, rounds=3, collision_model=NoisyCollisionModel(miss_probability=0.5)
+            num_agents=5, rounds=3, collision_model=WholePopulationModel()
         )
         with pytest.raises(ValueError, match="scheduler"):
             simulate_density_estimation_batch(Torus2D(6), config, 2, seed=0)
+
+    def test_batch_safe_movement_model_accepted(self):
+        # Elementwise movement models run on the (R, n) matrix; each
+        # replicate's rows behave like an independent run.
+        config = SimulationConfig(
+            num_agents=12, rounds=6, movement=LazyRandomWalk(stay_probability=0.5)
+        )
+        batch = simulate_density_estimation_batch(Torus2D(6), config, 3, seed=7)
+        assert batch.collision_totals.shape == (3, 12)
+        assert np.all(batch.collision_totals >= 0)
+
+    def test_batch_safe_collision_model_accepted(self):
+        config = SimulationConfig(
+            num_agents=12, rounds=6, collision_model=NoisyCollisionModel(miss_probability=0.5)
+        )
+        batch = simulate_density_estimation_batch(Torus2D(6), config, 3, seed=7)
+        assert batch.collision_totals.shape == (3, 12)
+        # Missed detections can only lower the observed totals.
+        noiseless = simulate_density_estimation_batch(
+            Torus2D(6), SimulationConfig(num_agents=12, rounds=6), 3, seed=7
+        )
+        assert batch.collision_totals.sum() <= noiseless.collision_totals.sum()
 
     def test_replicates_validated(self):
         with pytest.raises(ValueError):

@@ -9,7 +9,7 @@ from repro.experiments.base import ExperimentResult, summarize_many
 
 class TestRegistry:
     def test_all_ids_present(self):
-        expected = {f"E{i:02d}" for i in range(1, 23)}
+        expected = {f"E{i:02d}" for i in range(1, 25)}
         assert set(EXPERIMENTS) == expected
 
     def test_unknown_id_raises(self):

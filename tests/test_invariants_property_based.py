@@ -14,6 +14,13 @@ from repro.core import bounds
 from repro.core.encounter import collision_counts
 from repro.core.estimator import RandomWalkDensityEstimator
 from repro.core.simulation import SimulationConfig, simulate_density_estimation
+from repro.dynamics import (
+    EventSchedule,
+    Scenario,
+    random_churn_schedule,
+    track_scenario,
+    track_scenario_batch,
+)
 from repro.topology.torus import Torus2D
 
 
@@ -131,3 +138,120 @@ class TestSimulationInvariants:
         ratio = small.mean_estimate() / max(large.mean_estimate(), 1e-9)
         expected = (29 * 29) / (20 * 20)
         assert ratio == pytest.approx(expected, rel=0.35)
+
+
+def _churn_scenario(rounds: int, num_agents: int, arrival_rate: float,
+                    departure_rate: float, schedule_seed: int) -> Scenario:
+    return Scenario(
+        name="property-churn",
+        description="hypothesis-generated churn traffic",
+        topology={"kind": "torus2d", "side": 8},
+        num_agents=num_agents,
+        rounds=rounds,
+        events=random_churn_schedule(rounds, arrival_rate, departure_rate, schedule_seed),
+    )
+
+
+class TestDynamicsInvariants:
+    @given(
+        rounds=st.integers(min_value=4, max_value=30),
+        num_agents=st.integers(min_value=2, max_value=40),
+        arrival_rate=st.floats(min_value=0.0, max_value=3.0),
+        departure_rate=st.floats(min_value=0.0, max_value=6.0),
+        schedule_seed=st.integers(min_value=0, max_value=10**6),
+        run_seed=st.integers(min_value=0, max_value=10**6),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_churn_never_yields_negative_population(
+        self, rounds, num_agents, arrival_rate, departure_rate, schedule_seed, run_seed
+    ):
+        # Even under heavy departure pressure (departures drawn at twice the
+        # arrival rate) the clamp keeps at least one live agent, so the
+        # population timeline is positive at every round.
+        scenario = _churn_scenario(
+            rounds, num_agents, arrival_rate, departure_rate, schedule_seed
+        )
+        outcome = track_scenario(scenario, seed=run_seed)
+        assert outcome.population.min() >= 1
+        assert (outcome.num_nodes == 64).all()
+
+    @given(
+        rounds=st.integers(min_value=4, max_value=25),
+        num_agents=st.integers(min_value=2, max_value=30),
+        replicates=st.integers(min_value=1, max_value=4),
+        schedule_seed=st.integers(min_value=0, max_value=10**6),
+        run_seed=st.integers(min_value=0, max_value=10**6),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_counter_arrays_always_match_live_agent_count(
+        self, rounds, num_agents, replicates, schedule_seed, run_seed
+    ):
+        from repro.core.simulation import SimulationConfig
+        from repro.dynamics.driver import _DynamicsTracker
+        from repro.engine import simulate_density_estimation_batch
+
+        scenario = _churn_scenario(rounds, num_agents, 2.0, 3.0, schedule_seed)
+        sizes: list[tuple[int, ...]] = []
+
+        tracker = _DynamicsTracker(scenario, tracks=replicates)
+
+        def observing_hook(state):
+            tracker(state)
+            # After every round (events applied) the four per-agent arrays
+            # must agree on one shape with at least one live agent.
+            assert state.positions.shape == state.totals.shape
+            assert state.positions.shape == state.marked.shape
+            assert state.positions.shape == state.marked_totals.shape
+            assert state.positions.shape[-1] >= 1
+            sizes.append(state.positions.shape)
+
+        config = SimulationConfig(
+            num_agents=scenario.num_agents, rounds=scenario.rounds, round_hook=observing_hook
+        )
+        result = simulate_density_estimation_batch(
+            Torus2D(8), config, replicates, seed=run_seed
+        )
+        assert len(sizes) == rounds
+        # The final result arrays carry the final live population.
+        assert result.collision_totals.shape == sizes[-1]
+        # The tracker records the population *observed* in round t, which is
+        # the post-event size of round t-1 (and the initial size at t=0).
+        assert tracker.population[0] == scenario.num_agents
+        for t in range(1, rounds):
+            assert tracker.population[t] == sizes[t - 1][-1]
+
+    @given(
+        rounds=st.integers(min_value=1, max_value=60),
+        arrival_rate=st.floats(min_value=0.0, max_value=4.0),
+        departure_rate=st.floats(min_value=0.0, max_value=4.0),
+        seed=st.integers(min_value=0, max_value=10**9),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_identical_seeds_give_bit_identical_schedules(
+        self, rounds, arrival_rate, departure_rate, seed
+    ):
+        # The schedule is generated before any execution fan-out, so seed
+        # determinism here is what makes scenario records independent of
+        # the worker count. Equality must also survive the JSON round trip
+        # used by caches and subprocess settings.
+        first = random_churn_schedule(rounds, arrival_rate, departure_rate, seed)
+        second = random_churn_schedule(rounds, arrival_rate, departure_rate, seed)
+        assert first == second
+        assert EventSchedule.from_dicts(first.to_dicts()) == second
+
+    @given(
+        num_agents=st.integers(min_value=4, max_value=30),
+        schedule_seed=st.integers(min_value=0, max_value=10**6),
+        run_seed=st.integers(min_value=0, max_value=10**6),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_batched_churn_population_timeline_matches_single_run(
+        self, num_agents, schedule_seed, run_seed
+    ):
+        scenario = _churn_scenario(12, num_agents, 1.5, 1.5, schedule_seed)
+        single = track_scenario(scenario, seed=run_seed)
+        batched = track_scenario_batch(scenario, 3, seed=run_seed)
+        # The environment timeline is schedule-driven, hence identical
+        # whatever the execution shape.
+        assert np.array_equal(single.population, batched.population)
+        assert np.array_equal(single.num_nodes, batched.num_nodes)
