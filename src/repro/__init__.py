@@ -24,7 +24,16 @@ A complete, executable reproduction of Musco, Su, and Lynch,
   event schedules (agent churn, density shocks, topology rewiring, sensor
   degradation), a catalog of named :class:`Scenario` specs, and online
   anytime density tracking with per-round confidence bands and change
-  detection (:func:`run_scenario`).
+  detection (:func:`run_scenario`),
+* resumable sweep orchestration (:mod:`repro.sweeps`): declarative
+  :class:`SweepSpec`\\ s (grid / zip / random-search axes over experiment
+  configs and dynamics scenarios) compiled into one flat plan, with every
+  completed cell checkpointed so an interrupted sweep resumes with zero
+  recomputation (:func:`run_sweep_spec`),
+* a persistent columnar result store (:mod:`repro.store`):
+  :class:`ResultStore` appends rows atomically and idempotently (Parquet
+  when pyarrow is present, NDJSON otherwise), records run provenance, and
+  serves queries and report regeneration without re-running simulations.
 
 Quickstart
 ----------
@@ -51,6 +60,10 @@ Online tracking of a time-varying world:
 80
 """
 
+# Defined before any subpackage import: repro.store and repro.sweeps fold the
+# package version into provenance metadata and cache keys at import time.
+__version__ = "1.3.0"
+
 from repro.core import (
     IndependentSamplingEstimator,
     QuorumDetector,
@@ -70,6 +83,15 @@ from repro.dynamics import (
     scenario_names,
 )
 from repro.engine import BatchSimulationResult, ExecutionEngine, RunCache
+from repro.store import ResultStore
+from repro.sweeps import (
+    GridAxis,
+    RandomAxis,
+    SweepSpec,
+    TargetSpec,
+    ZipAxis,
+    run_sweep_spec,
+)
 from repro.netsize import (
     NetworkSizeEstimationPipeline,
     estimate_average_degree,
@@ -88,8 +110,6 @@ from repro.topology import (
     TorusKD,
 )
 
-__version__ = "1.2.0"
-
 __all__ = [
     "__version__",
     # Core algorithms
@@ -106,6 +126,14 @@ __all__ = [
     "ExecutionEngine",
     "BatchSimulationResult",
     "RunCache",
+    # Sweeps and the result store
+    "SweepSpec",
+    "TargetSpec",
+    "GridAxis",
+    "ZipAxis",
+    "RandomAxis",
+    "run_sweep_spec",
+    "ResultStore",
     # Dynamics: time-varying scenarios and online tracking
     "Scenario",
     "ScenarioRunResult",

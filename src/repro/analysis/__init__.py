@@ -6,8 +6,16 @@
 * :mod:`repro.analysis.accuracy` — empirical accuracy summaries of estimator
   outputs (relative errors, empirical ε at a target δ, error decay fits).
 * :mod:`repro.analysis.sweep` — a small parameter-sweep harness that the
-  experiment modules and benchmarks share.
+  experiment modules and benchmarks share (its declarative, resumable big
+  sibling is :mod:`repro.sweeps`).
+* :mod:`repro.analysis.aggregate` — deterministic group-by aggregation over
+  dict records, the read-side counterpart of the result store
+  (:mod:`repro.store`): ``repro store query --aggregate`` and report
+  regeneration both reduce persisted rows with it instead of re-running
+  simulations.
 """
+
+from repro.analysis.aggregate import aggregate_records, parse_metric, statistic_names
 
 from repro.analysis.concentration import (
     chebyshev_deviation,
@@ -56,4 +64,7 @@ __all__ = [
     "fit_power_law",
     "cartesian_grid",
     "run_sweep",
+    "aggregate_records",
+    "parse_metric",
+    "statistic_names",
 ]

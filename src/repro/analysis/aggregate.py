@@ -1,0 +1,128 @@
+"""Group-by aggregation over store rows (and any dict records).
+
+The result store persists raw per-record rows; analyses usually want
+summaries — "mean empirical epsilon by target density", "max tracking error
+by scenario". :func:`aggregate_records` computes them deterministically
+(groups sorted by key, stable statistic names), so ``repro store query
+--aggregate`` reproduces the same numbers as the in-process experiment
+path without re-running anything.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+import numpy as np
+
+_STATISTICS: dict[str, Callable[[np.ndarray], float]] = {
+    "mean": lambda values: float(values.mean()),
+    "std": lambda values: float(values.std()),
+    "var": lambda values: float(values.var()),
+    "min": lambda values: float(values.min()),
+    "max": lambda values: float(values.max()),
+    "sum": lambda values: float(values.sum()),
+    "median": lambda values: float(np.median(values)),
+    "count": lambda values: float(values.size),
+}
+
+
+def statistic_names() -> list[str]:
+    """Names accepted as the ``<stat>`` half of a ``<stat>:<column>`` request."""
+    return sorted(_STATISTICS)
+
+
+def parse_metric(text: str) -> tuple[str, str]:
+    """Parse a CLI metric request ``"<stat>:<column>"`` into its parts."""
+    stat, separator, column = text.partition(":")
+    if not separator or not column or stat not in _STATISTICS:
+        raise ValueError(
+            f"metrics look like '<stat>:<column>' with stat in {statistic_names()}, got {text!r}"
+        )
+    return stat, column
+
+
+def aggregate_records(
+    records: Iterable[Mapping[str, Any]],
+    *,
+    by: Sequence[str] = (),
+    metrics: Sequence[tuple[str, str]] = (),
+) -> list[dict[str, Any]]:
+    """Aggregate ``records`` grouped by the ``by`` columns.
+
+    Parameters
+    ----------
+    records:
+        Dict rows (store rows, experiment records, ...).
+    by:
+        Grouping columns; rows missing one are grouped under ``None``.
+        Empty ⇒ one group over everything.
+    metrics:
+        ``(stat, column)`` pairs, e.g. ``[("mean", "empirical_epsilon")]``.
+        Non-numeric and missing values are skipped; a metric with no numeric
+        values in a group yields ``None``.
+
+    Returns
+    -------
+    list of dict
+        One row per group — the ``by`` values plus ``"<stat>_<column>"``
+        aggregates and an ``"n"`` row count — sorted by group key so output
+        order never depends on input order beyond the rows themselves.
+    """
+    if not metrics:
+        raise ValueError("aggregate_records needs at least one (stat, column) metric")
+    for stat, _ in metrics:
+        if stat not in _STATISTICS:
+            raise ValueError(f"unknown statistic {stat!r}; known: {statistic_names()}")
+
+    def hashable(value: Any) -> Any:
+        # Store rows may hold list-valued columns (swept tuple params come
+        # back from JSON as lists); group keys must still be dict keys.
+        if isinstance(value, list):
+            return tuple(hashable(item) for item in value)
+        if isinstance(value, dict):
+            return tuple(sorted((str(k), hashable(v)) for k, v in value.items()))
+        return value
+
+    groups: dict[tuple, list[Mapping[str, Any]]] = {}
+    originals: dict[tuple, tuple] = {}
+    for record in records:
+        values = tuple(record.get(column) for column in by)
+        key = tuple(hashable(value) for value in values)
+        groups.setdefault(key, []).append(record)
+        originals.setdefault(key, values)
+
+    def rank(value: Any) -> tuple:
+        # None first, then numbers in numeric order, then everything else by
+        # (type name, text) — so `--by rounds` over 4/8/16 comes back
+        # 4, 8, 16 rather than lexicographic 16, 4, 8, and mixed-type
+        # columns still order deterministically.
+        if value is None:
+            return (0, 0.0, "", "")
+        if isinstance(value, bool):
+            return (2, 0.0, "bool", str(value))
+        if isinstance(value, (int, float)):
+            return (1, float(value), "", "")
+        return (2, 0.0, type(value).__name__, str(value))
+
+    out: list[dict[str, Any]] = []
+    for key in sorted(groups, key=lambda k: tuple(rank(v) for v in k)):
+        rows = groups[key]
+        aggregated: dict[str, Any] = dict(zip(by, originals[key]))
+        aggregated["n"] = len(rows)
+        for stat, column in metrics:
+            values = []
+            for row in rows:
+                value = row.get(column)
+                if isinstance(value, bool) or not isinstance(value, (int, float)):
+                    continue
+                if value != value:  # NaN
+                    continue
+                values.append(float(value))
+            aggregated[f"{stat}_{column}"] = (
+                _STATISTICS[stat](np.asarray(values)) if values else None
+            )
+        out.append(aggregated)
+    return out
+
+
+__all__ = ["aggregate_records", "parse_metric", "statistic_names"]

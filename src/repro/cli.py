@@ -14,12 +14,24 @@ Usage (after installing the package)::
     python -m repro scenario list             # list the dynamic-scenario catalog
     python -m repro scenario run --scenario crash --json
                                               # per-round anytime density tracking
+    python -m repro sweep run --spec sweep.json --store results/
+                                              # run a declarative parameter sweep
+    python -m repro sweep resume --spec sweep.json --store results/
+                                              # finish an interrupted sweep (no recompute)
+    python -m repro sweep status --spec sweep.json --store results/
+    python -m repro store query --store results/ --where target=E02 \
+        --aggregate mean:empirical_epsilon --by target_density
+    python -m repro store export --store results/ --output rows.csv
+    python -m repro report --from-store results/
+                                              # regenerate the report without re-running
 
 ``--workers`` selects the execution engine's process count; records are
 bit-identical for every worker count, so the flag only changes wall-clock.
 ``--cache-dir`` points at a content-addressed run store
 (:class:`repro.engine.RunCache`): a completed (experiment, config, seed)
-setting is loaded from disk instead of re-simulated.
+setting is loaded from disk instead of re-simulated. Sweeps checkpoint
+every completed cell through the same cache (default ``<store>/cache``),
+which is what makes ``sweep resume`` recompute nothing.
 
 With ``--json``, a single experiment prints one JSON object; several
 experiments (e.g. ``run all``) print a single JSON **array** of those
@@ -32,19 +44,23 @@ also available programmatically.
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 from pathlib import Path
 from typing import Sequence
 
 from repro import __version__
+from repro.analysis.aggregate import aggregate_records, parse_metric
 from repro.dynamics.driver import run_scenario
 from repro.dynamics.scenario import SCENARIOS, build_scenario, scenario_names
 from repro.engine import ExecutionEngine, RunCache
 from repro.experiments import EXPERIMENTS, run_experiment
 from repro.experiments.base import ExperimentResult
 from repro.experiments.report import generate_report
-from repro.utils.serialization import dumps
+from repro.store import ResultStore, StoreError
+from repro.sweeps import load_spec, run_sweep_spec, sweep_status
+from repro.utils.serialization import dumps, rows_to_csv
 from repro.utils.tables import format_records
 
 #: Bump when the cached payload layout changes; folded into every cache key.
@@ -94,6 +110,91 @@ def _build_parser() -> argparse.ArgumentParser:
     report_parser.add_argument(
         "--output", default="-", help="output file (default: '-' for standard output)"
     )
+    report_parser.add_argument(
+        "--from-store",
+        default=None,
+        metavar="DIR",
+        help="regenerate the report from a result store instead of re-running anything",
+    )
+
+    sweep_parser = subparsers.add_parser(
+        "sweep", help="declarative, resumable parameter sweeps over experiments and scenarios"
+    )
+    sweep_sub = sweep_parser.add_subparsers(dest="sweep_command", required=True)
+    sweep_common = []
+    for command, help_text in (
+        ("run", "run every cell of a sweep spec (skipping cells already cached)"),
+        ("resume", "finish an interrupted sweep; recomputes nothing already checkpointed"),
+        ("status", "show which cells are cached / stored without running anything"),
+    ):
+        sub = sweep_sub.add_parser(command, help=help_text)
+        sub.add_argument("--spec", required=True, metavar="FILE", help="sweep spec JSON file")
+        sub.add_argument(
+            "--store", required=True, metavar="DIR", help="result store directory (rows + provenance)"
+        )
+        sub.add_argument(
+            "--cache-dir",
+            default=None,
+            metavar="DIR",
+            help="per-cell checkpoint cache (default: <store>/cache)",
+        )
+        sub.add_argument("--json", action="store_true", help="emit a JSON summary instead of text")
+        sweep_common.append(sub)
+    for sub in sweep_common[:2]:  # run and resume execute cells; status never does
+        sub.add_argument(
+            "--workers",
+            type=_positive_int,
+            default=1,
+            metavar="N",
+            help="worker processes for the sweep's one flat plan (results identical for any N)",
+        )
+        sub.add_argument(
+            "--max-cells",
+            type=_positive_int,
+            default=None,
+            metavar="N",
+            help="compute at most N new cells, then stop (deterministic interruption for tests/CI)",
+        )
+
+    store_parser = subparsers.add_parser("store", help="query and export a persistent result store")
+    store_sub = store_parser.add_subparsers(dest="store_command", required=True)
+    query_parser = store_sub.add_parser("query", help="select (and optionally aggregate) store rows")
+    query_parser.add_argument("--store", required=True, metavar="DIR", help="result store directory")
+    query_parser.add_argument(
+        "--where",
+        action="append",
+        default=[],
+        metavar="COL=VALUE",
+        help="equality filter, repeatable (numeric strings match numeric values)",
+    )
+    query_parser.add_argument(
+        "--columns", default=None, metavar="A,B,C", help="comma-separated column projection"
+    )
+    query_parser.add_argument(
+        "--aggregate",
+        action="append",
+        default=[],
+        metavar="STAT:COL",
+        help="aggregate metric (mean/std/var/min/max/sum/median/count), repeatable",
+    )
+    query_parser.add_argument(
+        "--by", action="append", default=[], metavar="COL", help="group-by column, repeatable"
+    )
+    query_parser.add_argument(
+        "--limit", type=_positive_int, default=None, metavar="N", help="return at most N rows"
+    )
+    query_format = query_parser.add_mutually_exclusive_group()
+    query_format.add_argument("--json", action="store_true", help="emit rows as a JSON array")
+    query_format.add_argument("--csv", action="store_true", help="emit rows as CSV")
+    export_parser = store_sub.add_parser("export", help="dump every store row to CSV or NDJSON")
+    export_parser.add_argument("--store", required=True, metavar="DIR", help="result store directory")
+    export_parser.add_argument("--output", required=True, metavar="FILE", help="output file")
+    export_parser.add_argument(
+        "--format", default="csv", choices=("csv", "ndjson"), help="output format (default: csv)"
+    )
+    export_parser.add_argument(
+        "--columns", default=None, metavar="A,B,C", help="comma-separated column projection"
+    )
 
     scenario_parser = subparsers.add_parser(
         "scenario", help="time-varying scenarios with online (anytime) density tracking"
@@ -112,7 +213,11 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     scenario_run.add_argument(
         "--replicates", type=_positive_int, default=8, metavar="R",
-        help="independent replicates to average over (default: 8)",
+        help=(
+            "independent replicates to average over (default: 8); any positive count is "
+            "exact — values not divisible by the 4-replicate batch chunk run an exact "
+            "remainder chunk, never rounding"
+        ),
     )
     scenario_run.add_argument("--quick", action="store_true", help="use the scaled-down configuration")
     scenario_run.add_argument("--seed", type=int, default=0, help="random seed (default: 0)")
@@ -368,21 +473,178 @@ def _command_scenario_run(
     return 0
 
 
-def _command_report(quick: bool, seed: int, output: str, workers: int, cache_dir: str | None) -> int:
-    engine = ExecutionEngine(workers=workers)
-    cache = _open_cache(cache_dir)
-    run = None
-    if cache is not None:
-        run = lambda experiment_id: _run_one_cached(  # noqa: E731
-            experiment_id, quick=quick, seed=seed, engine=engine, cache=cache
-        )[0]
-    text = generate_report(quick=quick, seed=seed, engine=engine, run=run)
+def _command_report(
+    quick: bool,
+    seed: int,
+    output: str,
+    workers: int,
+    cache_dir: str | None,
+    from_store: str | None = None,
+) -> int:
+    if from_store is not None:
+        text = generate_report(store=_open_store(from_store))
+    else:
+        engine = ExecutionEngine(workers=workers)
+        cache = _open_cache(cache_dir)
+        run = None
+        if cache is not None:
+            run = lambda experiment_id: _run_one_cached(  # noqa: E731
+                experiment_id, quick=quick, seed=seed, engine=engine, cache=cache
+            )[0]
+        text = generate_report(quick=quick, seed=seed, engine=engine, run=run)
     if output == "-":
         print(text)
     else:
         with open(output, "w", encoding="utf-8") as handle:
             handle.write(text)
         print(f"wrote {output}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Sweeps and the result store
+# ----------------------------------------------------------------------
+
+
+def _open_store(store_dir: str, *, must_exist: bool = True) -> ResultStore:
+    store = ResultStore(store_dir)
+    if must_exist and not store.exists():
+        raise ValueError(f"no result store at {store_dir!r} (no _schema.json)")
+    return store
+
+
+def _sweep_pieces(args) -> tuple:
+    """Common setup of the sweep subcommands: spec + store + checkpoint cache."""
+    spec = load_spec(args.spec)
+    store = ResultStore(args.store)
+    cache_dir = args.cache_dir if args.cache_dir is not None else str(Path(args.store) / "cache")
+    cache = _open_cache(cache_dir)
+    return spec, store, cache
+
+
+def _command_sweep_run(args, *, resume: bool) -> int:
+    spec, store, cache = _sweep_pieces(args)
+    if resume and cache is not None and not Path(cache.directory).is_dir():
+        raise ValueError(
+            f"nothing to resume: checkpoint cache {str(cache.directory)!r} does not exist "
+            "(run 'repro sweep run' first)"
+        )
+
+    def progress(cell, status) -> None:
+        print(f"[{spec.name}] cell {cell.index}: {cell.label()} — {status}", file=sys.stderr)
+
+    outcome = run_sweep_spec(
+        spec,
+        workers=args.workers,
+        cache=cache,
+        store=store,
+        max_cells=args.max_cells,
+        progress=progress,
+    )
+    summary = outcome.summary()
+    summary["store"] = str(store.directory)
+    summary["rows"] = store.count()
+    if args.json:
+        print(dumps(summary))
+    else:
+        print(
+            f"[{spec.name}] {summary['cells']} cells: {summary['computed']} computed, "
+            f"{summary['cached']} cached, {summary['pending']} pending"
+        )
+        print(f"store: {store.directory} ({summary['rows']} rows in {len(store.segments())} segments)")
+        if summary["pending"]:
+            print(f"resume with: repro sweep resume --spec {args.spec} --store {args.store}")
+    return 0 if outcome.complete else 3
+
+
+def _command_sweep_status(args) -> int:
+    spec, store, cache = _sweep_pieces(args)
+    status = sweep_status(spec, cache=cache, store=store if store.exists() else None)
+    if args.json:
+        print(dumps(status))
+        return 0
+    print(
+        f"[{status['sweep']}] {status['cells']} cells: {status['cached']} cached, "
+        f"{status['pending']} pending"
+    )
+    rows = [
+        {
+            "cell": entry["cell"],
+            "target": f"{entry['target_kind']}:{entry['target']}",
+            "params": ", ".join(f"{k}={v}" for k, v in sorted(entry["params"].items())),
+            "cached": entry["cached"],
+            "stored": entry["stored"],
+        }
+        for entry in status["per_cell"]
+    ]
+    print(format_records(rows, columns=["cell", "target", "params", "cached", "stored"]))
+    return 0
+
+
+def _parse_where(pairs: list[str]) -> dict:
+    where = {}
+    for pair in pairs:
+        column, separator, value = pair.partition("=")
+        if not separator or not column:
+            raise ValueError(f"--where filters look like COL=VALUE, got {pair!r}")
+        try:
+            where[column] = json.loads(value)
+        except ValueError:
+            where[column] = value
+    return where
+
+
+def _split_columns(text: str | None) -> list[str] | None:
+    if text is None:
+        return None
+    columns = [column.strip() for column in text.split(",") if column.strip()]
+    if not columns:
+        raise ValueError("--columns needs at least one column name")
+    return columns
+
+
+def _command_store_query(args) -> int:
+    store = _open_store(args.store)
+    columns = _split_columns(args.columns)
+    metrics = [parse_metric(text) for text in args.aggregate]
+    if args.by and not metrics:
+        raise ValueError("--by only makes sense together with --aggregate")
+    where = _parse_where(args.where) or None
+    if metrics:
+        # Aggregation needs the full-width rows (grouping and metric columns
+        # may fall outside any --columns projection, which applies after).
+        rows = aggregate_records(store.select(where=where), by=args.by, metrics=metrics)
+        if args.limit is not None:
+            rows = rows[: args.limit]
+        shown_columns = list(args.by) + ["n"] + [f"{stat}_{column}" for stat, column in metrics]
+        if columns is not None:
+            # Projection applies to the *aggregated* row shape here.
+            unknown = [column for column in columns if column not in shown_columns]
+            if unknown:
+                raise ValueError(
+                    f"--columns {unknown} not in the aggregated output; available: {shown_columns}"
+                )
+            rows = [{column: row.get(column) for column in columns} for row in rows]
+            shown_columns = columns
+    else:
+        # select() applies the projection itself; the header union comes
+        # from the rows in hand — no second scan of the store.
+        rows = store.select(where=where, columns=columns, limit=args.limit)
+        shown_columns = columns or sorted({key for row in rows for key in row})
+    if args.json:
+        print(dumps(rows))
+    elif args.csv:
+        sys.stdout.write(rows_to_csv(rows, columns=shown_columns))
+    else:
+        print(format_records(rows, columns=shown_columns, float_format=".4g"))
+        print(f"({len(rows)} row{'s' if len(rows) != 1 else ''})")
+    return 0
+
+
+def _command_store_export(args) -> int:
+    store = _open_store(args.store)
+    count = store.export(args.output, fmt=args.format, columns=_split_columns(args.columns))
+    print(f"wrote {count} rows to {args.output}")
     return 0
 
 
@@ -409,9 +671,35 @@ def main(argv: Sequence[str] | None = None) -> int:
         if args.command == "report":
             try:
                 return _command_report(
-                    args.quick, args.seed, args.output, args.workers, args.cache_dir
+                    args.quick,
+                    args.seed,
+                    args.output,
+                    args.workers,
+                    args.cache_dir,
+                    args.from_store,
                 )
-            except ValueError as error:
+            except (ValueError, StoreError) as error:
+                print(f"error: {error}", file=sys.stderr)
+                return 2
+        if args.command == "sweep":
+            try:
+                if args.sweep_command == "status":
+                    return _command_sweep_status(args)
+                return _command_sweep_run(args, resume=args.sweep_command == "resume")
+            except BrokenPipeError:
+                raise  # handled by the top-level pipe guard, not an "error:"
+            except (KeyError, ValueError, OSError, StoreError) as error:
+                message = error.args[0] if isinstance(error, KeyError) and error.args else error
+                print(f"error: {message}", file=sys.stderr)
+                return 2
+        if args.command == "store":
+            try:
+                if args.store_command == "query":
+                    return _command_store_query(args)
+                return _command_store_export(args)
+            except BrokenPipeError:
+                raise  # handled by the top-level pipe guard, not an "error:"
+            except (KeyError, ValueError, OSError, StoreError) as error:
                 print(f"error: {error}", file=sys.stderr)
                 return 2
         if args.command == "scenario":

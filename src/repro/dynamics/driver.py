@@ -356,10 +356,14 @@ def run_scenario(
 
     Replicates are grouped into fixed chunks of :data:`CHUNK_REPLICATES`
     (each chunk is one batched matrix simulation) and the chunks are fanned
-    out over the engine's worker processes. Chunk layout and chunk seeds
-    are pure functions of ``(replicates, seed)``, so the assembled records
-    are bit-identical for every worker count. Movement models that are not
-    batch-safe fall back to single-replicate chunks on the same scheduler.
+    out over the engine's worker processes. A ``replicates`` count that is
+    not a multiple of the chunk size is **exact, never rounded**: the
+    remainder runs as one final smaller chunk, so the result always holds
+    precisely ``replicates`` tracks (validated below). Chunk layout and
+    chunk seeds are pure functions of ``(replicates, seed)``, so the
+    assembled records are bit-identical for every worker count. Movement
+    models that are not batch-safe fall back to single-replicate chunks on
+    the same scheduler.
     """
     require_integer(replicates, "replicates", minimum=1)
     engine = engine or ExecutionEngine()
@@ -395,6 +399,13 @@ def run_scenario(
             and np.array_equal(other.num_nodes, merged.num_nodes)
         ):  # pragma: no cover - the event schedule is deterministic
             raise RuntimeError("scenario chunks disagree on the environment timeline")
+    # The chunk layout above must account for every requested replicate —
+    # a remainder may never be silently rounded away (or padded up).
+    assembled = merged.change_flags.shape[1]
+    if assembled != replicates:  # pragma: no cover - guarded by the layout above
+        raise RuntimeError(
+            f"chunk layout produced {assembled} replicates for a request of {replicates}"
+        )
     return merged
 
 

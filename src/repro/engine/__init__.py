@@ -29,6 +29,7 @@ from repro.engine.scheduler import (
     ExecutionPlan,
     build_plan,
     execute_plan,
+    iter_execute_plan,
 )
 
 __all__ = [
@@ -39,5 +40,6 @@ __all__ = [
     "build_plan",
     "cache_key",
     "execute_plan",
+    "iter_execute_plan",
     "simulate_density_estimation_batch",
 ]

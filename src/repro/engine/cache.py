@@ -17,11 +17,10 @@ from __future__ import annotations
 
 import hashlib
 import json
-import os
-import tempfile
 from pathlib import Path
 from typing import Any, Iterator, Mapping
 
+from repro.utils.atomic import atomic_write_text
 from repro.utils.serialization import to_jsonable
 
 
@@ -99,19 +98,8 @@ class RunCache:
     def store(self, key: str, payload: Mapping[str, Any]) -> Path:
         """Atomically write ``payload`` under ``key``; returns the entry path."""
         path = self.path_for(key)
-        self.directory.mkdir(parents=True, exist_ok=True)
         document = json.dumps(to_jsonable(payload), indent=2, sort_keys=False)
-        fd, temp_name = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                handle.write(document)
-            os.replace(temp_name, path)
-        except BaseException:
-            try:
-                os.unlink(temp_name)
-            except OSError:
-                pass
-            raise
+        atomic_write_text(path, document)
         return path
 
     # ------------------------------------------------------------------

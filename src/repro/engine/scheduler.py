@@ -24,9 +24,9 @@ tested against).
 from __future__ import annotations
 
 import math
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
-from typing import Any, Callable, Iterable, Mapping, Sequence
+from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
 
 import numpy as np
 
@@ -96,6 +96,60 @@ def _chunk_bounds(total: int, chunk_size: int) -> list[tuple[int, int]]:
     return [(start, min(start + chunk_size, total)) for start in range(0, total, chunk_size)]
 
 
+def iter_execute_plan(
+    plan: ExecutionPlan, *, workers: int = 1, chunk_size: int | None = None
+) -> Iterator[tuple[int, Any]]:
+    """Yield ``(index, result)`` pairs of ``plan`` as results become available.
+
+    The incremental form of :func:`execute_plan`: results stream back as the
+    serial loop advances (``workers=1``, plan order) or **as worker chunks
+    complete** (completion order across chunks, plan order within one).
+    Callers that checkpoint progress (the sweep runner writes each completed
+    cell to the run cache the moment it arrives) consume this directly; an
+    interrupted consumer loses at most the chunks still executing, never a
+    result already yielded — and because completed chunks are yielded ahead
+    of slower earlier ones, a long-running cell never holds finished cells
+    hostage un-checkpointed.
+
+    The *set* of pairs — and anything order-independent derived from it —
+    is identical for every ``workers`` / ``chunk_size`` combination; the
+    ``index`` of each pair says where it belongs in the plan.
+    """
+    require_integer(workers, "workers", minimum=1)
+    total = len(plan)
+    if total == 0:
+        return
+    if workers == 1 or total == 1:
+        for index, (setting, sequence) in enumerate(zip(plan.settings, plan.seed_sequences)):
+            yield index, plan.task(**setting, rng=np.random.default_rng(sequence))
+        return
+
+    if chunk_size is None:
+        chunk_size = max(1, math.ceil(total / (workers * 4)))
+    require_integer(chunk_size, "chunk_size", minimum=1)
+
+    bounds = _chunk_bounds(total, chunk_size)
+    pool = ProcessPoolExecutor(max_workers=min(workers, len(bounds)))
+    try:
+        future_bounds = {
+            pool.submit(
+                _run_chunk, plan.task, plan.settings[lo:hi], plan.seed_sequences[lo:hi]
+            ): (lo, hi)
+            for lo, hi in bounds
+        }
+        for future in as_completed(future_bounds):
+            lo, _ = future_bounds[future]
+            for offset, result in enumerate(future.result()):
+                yield lo + offset, result
+    finally:
+        # Reached on normal exhaustion (all futures done; cancelling is a
+        # no-op) and on abandonment — a consumer error between yields or an
+        # explicit close. Cancelling the queued chunks then surfaces the
+        # consumer's exception immediately instead of silently running the
+        # rest of a possibly huge plan to completion and discarding it.
+        pool.shutdown(wait=True, cancel_futures=True)
+
+
 def execute_plan(
     plan: ExecutionPlan, *, workers: int = 1, chunk_size: int | None = None
 ) -> list[Any]:
@@ -118,28 +172,14 @@ def execute_plan(
     -------
     list
         ``[task(**settings[i], rng=rng_i) for i in range(len(plan))]`` —
-        identical for every ``workers`` / ``chunk_size`` combination.
+        identical for every ``workers`` / ``chunk_size`` combination (the
+        incremental iterator may yield chunks out of order; reassembly by
+        index restores plan order here).
     """
-    require_integer(workers, "workers", minimum=1)
-    total = len(plan)
-    if total == 0:
-        return []
-    if workers == 1 or total == 1:
-        return _run_chunk(plan.task, plan.settings, plan.seed_sequences)
-
-    if chunk_size is None:
-        chunk_size = max(1, math.ceil(total / (workers * 4)))
-    require_integer(chunk_size, "chunk_size", minimum=1)
-
-    bounds = _chunk_bounds(total, chunk_size)
-    with ProcessPoolExecutor(max_workers=min(workers, len(bounds))) as pool:
-        futures = [
-            pool.submit(_run_chunk, plan.task, plan.settings[lo:hi], plan.seed_sequences[lo:hi])
-            for lo, hi in bounds
-        ]
-        # Collect in submission order, restoring plan order irrespective of
-        # which worker finished first.
-        return [result for future in futures for result in future.result()]
+    results: list[Any] = [None] * len(plan)
+    for index, result in iter_execute_plan(plan, workers=workers, chunk_size=chunk_size):
+        results[index] = result
+    return results
 
 
 class _ScalarTrial:
@@ -228,4 +268,5 @@ __all__ = [
     "ExecutionEngine",
     "build_plan",
     "execute_plan",
+    "iter_execute_plan",
 ]

@@ -4,6 +4,12 @@ Theorem 1's round complexity scales as ``1/d``: at a fixed round budget the
 empirical ε should scale as ``d^{-1/2}`` (denser populations are easier to
 estimate because agents collide more often). The experiment sweeps the
 density at fixed ``t`` and reports the measured ε against the prediction.
+
+The density grid is declared as a :class:`repro.sweeps.GridAxis` and each
+grid point runs as one scheduler task, so an ``engine`` with ``workers > 1``
+fans the sweep out over processes (records identical for any worker count);
+the sweep CLI reuses the same axis vocabulary to sweep E02's other
+parameters from a spec file.
 """
 
 from __future__ import annotations
@@ -15,7 +21,9 @@ import numpy as np
 from repro.analysis.accuracy import empirical_epsilon, fit_power_law
 from repro.core import bounds
 from repro.core.estimator import RandomWalkDensityEstimator
+from repro.engine import ExecutionEngine
 from repro.experiments.base import ExperimentResult
+from repro.sweeps.spec import GridAxis, expand_axes
 from repro.topology.torus import Torus2D
 from repro.utils.rng import SeedLike, spawn_generators
 
@@ -35,10 +43,41 @@ class AccuracyVsDensityConfig:
         return cls(side=32, densities=(0.05, 0.1, 0.2), rounds=100, trials=1)
 
 
-def run(config: AccuracyVsDensityConfig | None = None, seed: SeedLike = 0) -> ExperimentResult:
+def _density_cell(
+    side: int,
+    rounds: int,
+    delta: float,
+    trials: int,
+    target_density: float,
+    *,
+    rng: np.random.Generator,
+) -> dict[str, float]:
+    """One grid point: ``trials`` estimator runs at one target density (picklable)."""
+    topology = Torus2D(side)
+    num_agents = max(2, int(round(target_density * topology.num_nodes)) + 1)
+    true_density = (num_agents - 1) / topology.num_nodes
+    epsilons = []
+    for trial_rng in spawn_generators(rng, trials):
+        estimator = RandomWalkDensityEstimator(topology, num_agents, rounds)
+        run_result = estimator.run(trial_rng)
+        epsilons.append(empirical_epsilon(run_result.estimates, true_density, delta))
+    return {
+        "target_density": target_density,
+        "true_density": true_density,
+        "num_agents": num_agents,
+        "empirical_epsilon": float(np.mean(epsilons)),
+        "theorem1_epsilon": bounds.theorem1_epsilon(rounds, true_density, delta),
+    }
+
+
+def run(
+    config: AccuracyVsDensityConfig | None = None,
+    seed: SeedLike = 0,
+    engine: ExecutionEngine | None = None,
+) -> ExperimentResult:
     """Run E02 and return the accuracy-vs-density table."""
     config = config or AccuracyVsDensityConfig()
-    topology = Torus2D(config.side)
+    engine = engine or ExecutionEngine()
     result = ExperimentResult(
         experiment_id="E02",
         title="Random-walk density estimation accuracy vs density (2-D torus)",
@@ -52,33 +91,22 @@ def run(config: AccuracyVsDensityConfig | None = None, seed: SeedLike = 0) -> Ex
         ],
     )
 
-    rngs = spawn_generators(seed, len(config.densities) * config.trials)
-    rng_index = 0
-    measured = []
-    true_densities = []
-    for target in config.densities:
-        num_agents = max(2, int(round(target * topology.num_nodes)) + 1)
-        true_density = (num_agents - 1) / topology.num_nodes
-        epsilons = []
-        for _ in range(config.trials):
-            estimator = RandomWalkDensityEstimator(topology, num_agents, config.rounds)
-            run_result = estimator.run(rngs[rng_index])
-            rng_index += 1
-            epsilons.append(
-                empirical_epsilon(run_result.estimates, true_density, config.delta)
-            )
-        measured.append(float(np.mean(epsilons)))
-        true_densities.append(true_density)
-        result.add(
-            target_density=target,
-            true_density=true_density,
-            num_agents=num_agents,
-            empirical_epsilon=float(np.mean(epsilons)),
-            theorem1_epsilon=bounds.theorem1_epsilon(config.rounds, true_density, config.delta),
-        )
+    base = {
+        "side": config.side,
+        "rounds": config.rounds,
+        "delta": config.delta,
+        "trials": config.trials,
+    }
+    axes = (GridAxis("target_density", config.densities),)
+    settings = [{**base, **point} for point in expand_axes(axes, seed=0)]
+    records = engine.map(_density_cell, settings, seed)
+    for record in records:
+        result.add(**record)
 
     if len(config.densities) >= 2:
-        _, exponent = fit_power_law(np.array(true_densities), np.array(measured))
+        true_densities = np.array([record["true_density"] for record in records])
+        measured = np.array([record["empirical_epsilon"] for record in records])
+        _, exponent = fit_power_law(true_densities, measured)
         result.notes.append(
             f"fitted scaling exponent of empirical epsilon vs d: {exponent:.3f} "
             "(Theorem 1 predicts about -0.5)"

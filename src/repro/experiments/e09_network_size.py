@@ -7,6 +7,12 @@ fewer walks ⇒ fewer burn-in link queries. The [KLSC14] baseline is the
 therefore needs many more walks for the same accuracy. The experiment runs
 the full pipeline at several ``t`` on an expander and on a skewed-degree
 graph, reporting accuracy and link queries, plus the baseline.
+
+The measurement grid is declared with sweep axes — a :class:`GridAxis`
+over the two graphs times a :class:`ZipAxis` locking ``(method, rounds)``
+pairs together — and each grid point is one self-contained scheduler task
+(graph construction included, from a pinned integer seed), so the whole
+table fans out over the engine's workers as one flat plan.
 """
 
 from __future__ import annotations
@@ -20,8 +26,9 @@ from repro.core import bounds
 from repro.engine import ExecutionEngine
 from repro.experiments.base import ExperimentResult
 from repro.netsize.pipeline import NetworkSizeEstimationPipeline
+from repro.sweeps.spec import GridAxis, ZipAxis, expand_axes
 from repro.topology.graph import NetworkXTopology
-from repro.utils.rng import SeedLike, as_generator, spawn_generators
+from repro.utils.rng import SeedLike, as_generator, spawn_generators, spawn_seed_sequences
 
 
 @dataclass(frozen=True)
@@ -49,35 +56,65 @@ class NetworkSizeConfig:
         )
 
 
-def _graphs(config: NetworkSizeConfig, seed: SeedLike):
-    rng = as_generator(seed)
-    expander_graph = nx.random_regular_graph(
-        config.expander_degree, config.expander_size, seed=int(rng.integers(0, 2**31 - 1))
-    )
-    powerlaw_graph = nx.powerlaw_cluster_graph(
-        config.powerlaw_size, config.powerlaw_edges, 0.1, seed=int(rng.integers(0, 2**31 - 1))
-    )
-    yield NetworkXTopology(expander_graph, name="expander")
-    yield NetworkXTopology(powerlaw_graph, name="powerlaw")
+def _build_topology(
+    graph: str, graph_seed: int, config: NetworkSizeConfig
+) -> NetworkXTopology:
+    """Rebuild one of the experiment's graphs from its pinned integer seed."""
+    if graph == "expander":
+        built = nx.random_regular_graph(config.expander_degree, config.expander_size, seed=graph_seed)
+    elif graph == "powerlaw":
+        built = nx.powerlaw_cluster_graph(config.powerlaw_size, config.powerlaw_edges, 0.1, seed=graph_seed)
+    else:  # pragma: no cover - axis values are fixed below
+        raise ValueError(f"unknown graph {graph!r}")
+    return NetworkXTopology(built, name=graph)
 
 
-def _pipeline_trial(
-    topology: NetworkXTopology,
-    num_walks: int,
+def _e09_cell(
+    config: NetworkSizeConfig,
+    graph: str,
+    graph_seed: int,
+    method: str,
     rounds: int,
-    burn_in: int,
-    baseline: bool,
+    *,
     rng: np.random.Generator,
 ) -> dict[str, float]:
-    """One pipeline run, as a module-level scheduler task (picklable)."""
-    pipeline = NetworkSizeEstimationPipeline(
-        topology, num_walks=num_walks, rounds=rounds, burn_in=burn_in
-    )
-    report = pipeline.run_katzir_baseline(rng) if baseline else pipeline.run(rng)
+    """One table row: ``trials`` pipeline runs at one (graph, method, t) point."""
+    topology = _build_topology(graph, graph_seed, config)
+    baseline = method == "katzir_baseline"
+    if baseline:
+        degrees = np.asarray(topology.degree_of(np.arange(topology.num_nodes)))
+        walks = bounds.katzir_walks_required(topology.num_nodes, degrees, config.epsilon, config.delta)
+        pipeline_rounds = 1
+    else:
+        # Walk budget from Theorem 27 at each t (B(t) approximated by the
+        # expander-style constant; the shape comparison is what matters).
+        local_mixing = 2.0
+        walks = bounds.theorem27_walks_required(
+            topology.num_nodes,
+            topology.num_edges,
+            local_mixing,
+            rounds,
+            config.epsilon,
+            config.delta,
+        )
+        pipeline_rounds = rounds
+    walks = min(walks, topology.num_nodes // 2)
+
+    reports = []
+    for trial_rng in spawn_generators(rng, config.trials):
+        pipeline = NetworkSizeEstimationPipeline(
+            topology, num_walks=walks, rounds=pipeline_rounds, burn_in=config.burn_in
+        )
+        reports.append(pipeline.run_katzir_baseline(trial_rng) if baseline else pipeline.run(trial_rng))
     return {
-        "relative_error": report.relative_error,
-        "link_queries": report.link_queries,
-        "size_estimate": report.size_estimate,
+        "graph": graph,
+        "method": method,
+        "rounds": rounds,
+        "num_walks": walks,
+        "size_estimate": float(np.median([report.size_estimate for report in reports])),
+        "true_size": topology.num_nodes,
+        "relative_error": float(np.median([report.relative_error for report in reports])),
+        "link_queries": int(np.mean([report.link_queries for report in reports])),
     }
 
 
@@ -88,10 +125,9 @@ def run(
 ) -> ExperimentResult:
     """Run E09 and return the size-estimation accuracy / query-cost table.
 
-    The pipeline trials are independent but cannot be batched (each drives
-    its own burn-in / degree-estimation / size-estimation stages), so they
-    run through the engine scheduler — across worker processes when the
-    engine has ``workers > 1``, with identical records either way.
+    The grid — graphs x (method, rounds) pairs — expands through the sweep
+    axes into one flat execution plan, so the engine's pool spins up once
+    for the whole table and records are identical for any worker count.
     """
     config = config or NetworkSizeConfig()
     engine = engine or ExecutionEngine()
@@ -114,66 +150,31 @@ def run(
         ],
     )
 
-    rngs = spawn_generators(seed, 4)
-    graphs = list(_graphs(config, rngs[0]))
+    graph_rng_seed, cell_seed = spawn_seed_sequences(seed, 2)
+    # One pinned integer seed per graph, drawn in a fixed order so both
+    # graphs — shared by every cell that names them — are pure functions of
+    # the experiment seed.
+    graph_rng = as_generator(graph_rng_seed)
+    graph_seeds = {
+        "expander": int(graph_rng.integers(0, 2**31 - 1)),
+        "powerlaw": int(graph_rng.integers(0, 2**31 - 1)),
+    }
 
-    # Lay out every pipeline trial as one flat execution plan so the engine
-    # can fan all of them out at once; ``rows`` remembers how consecutive
-    # blocks of ``trials`` outputs aggregate into table rows.
-    settings: list[dict] = []
-    rows: list[dict] = []
-    for topology in graphs:
-        degrees = np.asarray(topology.degree_of(np.arange(topology.num_nodes)))
-        # Walk budget from Theorem 27 at each t (B(t) approximated by the
-        # expander-style constant; the shape comparison is what matters).
-        for rounds in config.rounds_grid:
-            local_mixing = 2.0
-            walks = bounds.theorem27_walks_required(
-                topology.num_nodes,
-                topology.num_edges,
-                local_mixing,
-                rounds,
-                config.epsilon,
-                config.delta,
-            )
-            walks = min(walks, topology.num_nodes // 2)
-            rows.append(
-                {"graph": topology.name, "method": "algorithm2", "rounds": rounds,
-                 "num_walks": walks, "true_size": topology.num_nodes}
-            )
-            settings.extend(
-                [{"topology": topology, "num_walks": walks, "rounds": rounds,
-                  "burn_in": config.burn_in, "baseline": False}] * config.trials
-            )
-
-        # [KLSC14] baseline: same accuracy target, single collision round,
-        # so the walk count follows the baseline's own formula.
-        baseline_walks = bounds.katzir_walks_required(
-            topology.num_nodes, degrees, config.epsilon, config.delta
-        )
-        baseline_walks = min(baseline_walks, topology.num_nodes // 2)
-        rows.append(
-            {"graph": topology.name, "method": "katzir_baseline", "rounds": 0,
-             "num_walks": baseline_walks, "true_size": topology.num_nodes}
-        )
-        settings.extend(
-            [{"topology": topology, "num_walks": baseline_walks, "rounds": 1,
-              "burn_in": config.burn_in, "baseline": True}] * config.trials
-        )
-
-    outputs = engine.map(_pipeline_trial, settings, rngs[1])
-    for row_index, row in enumerate(rows):
-        block = outputs[row_index * config.trials : (row_index + 1) * config.trials]
-        result.add(
-            graph=row["graph"],
-            method=row["method"],
-            rounds=row["rounds"],
-            num_walks=row["num_walks"],
-            size_estimate=float(np.median([o["size_estimate"] for o in block])),
-            true_size=row["true_size"],
-            relative_error=float(np.median([o["relative_error"] for o in block])),
-            link_queries=int(np.mean([o["link_queries"] for o in block])),
-        )
+    # [KLSC14] baseline: same accuracy target, single collision round, so
+    # its walk count follows the baseline's own formula (rounds shows as 0).
+    method_rows = tuple(("algorithm2", rounds) for rounds in config.rounds_grid) + (
+        ("katzir_baseline", 0),
+    )
+    axes = (
+        GridAxis("graph", ("expander", "powerlaw")),
+        ZipAxis(("method", "rounds"), method_rows),
+    )
+    settings = [
+        {"config": config, "graph_seed": graph_seeds[point["graph"]], **point}
+        for point in expand_axes(axes, seed=0)
+    ]
+    for record in engine.map(_e09_cell, settings, cell_seed):
+        result.add(**record)
 
     result.notes.append(
         "for each graph, compare link_queries of algorithm2 at large t against the "

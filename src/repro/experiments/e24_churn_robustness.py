@@ -29,6 +29,7 @@ from repro.dynamics.events import random_churn_schedule
 from repro.dynamics.scenario import Scenario
 from repro.engine import ExecutionEngine
 from repro.experiments.base import ExperimentResult
+from repro.sweeps.spec import GridAxis, expand_axes
 from repro.utils.rng import SeedLike, spawn_seed_sequences
 
 
@@ -57,12 +58,66 @@ class ChurnRobustnessConfig:
         )
 
 
+def _churn_cell(
+    config: ChurnRobustnessConfig,
+    churn_rate: float,
+    *,
+    rng: np.random.Generator,
+) -> dict[str, float]:
+    """One sweep point: tracking error at one churn rate (picklable task).
+
+    The schedule and the walks get separate child seeds of the cell's
+    stream, and the scenario's replicates run serially inside the cell —
+    the experiment's parallelism is across churn rates, one cell each.
+    """
+    schedule_seed, run_seed = spawn_seed_sequences(rng, 2)
+    per_round = churn_rate * config.num_agents
+    events = (
+        random_churn_schedule(config.rounds, per_round, per_round, schedule_seed)
+        if churn_rate > 0.0
+        else None
+    )
+    scenario = Scenario(
+        name=f"churn-{churn_rate:g}",
+        description=f"symmetric Poisson churn at rate {churn_rate:g} per agent per round",
+        topology={"kind": "torus2d", "side": config.side},
+        num_agents=config.num_agents,
+        rounds=config.rounds,
+        **({"events": events} if events is not None else {}),
+    )
+    outcome = run_scenario(scenario, replicates=config.replicates, seed=run_seed)
+
+    density = outcome.true_density
+    # Judge tracking over the second half, once every window has filled.
+    tail = slice(config.rounds // 2, None)
+    errors = {}
+    for name in ("window", "running"):
+        estimates = outcome.estimates[name].mean(axis=1)[tail]
+        errors[name] = float(
+            np.mean(np.abs(estimates - density[tail]) / np.maximum(density[tail], 1e-12))
+        )
+    return {
+        "churn_rate": churn_rate,
+        "expected_events_per_round": 2.0 * per_round,
+        "final_population": int(outcome.population[-1]),
+        "final_density": float(density[-1]),
+        "window_error": errors["window"],
+        "running_error": errors["running"],
+        "mean_ci_width": float((outcome.ci_high - outcome.ci_low)[tail].mean()),
+    }
+
+
 def run(
     config: ChurnRobustnessConfig | None = None,
     seed: SeedLike = 0,
     engine: ExecutionEngine | None = None,
 ) -> ExperimentResult:
-    """Run E24 and return the error-vs-churn-rate table."""
+    """Run E24 and return the error-vs-churn-rate table.
+
+    The churn-rate grid is a :class:`repro.sweeps.GridAxis`; each rate is
+    one self-contained scheduler cell, so the sweep fans out over the
+    engine's workers with records identical for any worker count.
+    """
     config = config or ChurnRobustnessConfig()
     engine = engine or ExecutionEngine()
     result = ExperimentResult(
@@ -83,50 +138,10 @@ def run(
         ],
     )
 
-    # One child seed per churn rate: the schedule and the walks of each
-    # sweep point are independent, yet the whole table is a pure function
-    # of (config, seed) — regenerated identically at any worker count.
-    children = spawn_seed_sequences(seed, 2 * len(config.churn_rates))
-    schedule_seeds = children[: len(config.churn_rates)]
-    run_seeds = children[len(config.churn_rates) :]
-
-    for rate, schedule_seed, run_seed in zip(config.churn_rates, schedule_seeds, run_seeds):
-        per_round = rate * config.num_agents
-        events = (
-            random_churn_schedule(config.rounds, per_round, per_round, schedule_seed)
-            if rate > 0.0
-            else None
-        )
-        scenario = Scenario(
-            name=f"churn-{rate:g}",
-            description=f"symmetric Poisson churn at rate {rate:g} per agent per round",
-            topology={"kind": "torus2d", "side": config.side},
-            num_agents=config.num_agents,
-            rounds=config.rounds,
-            **({"events": events} if events is not None else {}),
-        )
-        outcome = run_scenario(
-            scenario, replicates=config.replicates, engine=engine, seed=run_seed
-        )
-
-        density = outcome.true_density
-        # Judge tracking over the second half, once every window has filled.
-        tail = slice(config.rounds // 2, None)
-        errors = {}
-        for name in ("window", "running"):
-            estimates = outcome.estimates[name].mean(axis=1)[tail]
-            errors[name] = float(
-                np.mean(np.abs(estimates - density[tail]) / np.maximum(density[tail], 1e-12))
-            )
-        result.add(
-            churn_rate=rate,
-            expected_events_per_round=2.0 * per_round,
-            final_population=int(outcome.population[-1]),
-            final_density=float(density[-1]),
-            window_error=errors["window"],
-            running_error=errors["running"],
-            mean_ci_width=float((outcome.ci_high - outcome.ci_low)[tail].mean()),
-        )
+    axes = (GridAxis("churn_rate", config.churn_rates),)
+    settings = [{"config": config, **point} for point in expand_axes(axes, seed=0)]
+    for record in engine.map(_churn_cell, settings, seed):
+        result.add(**record)
 
     baseline = result.records[0]["window_error"]
     worst = max(record["window_error"] for record in result.records)

@@ -19,6 +19,7 @@ from repro.experiments.base import ExperimentResult
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.engine import ExecutionEngine
+    from repro.store import ResultStore
 
 
 def _format_cell(value: Any) -> str:
@@ -65,6 +66,51 @@ def result_to_markdown(result: ExperimentResult) -> str:
     return "\n".join(lines)
 
 
+def results_from_store(store: "ResultStore") -> dict[str, ExperimentResult]:
+    """Rebuild :class:`ExperimentResult`\\ s from a persisted result store.
+
+    Every segment whose sidecar metadata marks it as an experiment cell
+    (the sweep runner writes one such segment per completed cell)
+    contributes its records; cells of the same experiment concatenate in
+    segment order, with each cell's sweep parameters noted so a multi-cell
+    table stays interpretable. Nothing is re-run — this is how reports are
+    regenerated from results that outlived their process.
+    """
+    results: dict[str, ExperimentResult] = {}
+    for segment in store.segments():
+        meta = store.read_meta(segment)
+        if meta is None or meta.get("target_kind") != "experiment":
+            continue
+        experiment_id = str(meta.get("target"))
+        columns = meta.get("columns")
+        rows = store.read_segment(segment)
+        if columns:
+            records = [{column: row.get(column) for column in columns} for row in rows]
+        else:
+            records = [dict(row) for row in rows]
+        params = meta.get("params") or {}
+        prefix = ", ".join(f"{key}={value}" for key, value in sorted(params.items()))
+        notes = [f"[{prefix}] {note}" if prefix else str(note) for note in meta.get("notes") or []]
+        if prefix:
+            # Always record which sweep cell the rows came from — without
+            # this, cells that produced no notes of their own would be
+            # indistinguishable in a concatenated multi-cell table.
+            notes.insert(0, f"cell {meta.get('cell')} [{prefix}]: {len(records)} row(s)")
+        if experiment_id not in results:
+            results[experiment_id] = ExperimentResult(
+                experiment_id=experiment_id,
+                title=str(meta.get("title") or experiment_id),
+                claim=str(meta.get("claim") or ""),
+                records=records,
+                columns=list(columns) if columns else None,
+                notes=notes,
+            )
+        else:
+            results[experiment_id].records.extend(records)
+            results[experiment_id].notes.extend(notes)
+    return results
+
+
 def generate_report(
     *,
     quick: bool = False,
@@ -73,6 +119,7 @@ def generate_report(
     header: str | None = None,
     engine: "ExecutionEngine | None" = None,
     run: Callable[[str], ExperimentResult] | None = None,
+    store: "ResultStore | None" = None,
 ) -> str:
     """Run the suite and return the full markdown report.
 
@@ -97,12 +144,25 @@ def generate_report(
         an experiment id and returning its :class:`ExperimentResult`. The
         CLI uses this to route report generation through the run cache while
         keeping a single section-assembly path.
+    store:
+        A :class:`repro.store.ResultStore` to *read results from instead of
+        running anything*. Only experiments present in the store appear
+        (intersected with ``experiment_ids`` when both are given); ``quick``,
+        ``seed``, ``engine``, and ``run`` are ignored.
     """
-    ids = sorted(experiment_ids) if experiment_ids is not None else sorted(EXPERIMENTS)
-    if run is None:
-        run = lambda experiment_id: run_experiment(  # noqa: E731
-            experiment_id, quick=quick, seed=seed, engine=engine
-        )
+    if store is not None:
+        stored = results_from_store(store)
+        ids = sorted(stored)
+        if experiment_ids is not None:
+            wanted = {experiment_id.upper() for experiment_id in experiment_ids}
+            ids = [experiment_id for experiment_id in ids if experiment_id in wanted]
+        run = lambda experiment_id: stored[experiment_id]  # noqa: E731
+    else:
+        ids = sorted(experiment_ids) if experiment_ids is not None else sorted(EXPERIMENTS)
+        if run is None:
+            run = lambda experiment_id: run_experiment(  # noqa: E731
+                experiment_id, quick=quick, seed=seed, engine=engine
+            )
     sections = []
     if header:
         sections.append(header.rstrip() + "\n")
@@ -111,4 +171,9 @@ def generate_report(
     return "\n".join(sections)
 
 
-__all__ = ["records_to_markdown_table", "result_to_markdown", "generate_report"]
+__all__ = [
+    "records_to_markdown_table",
+    "result_to_markdown",
+    "results_from_store",
+    "generate_report",
+]

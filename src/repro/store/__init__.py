@@ -1,0 +1,35 @@
+"""Persistent columnar result store.
+
+Experiments and sweeps produce tabular records; this package persists them
+durably so reports and analyses can be regenerated without re-running any
+simulation:
+
+* :class:`ResultStore` — an append-only, schema-versioned store of row
+  segments. Each append is one atomically-written part file (Parquet when
+  ``pyarrow`` is installed, NDJSON otherwise — the on-disk format is pinned
+  per store at creation), so concurrent writers and killed processes never
+  leave a half-written segment, and re-appending an existing segment is a
+  no-op (idempotent resume).
+* a small query API — :meth:`ResultStore.select` with equality filters and
+  column projection, :meth:`ResultStore.export` to CSV/NDJSON — plus
+  run-provenance metadata (package version, seed root, git SHA) recorded in
+  the store's schema document.
+
+The sweep orchestrator (:mod:`repro.sweeps`) writes one segment per
+completed sweep cell; ``repro store query`` and
+:func:`repro.experiments.report.results_from_store` read them back.
+"""
+
+from repro.store.store import (
+    STORE_SCHEMA_VERSION,
+    ResultStore,
+    StoreError,
+    default_store_format,
+)
+
+__all__ = [
+    "STORE_SCHEMA_VERSION",
+    "ResultStore",
+    "StoreError",
+    "default_store_format",
+]

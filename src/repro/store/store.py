@@ -1,0 +1,408 @@
+"""The append-only, schema-versioned columnar result store.
+
+On-disk layout::
+
+    <root>/
+      _schema.json             # schema version, format, provenance, columns
+      segments/
+        <segment>.ndjson       # one part file per append (or .parquet)
+        <segment>.meta.json    # optional sidecar metadata for the segment
+
+Design constraints, in order:
+
+1. **Durability / atomicity** — every file is written to a temp name and
+   published with ``os.replace``, so a killed writer never leaves a torn
+   segment and concurrent writers never observe partial data.
+2. **Idempotent appends** — a segment name identifies its content (sweep
+   cells use ``<sweep>-cell-<index>-<cellkey12>``); appending a segment that
+   already exists is a no-op. Resuming an interrupted producer therefore
+   reconstructs a byte-identical store.
+3. **Determinism** — rows are serialised with sorted keys and fixed
+   separators, column unions are kept sorted, and no wall-clock timestamps
+   enter any file, so two runs of the same workload produce bit-identical
+   stores regardless of worker count or completion order.
+4. **Zero hard dependencies** — Parquet via ``pyarrow`` when it is
+   installed, NDJSON otherwise. The format is pinned per store at creation
+   and validated on every open.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+from typing import Any, Callable, Iterator, Mapping, Sequence
+
+from repro import __version__
+from repro.utils.atomic import atomic_write_bytes as _atomic_write_bytes
+from repro.utils.atomic import atomic_write_text as _atomic_write_text
+from repro.utils.serialization import rows_to_csv, to_jsonable
+
+#: Bump when the on-disk layout or row conventions change incompatibly.
+STORE_SCHEMA_VERSION = 1
+
+_SEGMENT_CHARS = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789._-")
+
+try:  # pragma: no cover - exercised only where pyarrow is installed
+    import pyarrow as _pa
+    import pyarrow.parquet as _pq
+
+    _HAVE_PYARROW = True
+except ImportError:
+    _pa = _pq = None
+    _HAVE_PYARROW = False
+
+
+class StoreError(RuntimeError):
+    """A store is unreadable, incompatible, or was asked to do the impossible."""
+
+
+def default_store_format() -> str:
+    """The best format this environment can write: parquet if available, else ndjson."""
+    return "parquet" if _HAVE_PYARROW else "ndjson"
+
+
+def _git_sha() -> str | None:
+    """HEAD commit of the working tree, or ``None`` outside a git checkout."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=False,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = proc.stdout.strip()
+    return sha if proc.returncode == 0 and sha else None
+
+
+def _encode_rows_ndjson(rows: Sequence[Mapping[str, Any]]) -> str:
+    lines = [
+        json.dumps(to_jsonable(row), sort_keys=True, separators=(",", ":"), ensure_ascii=True)
+        for row in rows
+    ]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _matches(row: Mapping[str, Any], where: Mapping[str, Any]) -> bool:
+    for key, expected in where.items():
+        if key not in row:
+            return False
+        actual = row[key]
+        if actual == expected:
+            continue
+        # CLI filters arrive as strings; compare loosely against the stored
+        # value's canonical text so `--where rounds=100` matches the int 100.
+        if str(actual) == str(expected):
+            continue
+        try:
+            if float(actual) == float(expected):
+                continue
+        except (TypeError, ValueError):
+            pass
+        return False
+    return True
+
+
+class ResultStore:
+    """An append-only store of row segments with a small query API.
+
+    Parameters
+    ----------
+    directory:
+        Store root; created (with its schema document) on first append.
+    fmt:
+        ``"parquet"``, ``"ndjson"``, or ``None`` (default) for the best
+        format available. Only consulted when the store is *created*; an
+        existing store keeps the format pinned in its schema document, and
+        asking for a different one raises :class:`StoreError`.
+    """
+
+    def __init__(self, directory: str | Path, fmt: str | None = None):
+        self.directory = Path(directory)
+        if fmt is not None and fmt not in ("parquet", "ndjson"):
+            raise StoreError(f"unknown store format {fmt!r}; expected 'parquet' or 'ndjson'")
+        self._requested_format = fmt
+        #: In-memory copy of the schema document. Safe to cache: the format
+        #: and provenance are pinned at creation, and this process is the
+        #: only writer of its own document updates. Spares one open+parse of
+        #: _schema.json per segment operation.
+        self._schema_cache: dict[str, Any] | None = None
+        schema = self._read_schema()
+        if schema is not None and fmt is not None and schema["format"] != fmt:
+            raise StoreError(
+                f"store at {self.directory} is pinned to format {schema['format']!r}, "
+                f"but {fmt!r} was requested"
+            )
+
+    # ------------------------------------------------------------------
+    # Schema / provenance
+    # ------------------------------------------------------------------
+    @property
+    def schema_path(self) -> Path:
+        return self.directory / "_schema.json"
+
+    @property
+    def segments_dir(self) -> Path:
+        return self.directory / "segments"
+
+    def _read_schema(self) -> dict[str, Any] | None:
+        if self._schema_cache is not None:
+            return self._schema_cache
+        try:
+            with open(self.schema_path, "r", encoding="utf-8") as handle:
+                schema = json.load(handle)
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError) as error:
+            raise StoreError(f"unreadable store schema at {self.schema_path}: {error}") from error
+        version = schema.get("schema_version")
+        if version != STORE_SCHEMA_VERSION:
+            raise StoreError(
+                f"store at {self.directory} has schema version {version!r}; "
+                f"this build reads version {STORE_SCHEMA_VERSION}"
+            )
+        if schema.get("format") not in ("parquet", "ndjson"):
+            raise StoreError(f"store schema pins unknown format {schema.get('format')!r}")
+        if schema["format"] == "parquet" and not _HAVE_PYARROW:
+            raise StoreError(
+                f"store at {self.directory} is in parquet format but pyarrow is not installed"
+            )
+        self._schema_cache = schema
+        return schema
+
+    def _write_schema(self, schema: Mapping[str, Any]) -> None:
+        _atomic_write_text(self.schema_path, json.dumps(schema, indent=2, sort_keys=True) + "\n")
+        self._schema_cache = dict(schema)
+
+    def _ensure_schema(self, provenance: Mapping[str, Any] | None = None) -> dict[str, Any]:
+        """Load the schema document, creating it (with provenance) on first use.
+
+        Provenance is captured once, at creation: the first writer pins the
+        package version, python version, git SHA, and any extra keys it
+        passes (the sweep runner records the sweep name and seed root).
+        Later appends leave it untouched, so an interrupted-then-resumed
+        producer yields the same schema document as an uninterrupted one.
+        """
+        schema = self._read_schema()
+        if schema is not None:
+            return schema
+        base_provenance: dict[str, Any] = {
+            "package_version": __version__,
+            "python": ".".join(str(part) for part in sys.version_info[:2]),
+            "git_sha": _git_sha(),
+        }
+        if provenance:
+            base_provenance.update(to_jsonable(provenance))
+        schema = {
+            "schema_version": STORE_SCHEMA_VERSION,
+            "format": self._requested_format or default_store_format(),
+            "provenance": base_provenance,
+        }
+        self._write_schema(schema)
+        return schema
+
+    def schema(self) -> dict[str, Any]:
+        """The store's schema document (raises :class:`StoreError` if absent)."""
+        schema = self._read_schema()
+        if schema is None:
+            raise StoreError(f"no store exists at {self.directory} (no _schema.json)")
+        return schema
+
+    def exists(self) -> bool:
+        return self.schema_path.is_file()
+
+    def format(self) -> str:
+        return str(self.schema()["format"])
+
+    def provenance(self) -> dict[str, Any]:
+        """Run-provenance metadata recorded when the store was created."""
+        return dict(self.schema().get("provenance", {}))
+
+    def columns(self) -> list[str]:
+        """Sorted union of the column names across every stored row.
+
+        Derived from the data on every call rather than accumulated in the
+        schema document: an incremental read-modify-write there could lose
+        columns under concurrent writers and leave a killed append
+        half-recorded, whereas the data files themselves are the single
+        source of truth.
+        """
+        seen: set[str] = set()
+        for row in self.rows():
+            seen.update(row)
+        return sorted(seen)
+
+    # ------------------------------------------------------------------
+    # Append
+    # ------------------------------------------------------------------
+    def _segment_path(self, segment: str) -> Path:
+        if not segment or set(segment) - _SEGMENT_CHARS or segment.startswith("."):
+            raise StoreError(
+                f"segment names use [A-Za-z0-9._-] and must not start with '.', got {segment!r}"
+            )
+        extension = "parquet" if self.format() == "parquet" else "ndjson"
+        return self.segments_dir / f"{segment}.{extension}"
+
+    def has_segment(self, segment: str) -> bool:
+        return self.exists() and self._segment_path(segment).exists()
+
+    def append(
+        self,
+        segment: str,
+        rows: Sequence[Mapping[str, Any]],
+        *,
+        meta: Mapping[str, Any] | None = None,
+        provenance: Mapping[str, Any] | None = None,
+    ) -> bool:
+        """Append ``rows`` as one atomically-written segment.
+
+        Returns ``True`` if the segment was written, ``False`` if a segment
+        of that name already exists (the append is skipped — idempotence is
+        what makes interrupted sweeps resumable without duplicating rows).
+        ``meta`` is stored as a JSON sidecar next to the part file;
+        ``provenance`` only matters for the very first append, which creates
+        the store.
+
+        The part file is the **commit point**: the meta sidecar is published
+        first, so once the part file exists the segment is complete in every
+        respect. A writer killed before the part file lands leaves at most a
+        meta sidecar that the retried (idempotent, deterministic) append
+        simply rewrites with identical bytes.
+        """
+        self._ensure_schema(provenance)
+        path = self._segment_path(segment)
+        if path.exists():
+            return False
+        if meta is not None:
+            meta_path = self.segments_dir / f"{segment}.meta.json"
+            _atomic_write_text(
+                meta_path, json.dumps(to_jsonable(meta), indent=2, sort_keys=True) + "\n"
+            )
+        normalised = [dict(to_jsonable(row)) for row in rows]
+        if self.format() == "parquet":  # pragma: no cover - needs pyarrow
+            table = _pa.Table.from_pylist(normalised)
+            import io
+
+            sink = io.BytesIO()
+            _pq.write_table(table, sink)
+            _atomic_write_bytes(path, sink.getvalue())
+        else:
+            _atomic_write_text(path, _encode_rows_ndjson(normalised))
+        return True
+
+    def read_meta(self, segment: str) -> dict[str, Any] | None:
+        """The sidecar metadata of ``segment``, or ``None`` if it has none."""
+        meta_path = self.segments_dir / f"{segment}.meta.json"
+        try:
+            with open(meta_path, "r", encoding="utf-8") as handle:
+                return json.load(handle)
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError) as error:
+            raise StoreError(f"unreadable segment metadata {meta_path}: {error}") from error
+
+    # ------------------------------------------------------------------
+    # Read / query
+    # ------------------------------------------------------------------
+    def segments(self) -> list[str]:
+        """Sorted names of all segments in the store."""
+        if not self.segments_dir.is_dir():
+            return []
+        extension = ".parquet" if self.format() == "parquet" else ".ndjson"
+        return sorted(
+            entry.name[: -len(extension)]
+            for entry in self.segments_dir.iterdir()
+            if entry.name.endswith(extension)
+        )
+
+    def read_segment(self, segment: str) -> list[dict[str, Any]]:
+        """All rows of one segment, in append order."""
+        return self._read_segment(segment)
+
+    def _read_segment(self, segment: str) -> list[dict[str, Any]]:
+        path = self._segment_path(segment)
+        if self.format() == "parquet":  # pragma: no cover - needs pyarrow
+            return _pq.read_table(path).to_pylist()
+        rows = []
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                for line_number, line in enumerate(handle, start=1):
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        rows.append(json.loads(line))
+                    except ValueError as error:
+                        raise StoreError(
+                            f"corrupt row in segment {segment!r} line {line_number}: {error}"
+                        ) from error
+        except FileNotFoundError as error:
+            raise StoreError(f"segment {segment!r} does not exist") from error
+        return rows
+
+    def rows(self) -> Iterator[dict[str, Any]]:
+        """All rows of the store, in (segment name, row) order."""
+        for segment in self.segments():
+            yield from self._read_segment(segment)
+
+    def count(self) -> int:
+        return sum(1 for _ in self.rows())
+
+    def select(
+        self,
+        *,
+        where: Mapping[str, Any] | None = None,
+        predicate: Callable[[Mapping[str, Any]], bool] | None = None,
+        columns: Sequence[str] | None = None,
+        limit: int | None = None,
+    ) -> list[dict[str, Any]]:
+        """Rows matching the given filters, optionally projected to ``columns``.
+
+        ``where`` applies per-column equality filters (numeric strings match
+        their numeric values, so CLI-sourced filters work); ``predicate`` is
+        an arbitrary row test applied after ``where``. Rows come back in
+        deterministic (segment, row) order.
+        """
+        out: list[dict[str, Any]] = []
+        for row in self.rows():
+            if where and not _matches(row, where):
+                continue
+            if predicate is not None and not predicate(row):
+                continue
+            if columns is not None:
+                row = {column: row.get(column) for column in columns}
+            out.append(row)
+            if limit is not None and len(out) >= limit:
+                break
+        return out
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def export(self, output: str | Path, *, fmt: str = "csv", columns: Sequence[str] | None = None) -> int:
+        """Write every row to ``output`` as CSV or NDJSON; returns the row count."""
+        rows = self.select(columns=list(columns) if columns is not None else None)
+        if fmt == "csv":
+            # Column union from the rows already in hand — no second scan.
+            cols = (
+                list(columns)
+                if columns is not None
+                else sorted({key for row in rows for key in row})
+            )
+            text = rows_to_csv(rows, columns=cols)
+        elif fmt == "ndjson":
+            text = _encode_rows_ndjson(rows)
+        else:
+            raise StoreError(f"unknown export format {fmt!r}; expected 'csv' or 'ndjson'")
+        _atomic_write_text(Path(output), text)
+        return len(rows)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ResultStore(directory={str(self.directory)!r})"
+
+
+__all__ = ["ResultStore", "StoreError", "STORE_SCHEMA_VERSION", "default_store_format"]

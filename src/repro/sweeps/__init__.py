@@ -1,0 +1,57 @@
+"""Resumable parameter-grid orchestration over experiments and scenarios.
+
+The subsystem generalises the ad-hoc grids inside individual experiment
+scripts into one declarative, durable pipeline:
+
+* :mod:`repro.sweeps.spec` — JSON-serialisable :class:`SweepSpec`\\ s built
+  from grid / zip / random-search axes (:class:`GridAxis`,
+  :class:`ZipAxis`, :class:`RandomAxis`) over experiment configs and
+  dynamics scenarios, plus :func:`expand_axes`, the general form of the old
+  ``analysis.sweep.cartesian_grid``;
+* :mod:`repro.sweeps.runner` — compiles a spec into one flat
+  :class:`~repro.engine.scheduler.ExecutionPlan` (the process pool spins up
+  once per sweep, not once per cell), checkpoints every completed cell
+  through :class:`~repro.engine.cache.RunCache`, streams finished rows into
+  a :class:`~repro.store.ResultStore`, and resumes an interrupted sweep
+  with zero recomputation.
+
+The CLI front end is ``repro sweep run/resume/status``.
+"""
+
+from repro.sweeps.spec import (
+    SWEEP_SPEC_SCHEMA,
+    GridAxis,
+    RandomAxis,
+    SweepSpec,
+    TargetSpec,
+    ZipAxis,
+    axis_from_dict,
+    expand_axes,
+    load_spec,
+    save_spec,
+)
+from repro.sweeps.runner import (
+    SweepCell,
+    SweepOutcome,
+    compile_cells,
+    run_sweep_spec,
+    sweep_status,
+)
+
+__all__ = [
+    "SWEEP_SPEC_SCHEMA",
+    "GridAxis",
+    "ZipAxis",
+    "RandomAxis",
+    "TargetSpec",
+    "SweepSpec",
+    "SweepCell",
+    "SweepOutcome",
+    "axis_from_dict",
+    "expand_axes",
+    "load_spec",
+    "save_spec",
+    "compile_cells",
+    "run_sweep_spec",
+    "sweep_status",
+]

@@ -1,0 +1,50 @@
+"""Atomic file publication: write a temp file, then ``os.replace`` it.
+
+The one copy of the idiom the run cache and the result store both build on:
+a reader never observes a half-written file (it sees the old content or the
+new content, nothing in between), and a killed writer leaves at most a
+``*.tmp`` file that is cleaned up, never a torn destination.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+
+
+def atomic_write_text(path: str | Path, text: str, *, encoding: str = "utf-8") -> None:
+    """Atomically publish ``text`` at ``path`` (parent created if needed)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, temp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding=encoding) as handle:
+            handle.write(text)
+        os.replace(temp_name, path)
+    except BaseException:
+        try:
+            os.unlink(temp_name)
+        except OSError:
+            pass
+        raise
+
+
+def atomic_write_bytes(path: str | Path, data: bytes) -> None:
+    """Atomically publish ``data`` at ``path`` (parent created if needed)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, temp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+        os.replace(temp_name, path)
+    except BaseException:
+        try:
+            os.unlink(temp_name)
+        except OSError:
+            pass
+        raise
+
+
+__all__ = ["atomic_write_text", "atomic_write_bytes"]

@@ -1,0 +1,92 @@
+"""Regenerate tests/baselines/statistical_baselines.json.
+
+Run after an *intentional* change to the estimators' output distributions
+(and commit the resulting diff so the change is visible in review)::
+
+    PYTHONPATH=src python tests/baselines/regenerate_baselines.py
+
+For every metric defined by ``compute_metrics`` in
+``tests/test_statistical_regression.py`` (shared, so the suite and this
+script can never drift apart), the script
+
+1. computes the golden value at the **pinned seed**, and
+2. estimates the metric's seed-to-seed standard deviation across the
+   **calibration seeds**, setting the tolerance band to
+   ``max(6 * std, 0.02 * |value|, floor)``.
+
+Six sigma means a legitimate stream-relayout refactor (a ~1-sigma move)
+passes, while an estimator-breaking change (many sigma) fails; the relative
+and absolute floors keep bands meaningful for near-constant metrics such as
+detection fractions.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
+from test_statistical_regression import BASELINE_PATH, compute_metrics  # noqa: E402
+
+PINNED_SEED = 1234
+CALIBRATION_SEEDS = [101, 211, 307, 401, 503, 601, 701, 809]
+ABSOLUTE_FLOORS = {"e23_detection_fraction": 0.3}
+DESCRIPTIONS = {
+    "e01_empirical_epsilon_final": "E01 quick: empirical epsilon at the largest round budget",
+    "e01_epsilon_decay_ratio": "E01 quick: epsilon(t_max) / epsilon(t_min), ~t^-1/2 decay",
+    "e01_mean_estimate_final": "E01 quick: mean density estimate at the largest round budget",
+    "batch_mean_estimate": "batched replicates (32x32 torus, 104 agents, t=100): mean estimate",
+    "batch_estimate_variance": "batched replicates: variance of per-agent estimates",
+    "e05_random_walk_epsilon_final": "E05 quick: Algorithm 1 epsilon at the largest budget",
+    "e05_rw_over_independent_ratio": "E05 quick: epsilon ratio of Algorithm 1 to Algorithm 4",
+    "e17_mean_relative_bias": "E17 quick: signed mean relative bias across topologies (~0)",
+    "e17_max_abs_relative_bias": "E17 quick: worst |relative bias| across topologies",
+    "e23_window_tail_error": "E23 crash scenario: final-quarter window-tracker error",
+    "e23_running_tail_error": "E23 crash scenario: final-quarter stale running-average error",
+    "e23_detection_fraction": "E23 crash scenario: fraction of replicates flagging the crash",
+}
+
+
+def main() -> None:
+    print(f"pinned seed {PINNED_SEED} ...")
+    golden = compute_metrics(PINNED_SEED)
+    samples: dict[str, list[float]] = {name: [] for name in golden}
+    for seed in CALIBRATION_SEEDS:
+        print(f"calibration seed {seed} ...")
+        for name, value in compute_metrics(seed).items():
+            samples[name].append(value)
+
+    metrics = {}
+    for name in sorted(golden):
+        value = golden[name]
+        std = float(np.std(samples[name] + [value]))
+        band = max(6.0 * std, 0.02 * abs(value), ABSOLUTE_FLOORS.get(name, 1e-4))
+        metrics[name] = {
+            "value": value,
+            "band": band,
+            "calibration_std": std,
+            "description": DESCRIPTIONS[name],
+        }
+        print(f"  {name}: {value:.6g} +/- {band:.3g} (std {std:.3g})")
+
+    payload = {
+        "_readme": (
+            "Golden statistical baselines; see TESTING.md. Bands are "
+            "max(6*std_across_calibration_seeds, 2%, floor). Regenerate only for "
+            "intentional distribution changes, via this script."
+        ),
+        "pinned_seed": PINNED_SEED,
+        "calibration_seeds": CALIBRATION_SEEDS,
+        "metrics": metrics,
+    }
+    with open(BASELINE_PATH, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    print(f"wrote {BASELINE_PATH}")
+
+
+if __name__ == "__main__":
+    main()

@@ -2,6 +2,7 @@
 
 import json
 
+import pytest
 
 from repro.cli import main
 from repro.experiments import run_experiment
@@ -68,6 +69,7 @@ class TestCli:
         assert main(["run", "E99", "--quick"]) == 2
         assert "error" in capsys.readouterr().err
 
+    @pytest.mark.slow
     def test_report_to_file(self, tmp_path, capsys):
         target = tmp_path / "report.md"
         # Restrict indirectly by using quick mode; the full suite in quick mode
@@ -76,6 +78,7 @@ class TestCli:
         assert target.exists()
         assert "### E01" in target.read_text()
 
+    @pytest.mark.slow
     def test_report_to_stdout(self, capsys):
         assert main(["report", "--quick"]) == 0
         assert "### E18" in capsys.readouterr().out

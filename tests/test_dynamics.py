@@ -432,6 +432,48 @@ class TestDriver:
         assert outcome.estimates["window"].shape == (scenario.rounds, 3)
 
 
+class TestReplicateChunkingContract:
+    """Regression tests for the ISSUE 3 satellite: `--replicates` values not
+    divisible by the driver's fixed 4-replicate chunk must be exact — the
+    remainder runs as a final smaller chunk, nothing is rounded or padded."""
+
+    @pytest.mark.parametrize("replicates", [1, 3, 5, 6, 7, 9])
+    def test_non_divisible_replicates_exact(self, replicates):
+        scenario = build_scenario("crash", quick=True, rounds=8)
+        outcome = run_scenario(scenario, replicates=replicates, seed=0)
+        assert outcome.replicates == replicates
+        for name in ("running", "window", "discounted"):
+            assert outcome.estimates[name].shape == (scenario.rounds, replicates)
+        assert outcome.change_flags.shape == (scenario.rounds, replicates)
+        assert len(outcome.change_rounds()) == replicates
+
+    @pytest.mark.parametrize("replicates", [5, 6, 7])
+    def test_remainder_chunks_bit_identical_across_workers(self, replicates):
+        scenario = build_scenario("crash", quick=True, rounds=8)
+        serial = run_scenario(
+            scenario, replicates=replicates, engine=ExecutionEngine(workers=1), seed=0
+        )
+        parallel = run_scenario(
+            scenario, replicates=replicates, engine=ExecutionEngine(workers=4), seed=0
+        )
+        assert to_jsonable(serial.records()) == to_jsonable(parallel.records())
+        assert serial.summary() == parallel.summary()
+
+    def test_cli_accepts_non_divisible_replicates(self, capsys):
+        exit_code = cli.main(
+            ["scenario", "run", "--scenario", "stable", "--quick", "--replicates", "6", "--json"]
+        )
+        assert exit_code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["replicates"] == 6
+        assert payload["summary"]["replicates"] == 6
+
+    def test_cli_rejects_zero_replicates(self, capsys):
+        with pytest.raises(SystemExit):
+            cli.main(["scenario", "run", "--scenario", "stable", "--quick", "--replicates", "0"])
+        assert "positive integer" in capsys.readouterr().err
+
+
 class _CountingHook:
     """Re-applies a scenario's churn without any tracking (for shape checks)."""
 
@@ -572,6 +614,7 @@ class TestScenarioCli:
 
 
 class TestRunAllFailureCollection:
+    @pytest.mark.slow
     def test_run_all_collects_failures_and_exits_nonzero(self, capsys, monkeypatch):
         import repro.cli as cli_module
 

@@ -141,6 +141,7 @@ class TestCliCacheIntegration:
         cached = json.loads(capsys.readouterr().out)
         assert cached == fresh
 
+    @pytest.mark.slow
     def test_report_with_cache(self, tmp_path, capsys):
         cache_dir = str(tmp_path / "cache")
         target = tmp_path / "report.md"
@@ -150,3 +151,123 @@ class TestCliCacheIntegration:
         assert main(["report", "--quick", "--cache-dir", cache_dir, "--output", str(target)]) == 0
         text = target.read_text()
         assert "### E01" in text and "### E22" in text
+
+
+def _hammer_cache(directory: str, key: str, payload_id: int, iterations: int) -> int:
+    """Worker for the concurrent-writer tests: repeatedly store and load one key.
+
+    Returns the number of torn (invalid) payloads observed — must be zero:
+    atomic replace means a reader sees either a complete old payload or a
+    complete new one, never a mixture.
+    """
+    cache = RunCache(directory)
+    torn = 0
+    for iteration in range(iterations):
+        cache.store(key, {"writer": payload_id, "iteration": iteration, "blob": "x" * 4096})
+        loaded = cache.load(key)
+        if loaded is not None:
+            if set(loaded) != {"writer", "iteration", "blob"} or len(loaded["blob"]) != 4096:
+                torn += 1
+    return torn
+
+
+class TestCacheConcurrency:
+    """Edge cases the sweep path leans on (ISSUE 3 satellite)."""
+
+    def test_concurrent_thread_writers_one_key_never_torn(self, tmp_path):
+        from concurrent.futures import ThreadPoolExecutor
+
+        directory = str(tmp_path / "cache")
+        key = cache_key(shared="entry")
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            futures = [
+                pool.submit(_hammer_cache, directory, key, writer, 25) for writer in range(8)
+            ]
+            assert sum(future.result() for future in futures) == 0
+        final = RunCache(directory).load(key)
+        assert final is not None and final["blob"] == "x" * 4096
+
+    def test_concurrent_process_writers_shared_directory(self, tmp_path):
+        from concurrent.futures import ProcessPoolExecutor
+
+        directory = str(tmp_path / "cache")
+        shared = cache_key(shared="entry")
+        with ProcessPoolExecutor(max_workers=4) as pool:
+            futures = [
+                pool.submit(_hammer_cache, directory, shared, writer, 10) for writer in range(4)
+            ] + [
+                pool.submit(_hammer_cache, directory, cache_key(private=writer), writer, 10)
+                for writer in range(4)
+            ]
+            assert sum(future.result() for future in futures) == 0
+        cache = RunCache(directory)
+        # One shared entry plus one private entry per process, all readable.
+        assert len(cache) == 5
+        for key in cache.keys():
+            assert cache.load(key) is not None
+
+    def test_no_temp_files_survive_the_stampede(self, tmp_path):
+        from concurrent.futures import ThreadPoolExecutor
+
+        directory = tmp_path / "cache"
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            for future in [
+                pool.submit(_hammer_cache, str(directory), cache_key(n=writer), writer, 10)
+                for writer in range(4)
+            ]:
+                future.result()
+        assert list(directory.glob("*.tmp")) == []
+
+
+class TestCacheUnderSweeps:
+    """Corrupt-entry eviction and worker-count hit behaviour on the sweep path."""
+
+    def _spec(self):
+        from repro.sweeps import GridAxis, SweepSpec, TargetSpec
+
+        return SweepSpec(
+            name="cache-edge",
+            seed=2,
+            targets=(
+                TargetSpec(
+                    kind="experiment",
+                    name="E02",
+                    base={"quick": True, "side": 8, "rounds": 10, "trials": 1},
+                    axes=(GridAxis("densities", ((0.1,), (0.2,), (0.3,))),),
+                ),
+            ),
+        )
+
+    def test_corrupt_entry_evicted_and_recomputed_mid_sweep(self, tmp_path):
+        from repro.sweeps import compile_cells, run_sweep_spec
+
+        spec = self._spec()
+        cache = RunCache(tmp_path / "cache")
+        run_sweep_spec(spec, cache=cache)
+        cells = compile_cells(spec)
+        victim = cache.path_for(cells[1].key)
+        victim.write_text("{definitely not json")
+        outcome = run_sweep_spec(spec, cache=cache)
+        # Only the corrupt cell recomputes; the eviction replaced the entry.
+        assert outcome.hits == 2 and outcome.computed == 1
+        assert cache.load(cells[1].key) is not None
+        assert run_sweep_spec(spec, cache=cache).hits == 3
+
+    def test_cache_hits_across_worker_counts(self, tmp_path):
+        from repro.sweeps import run_sweep_spec
+
+        spec = self._spec()
+        cache = RunCache(tmp_path / "cache")
+        serial = run_sweep_spec(spec, workers=1, cache=cache)
+        assert serial.computed == 3
+        # A 4-worker rerun hits every entry the serial run wrote, and the
+        # payloads are identical — the cache key excludes the worker count.
+        parallel = run_sweep_spec(spec, workers=4, cache=cache)
+        assert parallel.computed == 0 and parallel.hits == 3
+        assert parallel.payloads == serial.payloads
+        # And the reverse direction: a cold 4-worker run primes entries a
+        # serial run then consumes.
+        cache_b = RunCache(tmp_path / "cache-b")
+        warm = run_sweep_spec(spec, workers=4, cache=cache_b)
+        reread = run_sweep_spec(spec, workers=1, cache=cache_b)
+        assert reread.computed == 0 and reread.payloads == warm.payloads

@@ -4,7 +4,13 @@ import numpy as np
 import pytest
 
 from repro.analysis.sweep import repeat_and_average, run_sweep
-from repro.engine import ExecutionEngine, ExecutionPlan, build_plan, execute_plan
+from repro.engine import (
+    ExecutionEngine,
+    ExecutionPlan,
+    build_plan,
+    execute_plan,
+    iter_execute_plan,
+)
 from repro.experiments import e09_network_size
 from repro.utils.rng import spawn_seed_sequences
 
@@ -74,6 +80,58 @@ class TestExecutePlan:
         plan = build_plan(sample_task, SETTINGS, seed=0)
         with pytest.raises(ValueError):
             execute_plan(plan, workers=0)
+
+
+class TestIterExecutePlan:
+    """The incremental execution path the sweep runner checkpoints on."""
+
+    def test_serial_yields_indexed_results_in_plan_order(self):
+        plan = build_plan(sample_task, SETTINGS, seed=5)
+        pairs = list(iter_execute_plan(plan, workers=1))
+        assert [index for index, _ in pairs] == list(range(len(SETTINGS)))
+        assert [result for _, result in pairs] == execute_plan(plan, workers=1)
+
+    def test_parallel_iteration_matches_serial_exactly(self):
+        # Chunks arrive in completion order; the (index, result) *set* — and
+        # therefore the reassembled plan — is identical to the serial pass.
+        plan = build_plan(sample_task, SETTINGS, seed=5)
+        serial = list(iter_execute_plan(plan, workers=1))
+        for chunk_size in (1, 2, 5):
+            parallel = list(iter_execute_plan(plan, workers=3, chunk_size=chunk_size))
+            assert sorted(parallel, key=lambda pair: pair[0]) == serial
+
+    def test_results_stream_before_the_plan_finishes(self):
+        # Serial iteration is lazy: results already yielded survive an
+        # abandoned iteration (what makes mid-sweep checkpoints meaningful).
+        plan = build_plan(sample_task, SETTINGS, seed=5)
+        iterator = iter_execute_plan(plan, workers=1)
+        first = next(iterator)
+        second = next(iterator)
+        iterator.close()
+        reference = execute_plan(plan, workers=1)
+        assert first == (0, reference[0])
+        assert second == (1, reference[1])
+
+    def test_empty_plan_yields_nothing(self):
+        assert list(iter_execute_plan(build_plan(sample_task, [], seed=0))) == []
+
+    def test_abandoning_parallel_iterator_shuts_the_pool_down(self):
+        # Closing the generator early (a consumer error between yields) must
+        # cancel the queued chunks and return promptly without raising.
+        plan = build_plan(sample_task, SETTINGS, seed=5)
+        reference = execute_plan(plan, workers=1)
+        iterator = iter_execute_plan(plan, workers=2, chunk_size=1)
+        index, result = next(iterator)  # whichever chunk completed first
+        assert result == reference[index]
+        iterator.close()
+        # The pool is gone; a fresh iteration over the same plan still works.
+        pairs = sorted(iter_execute_plan(plan, workers=2), key=lambda pair: pair[0])
+        assert pairs == list(enumerate(reference))
+
+    def test_workers_validated(self):
+        plan = build_plan(sample_task, SETTINGS, seed=0)
+        with pytest.raises(ValueError):
+            list(iter_execute_plan(plan, workers=0))
 
 
 class TestExecutionEngine:

@@ -114,6 +114,7 @@ class TestQualitativeClaims:
 
 
 class TestRunAll:
+    @pytest.mark.slow
     def test_run_all_quick(self):
         # Smoke-test the aggregate entry point on a subset-sized budget: it
         # must return one result per experiment id.

@@ -1,0 +1,164 @@
+"""Statistical regression suite: golden baselines for key estimator metrics.
+
+The paper's claims are *distributional* — unbiasedness, ε-accuracy decay,
+tracking error bounds. A code change can silently shift those distributions
+while every structural test stays green. This suite pins key metrics of
+E01, E05, E17, and E23 (plus a raw batched-replicate moment check) at one
+**pinned seed** against golden baselines stored in
+``tests/baselines/statistical_baselines.json``.
+
+Tolerance bands
+---------------
+Each metric's band is ``6 x`` its empirical standard deviation across the
+calibration seeds (with small floors), centred on the pinned-seed value:
+
+* a **legitimate refactor** that merely re-lays-out random streams moves a
+  metric by about one seed-to-seed sigma and stays comfortably inside;
+* an **estimator-breaking change** (bias, broken collision counting, a
+  mis-scaled estimator) moves metrics by many sigma and fails here rather
+  than shifting results silently.
+
+Regenerating
+------------
+After an *intentional* distribution change (and only then), rebuild the
+baselines and commit the diff::
+
+    PYTHONPATH=src python tests/baselines/regenerate_baselines.py
+
+The regeneration script reuses :func:`compute_metrics` below, so the tested
+quantities and the stored quantities can never drift apart. See TESTING.md.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.simulation import SimulationConfig
+from repro.dynamics.driver import run_scenario
+from repro.dynamics.scenario import build_scenario
+from repro.engine import ExecutionEngine
+from repro.experiments import run_experiment
+from repro.topology.torus import Torus2D
+from repro.utils.rng import spawn_seed_sequences
+
+BASELINE_PATH = Path(__file__).parent / "baselines" / "statistical_baselines.json"
+
+
+def compute_metrics(seed: int) -> dict[str, float]:
+    """Every pinned metric, computed from quick-scale runs at one seed.
+
+    The regeneration script imports this function, so what the suite checks
+    and what the baseline file stores are one definition.
+    """
+    # Independent child seeds per workload: a stream-layout change in one
+    # experiment must not shift the metrics of the others.
+    e01_seed, e05_seed, e17_seed, e23_seed, batch_seed = spawn_seed_sequences(seed, 5)
+    metrics: dict[str, float] = {}
+
+    # E01 — accuracy vs rounds: epsilon level and decay, mean estimate.
+    e01 = run_experiment("E01", quick=True, seed=e01_seed)
+    metrics["e01_empirical_epsilon_final"] = e01.records[-1]["empirical_epsilon"]
+    metrics["e01_epsilon_decay_ratio"] = (
+        e01.records[-1]["empirical_epsilon"] / e01.records[0]["empirical_epsilon"]
+    )
+    metrics["e01_mean_estimate_final"] = e01.records[-1]["mean_estimate"]
+
+    # Raw batched replicates (E01's workload): first two moments of the
+    # per-agent density estimates.
+    topology = Torus2D(32)
+    batch = ExecutionEngine().run_replicates(
+        topology, SimulationConfig(num_agents=104, rounds=100), 6, batch_seed
+    )
+    estimates = batch.estimates()
+    metrics["batch_mean_estimate"] = float(estimates.mean())
+    metrics["batch_estimate_variance"] = float(estimates.var())
+
+    # E05 — random walks vs independent sampling at the largest budget.
+    e05 = run_experiment("E05", quick=True, seed=e05_seed)
+    metrics["e05_random_walk_epsilon_final"] = e05.records[-1]["random_walk_epsilon"]
+    metrics["e05_rw_over_independent_ratio"] = e05.records[-1]["ratio"]
+
+    # E17 — unbiasedness: signed mean and worst-case |bias| across topologies.
+    e17 = run_experiment("E17", quick=True, seed=e17_seed)
+    biases = [record["relative_bias"] for record in e17.records]
+    metrics["e17_mean_relative_bias"] = float(np.mean(biases))
+    metrics["e17_max_abs_relative_bias"] = float(np.max(np.abs(biases)))
+
+    # E23 — tracking through a crash: final-quarter tracking error of the
+    # window estimator (must stay small) and of the stale running average
+    # (must stay large — a vanishing value means the semantics changed).
+    scenario = build_scenario("crash", quick=True)
+    outcome = run_scenario(scenario, replicates=4, seed=e23_seed)
+    density = outcome.true_density
+    tail = slice(3 * scenario.rounds // 4, None)
+    for name in ("window", "running"):
+        tracked = outcome.estimates[name].mean(axis=1)[tail]
+        metrics[f"e23_{name}_tail_error"] = float(
+            np.mean(np.abs(tracked - density[tail]) / np.maximum(density[tail], 1e-12))
+        )
+    detections = sum(1 for rounds in outcome.change_rounds() if rounds)
+    metrics["e23_detection_fraction"] = detections / outcome.replicates
+    return metrics
+
+
+def load_baselines() -> dict:
+    with open(BASELINE_PATH, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+try:
+    BASELINES = load_baselines()
+except FileNotFoundError:  # pragma: no cover - bootstrap for regeneration only
+    BASELINES = {"pinned_seed": 1234, "metrics": {}}
+
+
+@pytest.fixture(scope="module")
+def measured() -> dict[str, float]:
+    return compute_metrics(BASELINES["pinned_seed"])
+
+
+class TestBaselineFile:
+    def test_baseline_file_documents_every_band(self):
+        for name, entry in BASELINES["metrics"].items():
+            assert set(entry) >= {"value", "band", "description"}, name
+            assert entry["band"] > 0, name
+
+    def test_metric_sets_match(self, measured):
+        assert set(measured) == set(BASELINES["metrics"])
+
+
+class TestGoldenMetrics:
+    @pytest.mark.parametrize("name", sorted(BASELINES["metrics"]))
+    def test_metric_within_band(self, measured, name):
+        entry = BASELINES["metrics"][name]
+        value, band = entry["value"], entry["band"]
+        assert abs(measured[name] - value) <= band, (
+            f"{name} = {measured[name]:.6g} left its golden band {value:.6g} +/- {band:.6g} "
+            f"({entry['description']}). If this distribution shift is intentional, regenerate "
+            "the baselines: PYTHONPATH=src python tests/baselines/regenerate_baselines.py"
+        )
+
+
+class TestPhysicalSanity:
+    """Seed-independent envelopes: even a regenerated baseline must obey these."""
+
+    def test_unbiasedness_envelope(self, measured):
+        # Lemma 2: the estimator is exactly unbiased. At quick scale a single
+        # topology's grand mean can wander ~10-50% (few samples), but the
+        # *signed* mean across five topologies has no systematic direction.
+        assert abs(measured["e17_mean_relative_bias"]) < 0.2
+        assert measured["e17_max_abs_relative_bias"] < 0.75
+
+    def test_epsilon_decays_with_rounds(self, measured):
+        assert measured["e01_epsilon_decay_ratio"] < 1.0
+
+    def test_window_tracks_better_than_stale_running_after_crash(self, measured):
+        assert measured["e23_window_tail_error"] < measured["e23_running_tail_error"]
+
+    def test_batch_mean_near_true_density(self, measured):
+        true_density = 103 / 1024  # (104 - 1) agents on the 32x32 torus
+        assert measured["batch_mean_estimate"] == pytest.approx(true_density, rel=0.15)
