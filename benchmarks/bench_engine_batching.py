@@ -21,7 +21,8 @@ import time
 
 import numpy as np
 
-from repro.core.simulation import SimulationConfig, simulate_density_estimation
+from repro.core.kernel import run_kernel
+from repro.core.simulation import SimulationConfig
 from repro.engine import simulate_density_estimation_batch
 from repro.topology.torus import Torus2D
 from repro.utils.rng import spawn_seed_sequences
@@ -34,12 +35,12 @@ MIN_SPEEDUP = 3.0
 
 
 def _run_sequential(seed: int = 0) -> np.ndarray:
-    """The legacy path: one ``simulate_density_estimation`` call per replicate."""
+    """The legacy path: one serial kernel run per replicate."""
     topology = Torus2D(SIDE)
     config = SimulationConfig(num_agents=NUM_AGENTS, rounds=ROUNDS)
     totals = np.empty((REPLICATES, NUM_AGENTS), dtype=np.float64)
     for index, child in enumerate(spawn_seed_sequences(seed, REPLICATES)):
-        totals[index] = simulate_density_estimation(topology, config, child).collision_totals
+        totals[index] = run_kernel(topology, config, None, child).collision_totals
     return totals
 
 

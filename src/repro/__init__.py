@@ -62,7 +62,7 @@ Online tracking of a time-varying world:
 
 # Defined before any subpackage import: repro.store and repro.sweeps fold the
 # package version into provenance metadata and cache keys at import time.
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 from repro.core import (
     IndependentSamplingEstimator,
@@ -82,7 +82,13 @@ from repro.dynamics import (
     run_scenario,
     scenario_names,
 )
-from repro.engine import BatchSimulationResult, ExecutionEngine, RunCache
+from repro.engine import (
+    BatchSimulationResult,
+    ExecutionEngine,
+    RunCache,
+    require_batch_safe,
+    run_kernel,
+)
 from repro.store import ResultStore
 from repro.sweeps import (
     GridAxis,
@@ -122,10 +128,12 @@ __all__ = [
     "bounds",
     "DensityEstimationRun",
     "AccuracySummary",
-    # Execution engine
+    # Execution engine and the unified simulation kernel
     "ExecutionEngine",
     "BatchSimulationResult",
     "RunCache",
+    "run_kernel",
+    "require_batch_safe",
     # Sweeps and the result store
     "SweepSpec",
     "TargetSpec",

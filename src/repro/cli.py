@@ -25,8 +25,11 @@ Usage (after installing the package)::
     python -m repro report --from-store results/
                                               # regenerate the report without re-running
 
-``--workers`` selects the execution engine's process count; records are
-bit-identical for every worker count, so the flag only changes wall-clock.
+``--workers`` selects the execution engine's process count. Every
+experiment executes through the engine — its grid expands into execution
+plan cells, and replicate-heavy cells run the batched simulation kernel —
+and records are bit-identical for every worker count, so the flag only
+changes wall-clock.
 ``--cache-dir`` points at a content-addressed run store
 (:class:`repro.engine.RunCache`): a completed (experiment, config, seed)
 setting is loaded from disk instead of re-simulated. Sweeps checkpoint
@@ -231,7 +234,10 @@ def _build_parser() -> argparse.ArgumentParser:
             type=_positive_int,
             default=1,
             metavar="N",
-            help="engine worker processes (default: 1; results are identical for any N)",
+            help=(
+                "engine worker processes; every experiment fans out through the "
+                "engine (default: 1; results are identical for any N)"
+            ),
         )
         sub.add_argument(
             "--cache-dir",

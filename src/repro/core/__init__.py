@@ -28,7 +28,12 @@ from repro.core.adaptive import (
 from repro.core.encounter import collision_counts, marked_collision_counts
 from repro.core.estimator import RandomWalkDensityEstimator, estimate_density
 from repro.core.independent import IndependentSamplingEstimator, estimate_density_independent
-from repro.core.frequency import PropertyFrequencyEstimate, estimate_property_frequency
+from repro.core.frequency import (
+    PropertyFrequencyEstimate,
+    estimate_property_frequency,
+    estimate_property_frequency_batch,
+)
+from repro.core.kernel import BatchSimulationResult, require_batch_safe, run_kernel
 from repro.core.thresholds import QuorumDecision, QuorumDetector
 from repro.core.results import DensityEstimationRun, AccuracySummary
 from repro.core.simulation import SimulationConfig, simulate_density_estimation
@@ -46,6 +51,10 @@ __all__ = [
     "estimate_density_independent",
     "PropertyFrequencyEstimate",
     "estimate_property_frequency",
+    "estimate_property_frequency_batch",
+    "BatchSimulationResult",
+    "require_batch_safe",
+    "run_kernel",
     "QuorumDetector",
     "QuorumDecision",
     "DensityEstimationRun",

@@ -19,13 +19,13 @@ from typing import Optional
 
 import numpy as np
 
+from repro.core.kernel import run_kernel
 from repro.core.results import DensityEstimationRun
 from repro.core.simulation import (
     CollisionObservationModel,
     MovementModelLike,
     PlacementFn,
     SimulationConfig,
-    simulate_density_estimation,
 )
 from repro.topology.base import Topology
 from repro.utils.rng import SeedLike
@@ -86,7 +86,7 @@ class RandomWalkDensityEstimator:
             movement=self.movement,
             record_trajectory=record_trajectory,
         )
-        outcome = simulate_density_estimation(self.topology, config, seed)
+        outcome = run_kernel(self.topology, config, None, seed)
         metadata: dict = {}
         if record_trajectory and outcome.trajectory is not None:
             # Convert cumulative collision counts to running density estimates.

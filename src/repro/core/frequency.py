@@ -17,11 +17,12 @@ from typing import Optional
 
 import numpy as np
 
+from repro.core.kernel import run_kernel
 from repro.core.simulation import (
     CollisionObservationModel,
     PlacementFn,
     SimulationConfig,
-    simulate_density_estimation,
+    SimulationResult,
 )
 from repro.topology.base import Topology
 from repro.utils.rng import SeedLike
@@ -99,8 +100,50 @@ def estimate_property_frequency(
         marked_fraction=marked_fraction,
         collision_model=collision_model,
     )
-    outcome = simulate_density_estimation(topology, config, seed)
+    outcome = run_kernel(topology, config, None, seed)
+    return _estimate_from_outcome(outcome, topology.name)
 
+
+def estimate_property_frequency_batch(
+    topology: Topology,
+    num_agents: int,
+    rounds: int,
+    marked_fraction: float,
+    replicates: int,
+    seed: SeedLike = None,
+    *,
+    collision_model: Optional[CollisionObservationModel] = None,
+) -> list[PropertyFrequencyEstimate]:
+    """Batched counterpart of :func:`estimate_property_frequency`.
+
+    All ``replicates`` independent runs advance through the kernel's
+    ``(R, n)`` round loop together (one offset-label collision pass per
+    round for the whole batch); each replicate row is then converted into
+    its own :class:`PropertyFrequencyEstimate`. The marked vectors are
+    drawn per replicate, so ``true_frequency`` varies across the returned
+    estimates exactly as it does across independent serial runs.
+    """
+    require_integer(num_agents, "num_agents", minimum=2)
+    require_integer(rounds, "rounds", minimum=1)
+    require_probability(marked_fraction, "marked_fraction", allow_zero=False)
+
+    config = SimulationConfig(
+        num_agents=num_agents,
+        rounds=rounds,
+        marked_fraction=marked_fraction,
+        collision_model=collision_model,
+    )
+    batch = run_kernel(topology, config, replicates, seed)
+    return [
+        _estimate_from_outcome(batch.replicate(index), topology.name)
+        for index in range(batch.replicates)
+    ]
+
+
+def _estimate_from_outcome(
+    outcome: SimulationResult, topology_name: str
+) -> PropertyFrequencyEstimate:
+    """Form the per-agent frequency estimates from one simulation outcome."""
     density_estimates = outcome.estimates()
     marked_density_estimates = outcome.marked_estimates()
     with np.errstate(divide="ignore", invalid="ignore"):
@@ -116,12 +159,16 @@ def estimate_property_frequency(
         frequency_estimates=frequency,
         true_density=outcome.true_density,
         true_marked_density=outcome.true_marked_density,
-        rounds=rounds,
-        num_agents=num_agents,
+        rounds=outcome.rounds,
+        num_agents=outcome.num_agents,
         num_marked=int(np.count_nonzero(outcome.marked)),
-        num_nodes=topology.num_nodes,
-        topology_name=topology.name,
+        num_nodes=outcome.num_nodes,
+        topology_name=topology_name,
     )
 
 
-__all__ = ["PropertyFrequencyEstimate", "estimate_property_frequency"]
+__all__ = [
+    "PropertyFrequencyEstimate",
+    "estimate_property_frequency",
+    "estimate_property_frequency_batch",
+]

@@ -1,0 +1,335 @@
+"""The one vectorized simulation kernel behind every execution path.
+
+Historically the repository carried **two** round loops for Algorithm 1:
+the serial ``core/simulation.py`` loop (one agent-set at a time) and the
+batched ``engine/batch.py`` loop (``(R, n)`` replicate matrices), gated by
+``batch_safe`` checks scattered over the call sites. This module collapses
+them into a single implementation, :func:`run_kernel`:
+
+* ``replicates=None`` — **serial mode**. The state arrays keep the legacy
+  shape ``(n,)``, placement/marking/movement/noise draw from the generator
+  in exactly the order the old serial loop did (bit-identical streams,
+  pinned by the golden fixtures in ``tests/baselines/kernel_golden.json``),
+  and per-round hooks observe ``(n,)`` arrays — the historical
+  :class:`~repro.core.simulation.RoundState` contract.
+* ``replicates=R`` — **batched mode**. All replicates advance through the
+  round loop together as an ``(R, n)`` position matrix; one offset-label
+  ``np.unique`` pass counts collisions for every replicate at once
+  (:func:`repro.core.encounter.batched_collision_counts`). The streams are
+  identical to the pre-unification ``simulate_density_estimation_batch``.
+
+Both modes share every line of the loop body: collision counting always
+runs through the batched primitives (serial mode views its ``(n,)`` vector
+as one ``(1, n)`` replicate), so there is exactly one place where a round
+happens.
+
+Capability checking lives here too: batched mode requires movement and
+observation models to declare ``batch_safe = True`` (their array operations
+must be elementwise over the replicate axis so that no information leaks
+*between* replicates — mixing across agents of one replicate is fine, which
+is how :class:`~repro.walks.movement.CollisionAvoidingWalk` batches).
+:func:`require_batch_safe` is the single guard; the per-call-site
+``getattr(model, "batch_safe", False)`` checks it replaced are gone.
+Serial mode accepts any model — with one replicate there is nothing to
+leak into.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.core.encounter import batched_collision_counts, batched_collision_profiles
+from repro.core.simulation import (
+    RoundState,
+    SimulationConfig,
+    SimulationResult,
+    apply_round_hook,
+)
+from repro.topology.base import Topology
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import require_integer
+
+
+def require_batch_safe(model: Any, role: str = "model") -> None:
+    """Raise unless ``model`` declares itself safe for ``(R, n)`` batching.
+
+    The single capability check of the kernel (and of anything else that
+    wants to fan a model across a replicate axis). A model is batch-safe
+    when its array operations never mix information *between* replicates —
+    elementwise operations trivially qualify, and so do cross-agent
+    operations that treat each leading-axis row independently.
+
+    Parameters
+    ----------
+    model:
+        The movement or observation model about to be batched.
+    role:
+        Human-readable role used in the error message (``"movement
+        model"``, ``"collision model"``, ...).
+
+    Raises
+    ------
+    ValueError
+        Naming the offending model, when ``batch_safe`` is absent or falsy.
+    """
+    if not getattr(model, "batch_safe", False):
+        name = getattr(model, "name", None) or type(model).__name__
+        raise ValueError(
+            f"{role} {name!r} does not declare batch_safe=True: its array "
+            "operations may mix information across the replicate axis, which "
+            "would leak between the independent replicates of a batched "
+            "simulation. Mark the model batch_safe once its operations treat "
+            "each replicate row independently, or run the workload through "
+            "the engine scheduler (one process per replicate) instead."
+        )
+
+
+@dataclass
+class BatchSimulationResult:
+    """Raw outcome of a batched :func:`run_kernel` call.
+
+    All per-agent arrays carry a leading replicate axis: shape ``(R, n)``
+    where :class:`~repro.core.simulation.SimulationResult` has ``(n,)``.
+    Use :meth:`replicate` to view one replicate in the legacy single-run
+    format.
+    """
+
+    collision_totals: np.ndarray
+    marked_collision_totals: np.ndarray
+    marked: np.ndarray
+    initial_positions: np.ndarray
+    final_positions: np.ndarray
+    rounds: int
+    num_nodes: int
+    trajectory: np.ndarray | None = None
+    marked_trajectory: np.ndarray | None = None
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def replicates(self) -> int:
+        return int(self.collision_totals.shape[0])
+
+    @property
+    def num_agents(self) -> int:
+        return int(self.collision_totals.shape[1])
+
+    @property
+    def true_density(self) -> float:
+        """The paper's density ``d = n / A`` (identical across replicates)."""
+        return (self.num_agents - 1) / self.num_nodes
+
+    def estimates(self) -> np.ndarray:
+        """Per-agent density estimates ``d̃ = c / t``, shape ``(R, n)``."""
+        return self.collision_totals / self.rounds
+
+    def marked_estimates(self) -> np.ndarray:
+        """Per-agent marked-density estimates ``d̃_P = c_P / t``, shape ``(R, n)``."""
+        return self.marked_collision_totals / self.rounds
+
+    def replicate(self, index: int) -> SimulationResult:
+        """The ``index``-th replicate as a single-run :class:`SimulationResult`."""
+        r = range(self.replicates)[index]  # normalises negative indices, bounds-checks
+        return SimulationResult(
+            collision_totals=self.collision_totals[r],
+            marked_collision_totals=self.marked_collision_totals[r],
+            marked=self.marked[r],
+            initial_positions=self.initial_positions[r],
+            final_positions=self.final_positions[r],
+            rounds=self.rounds,
+            num_nodes=self.num_nodes,
+            trajectory=None if self.trajectory is None else self.trajectory[:, r, :],
+            marked_trajectory=(
+                None if self.marked_trajectory is None else self.marked_trajectory[:, r, :]
+            ),
+            metadata=dict(self.metadata, replicate=r),
+        )
+
+
+def _place_agents(
+    topology: Topology,
+    config: SimulationConfig,
+    replicates: Optional[int],
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Initial positions with the mode's shape: ``(n,)`` serial, ``(R, n)`` batched."""
+    n_agents = config.num_agents
+    if config.placement is None:
+        if replicates is None:
+            positions = topology.uniform_nodes(n_agents, rng)
+        else:
+            positions = topology.uniform_nodes((replicates, n_agents), rng)
+    else:
+        rows = [
+            np.asarray(config.placement(topology, n_agents, rng), dtype=np.int64)
+            for _ in range(1 if replicates is None else replicates)
+        ]
+        for row in rows:
+            if row.shape != (n_agents,):
+                raise ValueError(
+                    f"placement must return shape ({n_agents},), got {row.shape}"
+                )
+        positions = rows[0] if replicates is None else np.stack(rows)
+    positions = np.asarray(positions, dtype=np.int64)
+    topology.validate_nodes(positions)
+    return positions
+
+
+def run_kernel(
+    topology: Topology,
+    config: SimulationConfig,
+    replicates: Optional[int] = None,
+    seed: SeedLike = None,
+) -> SimulationResult | BatchSimulationResult:
+    """Run Algorithm 1 for every agent — serially or for ``R`` replicates at once.
+
+    Parameters
+    ----------
+    topology:
+        Topology to walk on; any :class:`~repro.topology.Topology` (their
+        ``step_many`` implementations are shape-polymorphic).
+    config:
+        Simulation parameters; see :class:`~repro.core.simulation.SimulationConfig`.
+    replicates:
+        ``None`` (serial mode) runs one simulation with legacy ``(n,)``
+        state arrays and the legacy random stream. An integer ``R >= 1``
+        (batched mode) carries all replicates through the round loop as one
+        ``(R, n)`` matrix; ``movement`` and ``collision_model`` hooks must
+        then pass :func:`require_batch_safe`. The replicates draw from one
+        shared stream, so they are deterministic given the seed and
+        mutually independent.
+    seed:
+        Seed or generator controlling all randomness (placement, walks,
+        property assignment, and observation noise).
+
+    Returns
+    -------
+    SimulationResult | BatchSimulationResult
+        Serial mode returns the single-run container; batched mode the
+        ``(R, n)`` container.
+    """
+    serial = replicates is None
+    if not serial:
+        require_integer(replicates, "replicates", minimum=1)
+        if config.movement is not None:
+            require_batch_safe(config.movement, "movement model")
+        if config.collision_model is not None:
+            require_batch_safe(config.collision_model, "collision model")
+
+    rng = as_generator(seed)
+    n_agents = config.num_agents
+    positions = _place_agents(topology, config, replicates, rng)
+    shape = positions.shape
+    initial_positions = positions.copy()
+
+    if config.marked_fraction > 0.0:
+        marked = rng.random(shape) < config.marked_fraction
+    else:
+        marked = np.zeros(shape, dtype=bool)
+    track_marked = bool(marked.any())
+
+    totals = np.zeros(shape, dtype=np.float64)
+    marked_totals = np.zeros(shape, dtype=np.float64)
+
+    trajectory = (
+        np.zeros((config.rounds, *shape), dtype=np.float64)
+        if config.record_trajectory
+        else None
+    )
+    marked_trajectory = (
+        np.zeros((config.rounds, *shape), dtype=np.float64)
+        if (config.record_trajectory and track_marked)
+        else None
+    )
+
+    for round_index in range(config.rounds):
+        if config.movement is not None:
+            positions = np.asarray(config.movement.step(topology, positions, rng), dtype=np.int64)
+        else:
+            positions = topology.step_many(positions, rng)
+        num_nodes = topology.num_nodes
+        # Counting is shared between the modes: serial mode views its (n,)
+        # vector as a single replicate row. No randomness is involved, so
+        # the round's stream is untouched either way.
+        matrix = positions.reshape(-1, positions.shape[-1])
+        if track_marked:
+            counts, marked_counts = batched_collision_profiles(
+                matrix, marked.reshape(matrix.shape), num_nodes
+            )
+            marked_totals += marked_counts.reshape(shape)
+            if marked_trajectory is not None:
+                marked_trajectory[round_index] = marked_totals
+        else:
+            counts = batched_collision_counts(matrix, num_nodes)
+        counts = counts.reshape(positions.shape)
+        if config.collision_model is not None:
+            observed = np.asarray(config.collision_model.observe(counts, rng), dtype=np.float64)
+            if observed.shape != counts.shape:
+                raise ValueError(
+                    "collision_model.observe must preserve the shape of its input"
+                )
+        else:
+            observed = counts.astype(np.float64)
+        totals += observed
+
+        if trajectory is not None:
+            trajectory[round_index] = totals
+
+        if config.round_hook is not None:
+            state = apply_round_hook(
+                config.round_hook,
+                RoundState(
+                    topology=topology,
+                    positions=positions,
+                    totals=totals,
+                    marked=marked,
+                    marked_totals=marked_totals,
+                    observed=observed,
+                    round_index=round_index,
+                    rng=rng,
+                ),
+            )
+            if not serial and (
+                state.positions.ndim != 2 or state.positions.shape[0] != replicates
+            ):
+                raise ValueError(
+                    "round_hook must preserve the replicate axis: expected "
+                    f"({replicates}, n) arrays, got shape {state.positions.shape}"
+                )
+            topology = state.topology
+            positions = state.positions
+            totals = state.totals
+            marked = state.marked
+            marked_totals = state.marked_totals
+            shape = positions.shape
+
+    if serial:
+        return SimulationResult(
+            collision_totals=totals,
+            marked_collision_totals=marked_totals,
+            marked=marked,
+            initial_positions=initial_positions,
+            final_positions=positions,
+            rounds=config.rounds,
+            num_nodes=topology.num_nodes,
+            trajectory=trajectory,
+            marked_trajectory=marked_trajectory,
+            metadata={"topology": topology.name},
+        )
+    return BatchSimulationResult(
+        collision_totals=totals,
+        marked_collision_totals=marked_totals,
+        marked=marked,
+        initial_positions=initial_positions,
+        final_positions=positions,
+        rounds=config.rounds,
+        num_nodes=topology.num_nodes,
+        trajectory=trajectory,
+        marked_trajectory=marked_trajectory,
+        metadata={"topology": topology.name, "replicates": replicates},
+    )
+
+
+__all__ = ["BatchSimulationResult", "require_batch_safe", "run_kernel"]

@@ -1,11 +1,14 @@
-"""Multi-agent simulation engine for encounter-rate density estimation.
+"""Configuration and result containers of the encounter-rate simulation.
 
-This module executes Algorithm 1 for *all* agents simultaneously: in each
-round every agent takes one random-walk step and then observes
-``count(position)`` — the number of other agents on its node. The engine is
-shared by the random-walk estimator, the property-frequency estimator, the
-robot-swarm application, and the noise/placement ablations; those callers
-customise it through three hooks:
+The simulation executes Algorithm 1 for *all* agents simultaneously: in
+each round every agent takes one random-walk step and then observes
+``count(position)`` — the number of other agents on its node. The round
+loop itself lives in :mod:`repro.core.kernel` (one vectorized
+implementation serving both the serial and the batched ``(R, n)`` path);
+this module defines its contract — the config, the result containers, the
+per-round hook protocol — plus :func:`simulate_density_estimation`, the
+deprecated serial wrapper kept for one release. Callers customise the
+simulation through three hooks:
 
 * ``placement`` — how agents are initially positioned (default: independent
   uniform placement, the assumption of Section 2);
@@ -17,14 +20,14 @@ customise it through three hooks:
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Protocol
 
 import numpy as np
 
-from repro.core.encounter import collision_counts, marked_collision_counts
 from repro.topology.base import Topology
-from repro.utils.rng import SeedLike, as_generator
+from repro.utils.rng import SeedLike
 from repro.utils.validation import require_integer
 
 PlacementFn = Callable[[Topology, int, np.random.Generator], np.ndarray]
@@ -255,6 +258,16 @@ def simulate_density_estimation(
 ) -> SimulationResult:
     """Run the encounter-rate simulation (Algorithm 1 for every agent).
 
+    .. deprecated:: 1.4.0
+        The serial round loop that used to live here has been unified with
+        the batched loop into :func:`repro.core.kernel.run_kernel`; this
+        function is now a thin serial-mode wrapper (``replicates=None``)
+        kept for one release. It is **bit-identical** to the historical
+        implementation — same random stream, same results, same
+        :class:`RoundState` hook contract — as pinned by the golden
+        fixtures in ``tests/baselines/kernel_golden.json``. Call
+        ``run_kernel(topology, config, None, seed)`` directly instead.
+
     Parameters
     ----------
     topology:
@@ -270,97 +283,16 @@ def simulate_density_estimation(
     SimulationResult
         Per-agent collision totals and bookkeeping needed to form estimates.
     """
-    rng = as_generator(seed)
-    n_agents = config.num_agents
-    placement = config.placement or uniform_placement
-
-    positions = np.asarray(placement(topology, n_agents, rng), dtype=np.int64)
-    if positions.shape != (n_agents,):
-        raise ValueError(
-            f"placement must return shape ({n_agents},), got {positions.shape}"
-        )
-    topology.validate_nodes(positions)
-    initial_positions = positions.copy()
-
-    if config.marked_fraction > 0.0:
-        marked = rng.random(n_agents) < config.marked_fraction
-    else:
-        marked = np.zeros(n_agents, dtype=bool)
-
-    totals = np.zeros(n_agents, dtype=np.float64)
-    marked_totals = np.zeros(n_agents, dtype=np.float64)
-    track_marked = bool(marked.any())
-
-    trajectory = (
-        np.zeros((config.rounds, n_agents), dtype=np.float64)
-        if config.record_trajectory
-        else None
+    warnings.warn(
+        "simulate_density_estimation is deprecated and will be removed in a "
+        "future release; call repro.core.kernel.run_kernel(topology, config, "
+        "None, seed) for the same (bit-identical) serial simulation",
+        DeprecationWarning,
+        stacklevel=2,
     )
-    marked_trajectory = (
-        np.zeros((config.rounds, n_agents), dtype=np.float64)
-        if (config.record_trajectory and track_marked)
-        else None
-    )
+    from repro.core.kernel import run_kernel  # deferred: kernel imports this module
 
-    for round_index in range(config.rounds):
-        if config.movement is not None:
-            positions = np.asarray(config.movement.step(topology, positions, rng), dtype=np.int64)
-        else:
-            positions = topology.step_many(positions, rng)
-        true_counts = collision_counts(positions)
-        if config.collision_model is not None:
-            observed = np.asarray(
-                config.collision_model.observe(true_counts, rng), dtype=np.float64
-            )
-            if observed.shape != true_counts.shape:
-                raise ValueError(
-                    "collision_model.observe must preserve the shape of its input"
-                )
-        else:
-            observed = true_counts.astype(np.float64)
-        totals += observed
-
-        if track_marked:
-            marked_counts = marked_collision_counts(positions, marked).astype(np.float64)
-            marked_totals += marked_counts
-            if marked_trajectory is not None:
-                marked_trajectory[round_index] = marked_totals
-
-        if trajectory is not None:
-            trajectory[round_index] = totals
-
-        if config.round_hook is not None:
-            state = apply_round_hook(
-                config.round_hook,
-                RoundState(
-                    topology=topology,
-                    positions=positions,
-                    totals=totals,
-                    marked=marked,
-                    marked_totals=marked_totals,
-                    observed=observed,
-                    round_index=round_index,
-                    rng=rng,
-                ),
-            )
-            topology = state.topology
-            positions = state.positions
-            totals = state.totals
-            marked = state.marked
-            marked_totals = state.marked_totals
-
-    return SimulationResult(
-        collision_totals=totals,
-        marked_collision_totals=marked_totals,
-        marked=marked,
-        initial_positions=initial_positions,
-        final_positions=positions,
-        rounds=config.rounds,
-        num_nodes=topology.num_nodes,
-        trajectory=trajectory,
-        marked_trajectory=marked_trajectory,
-        metadata={"topology": topology.name},
-    )
+    return run_kernel(topology, config, None, seed)
 
 
 __all__ = [

@@ -1,10 +1,9 @@
 """The dynamics driver: run a :class:`Scenario` and track density per round.
 
-This is where the pieces of the subsystem meet the execution engines. The
+This is where the pieces of the subsystem meet the execution engine. The
 driver installs a :class:`~repro.core.simulation.RoundState` hook into the
-existing simulation loops — the single-run loop of
-:mod:`repro.core.simulation` or the batched ``(R, n)`` loop of
-:mod:`repro.engine.batch` — and, once per round:
+unified simulation kernel (:mod:`repro.core.kernel` — serial ``(n,)`` mode
+or batched ``(R, n)`` mode of the same loop) and, once per round:
 
 1. applies any active sensor-degradation window to the round's observed
    counts (adjusting the cumulative totals in place);
@@ -19,8 +18,7 @@ existing simulation loops — the single-run loop of
 
 Three entry points cover the execution spectrum:
 
-* :func:`track_scenario` — one replicate on the single-run engine (works
-  with every movement model);
+* :func:`track_scenario` — one replicate on the kernel's serial mode;
 * :func:`track_scenario_batch` — ``R`` replicates as one matrix
   simulation, the PR-1 throughput path (the benchmark gate keeps its
   overhead within 1.5x of the static batched loop);
@@ -40,11 +38,8 @@ from typing import Any
 import numpy as np
 
 from repro.analysis.concentration import chernoff_interval
-from repro.core.simulation import (
-    RoundState,
-    SimulationConfig,
-    simulate_density_estimation,
-)
+from repro.core.kernel import run_kernel
+from repro.core.simulation import RoundState, SimulationConfig
 from repro.dynamics.events import (
     AgentArrival,
     AgentDeparture,
@@ -68,7 +63,6 @@ from repro.dynamics.population import (
     spawn_agents,
 )
 from repro.dynamics.scenario import Scenario, build_topology
-from repro.engine.batch import simulate_density_estimation_batch
 from repro.engine.scheduler import ExecutionEngine
 from repro.swarm.noise import NoisyCollisionModel
 from repro.utils.rng import SeedLike
@@ -307,9 +301,9 @@ def _base_config(scenario: Scenario, tracker: _DynamicsTracker) -> SimulationCon
 
 
 def track_scenario(scenario: Scenario, seed: SeedLike = None) -> ScenarioRunResult:
-    """Run one replicate of ``scenario`` on the single-run engine."""
+    """Run one replicate of ``scenario`` on the kernel's serial mode."""
     tracker = _DynamicsTracker(scenario, tracks=1)
-    simulate_density_estimation(scenario.build_topology(), _base_config(scenario, tracker), seed)
+    run_kernel(scenario.build_topology(), _base_config(scenario, tracker), None, seed)
     return _result_from_tracker(scenario, tracker)
 
 
@@ -324,7 +318,7 @@ def track_scenario_batch(
     """
     require_integer(replicates, "replicates", minimum=1)
     tracker = _DynamicsTracker(scenario, tracks=replicates)
-    simulate_density_estimation_batch(
+    run_kernel(
         scenario.build_topology(), _base_config(scenario, tracker), replicates, seed
     )
     return _result_from_tracker(scenario, tracker)
@@ -335,14 +329,6 @@ def _batched_chunk_task(
 ) -> ScenarioRunResult:
     """Scheduler task: one batched chunk of a scenario run (picklable)."""
     return track_scenario_batch(scenario, replicates, rng)
-
-
-def _single_chunk_task(
-    scenario: Scenario, replicates: int, *, rng: np.random.Generator
-) -> ScenarioRunResult:
-    """Scheduler task for movement models the matrix path cannot batch."""
-    assert replicates == 1
-    return track_scenario(scenario, rng)
 
 
 def run_scenario(
@@ -361,24 +347,21 @@ def run_scenario(
     remainder runs as one final smaller chunk, so the result always holds
     precisely ``replicates`` tracks (validated below). Chunk layout and
     chunk seeds are pure functions of ``(replicates, seed)``, so the
-    assembled records are bit-identical for every worker count. Movement
-    models that are not batch-safe fall back to single-replicate chunks on
-    the same scheduler.
+    assembled records are bit-identical for every worker count. Every
+    catalog movement model is batch-safe, so every chunk takes the batched
+    matrix path; a non-batch-safe custom model is rejected by the kernel's
+    capability check with a message naming it.
     """
     require_integer(replicates, "replicates", minimum=1)
     engine = engine or ExecutionEngine()
 
-    movement = scenario.build_movement()
-    if movement is not None and not getattr(movement, "batch_safe", False):
-        chunk, task = 1, _single_chunk_task
-    else:
-        chunk, task = CHUNK_REPLICATES, _batched_chunk_task
+    chunk = CHUNK_REPLICATES
     sizes = [chunk] * (replicates // chunk)
     if replicates % chunk:
         sizes.append(replicates % chunk)
 
     settings = [{"scenario": scenario, "replicates": size} for size in sizes]
-    chunks: list[ScenarioRunResult] = engine.map(task, settings, seed)
+    chunks: list[ScenarioRunResult] = engine.map(_batched_chunk_task, settings, seed)
 
     merged = ScenarioRunResult(
         scenario=scenario,

@@ -6,11 +6,14 @@ and reproducibly:
 
 * :mod:`repro.engine.batch` — run ``R`` replicates of Algorithm 1 as **one
   matrix simulation** (an ``(R, n)`` position matrix through the round loop,
-  one offset-label ``np.unique`` collision pass for all replicates);
+  one offset-label ``np.unique`` collision pass for all replicates). The
+  loop itself is the unified kernel of :mod:`repro.core.kernel`, which also
+  serves the serial path; :func:`repro.core.kernel.require_batch_safe` is
+  the one capability check guarding the replicate axis;
 * :mod:`repro.engine.scheduler` — a deterministic **process-parallel
-  scheduler** for independent tasks that cannot be batched (movement
-  models, noise hooks, network-size pipelines), bit-identical across worker
-  counts;
+  scheduler** for independent tasks that cannot be batched (network-size
+  pipelines, adaptive stopping, heterogeneous grids), bit-identical across
+  worker counts;
 * :mod:`repro.engine.cache` — a **content-addressed run store** (key =
   topology + config + seed hash) so repeated sweeps skip completed settings.
 
@@ -22,6 +25,7 @@ and reproducibly:
     result = run_experiment("E09", quick=True, engine=engine)
 """
 
+from repro.core.kernel import require_batch_safe, run_kernel
 from repro.engine.batch import BatchSimulationResult, simulate_density_estimation_batch
 from repro.engine.cache import RunCache, cache_key
 from repro.engine.scheduler import (
@@ -41,5 +45,7 @@ __all__ = [
     "cache_key",
     "execute_plan",
     "iter_execute_plan",
+    "require_batch_safe",
+    "run_kernel",
     "simulate_density_estimation_batch",
 ]

@@ -1,33 +1,28 @@
-"""Batched replicate execution of Algorithm 1.
+"""Batched replicate execution of Algorithm 1 — the kernel's ``(R, n)`` mode.
 
 Every quantitative claim in the paper is established by averaging many
 independent replicates of the same simulation. Running those replicates one
 at a time wastes most of the wall-clock on per-round Python and small-array
-NumPy overhead: with 200 agents, a single ``np.unique`` call processes 200
-elements and the interpreter overhead dominates.
+NumPy overhead; carrying **all replicates through the round loop at once**
+as an ``(R, n)`` position matrix amortises that overhead across the batch:
 
-This module instead carries **all replicates through the round loop at
-once** as an ``(R, n)`` position matrix:
-
-* every topology's :meth:`~repro.topology.base.Topology.step_many` already
-  operates elementwise on arrays of any shape, so one call advances all
-  ``R * n`` walkers;
+* every topology's :meth:`~repro.topology.base.Topology.step_many` operates
+  elementwise on arrays of any shape, so one call advances all ``R * n``
+  walkers;
 * collision counting offsets replicate ``r``'s node labels by ``r * A`` so
   that agents in different replicates can never share a label, and a single
   ``np.unique`` pass over the flattened matrix counts collisions for every
   replicate simultaneously (:func:`repro.core.encounter.batched_collision_counts`).
 
-The replicates are mutually independent by construction — exactly as if
-each had been run in its own loop with its own slice of the generator's
-stream — but the per-round cost is amortised over all of them.
-
-Movement and observation-noise models whose array operations are purely
-elementwise declare ``batch_safe = True`` and run directly on the ``(R, n)``
-matrix (each replicate still sees its own independent randomness). Models
-that mix information *across* agents in ways that would leak between
-replicates (e.g. :class:`~repro.walks.movement.CollisionAvoidingWalk`) stay
-banned here; such workloads — and anything else the matrix form cannot
-express, like the network-size pipelines — belong on the process-parallel
+The loop implementing this lives in :mod:`repro.core.kernel` — the **same**
+loop that serves the serial path (``replicates=None``) — and this module is
+the engine-facing entry point for its batched mode. Movement and
+observation models must pass :func:`repro.core.kernel.require_batch_safe`:
+their array operations may do anything *within* a replicate row (the
+vectorized :class:`~repro.walks.movement.CollisionAvoidingWalk` couples
+agents of one replicate, for example) but must never mix information
+*between* rows. Workloads the matrix form cannot express — the
+network-size pipelines, adaptive stopping — belong on the process-parallel
 scheduler instead; see :mod:`repro.engine.scheduler`.
 
 A :class:`~repro.core.simulation.SimulationConfig` may also carry a
@@ -39,76 +34,10 @@ at batched throughput.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
-import numpy as np
-
-from repro.core.encounter import batched_collision_counts, batched_collision_profiles
-from repro.core.simulation import RoundState, SimulationConfig, SimulationResult, apply_round_hook
+from repro.core.kernel import BatchSimulationResult, run_kernel
+from repro.core.simulation import SimulationConfig
 from repro.topology.base import Topology
-from repro.utils.rng import SeedLike, as_generator
-from repro.utils.validation import require_integer
-
-
-@dataclass
-class BatchSimulationResult:
-    """Raw outcome of :func:`simulate_density_estimation_batch`.
-
-    All per-agent arrays carry a leading replicate axis: shape ``(R, n)``
-    where :class:`~repro.core.simulation.SimulationResult` has ``(n,)``.
-    Use :meth:`replicate` to view one replicate in the legacy single-run
-    format.
-    """
-
-    collision_totals: np.ndarray
-    marked_collision_totals: np.ndarray
-    marked: np.ndarray
-    initial_positions: np.ndarray
-    final_positions: np.ndarray
-    rounds: int
-    num_nodes: int
-    trajectory: np.ndarray | None = None
-    marked_trajectory: np.ndarray | None = None
-    metadata: dict = field(default_factory=dict)
-
-    @property
-    def replicates(self) -> int:
-        return int(self.collision_totals.shape[0])
-
-    @property
-    def num_agents(self) -> int:
-        return int(self.collision_totals.shape[1])
-
-    @property
-    def true_density(self) -> float:
-        """The paper's density ``d = n / A`` (identical across replicates)."""
-        return (self.num_agents - 1) / self.num_nodes
-
-    def estimates(self) -> np.ndarray:
-        """Per-agent density estimates ``d̃ = c / t``, shape ``(R, n)``."""
-        return self.collision_totals / self.rounds
-
-    def marked_estimates(self) -> np.ndarray:
-        """Per-agent marked-density estimates ``d̃_P = c_P / t``, shape ``(R, n)``."""
-        return self.marked_collision_totals / self.rounds
-
-    def replicate(self, index: int) -> SimulationResult:
-        """The ``index``-th replicate as a single-run :class:`SimulationResult`."""
-        r = range(self.replicates)[index]  # normalises negative indices, bounds-checks
-        return SimulationResult(
-            collision_totals=self.collision_totals[r],
-            marked_collision_totals=self.marked_collision_totals[r],
-            marked=self.marked[r],
-            initial_positions=self.initial_positions[r],
-            final_positions=self.final_positions[r],
-            rounds=self.rounds,
-            num_nodes=self.num_nodes,
-            trajectory=None if self.trajectory is None else self.trajectory[:, r, :],
-            marked_trajectory=(
-                None if self.marked_trajectory is None else self.marked_trajectory[:, r, :]
-            ),
-            metadata=dict(self.metadata, replicate=r),
-        )
+from repro.utils.rng import SeedLike
 
 
 def simulate_density_estimation_batch(
@@ -119,6 +48,11 @@ def simulate_density_estimation_batch(
 ) -> BatchSimulationResult:
     """Run ``replicates`` independent copies of Algorithm 1 as one matrix simulation.
 
+    Thin alias for ``run_kernel(topology, config, replicates, seed)`` —
+    the batched mode of the unified kernel. Kept as the engine's named
+    entry point; results and streams are identical to the historical
+    standalone batched loop.
+
     Parameters
     ----------
     topology:
@@ -126,11 +60,9 @@ def simulate_density_estimation_batch(
         ``step_many`` implementations are shape-polymorphic).
     config:
         Simulation parameters shared by every replicate. ``movement`` and
-        ``collision_model`` hooks must declare ``batch_safe = True``
-        (elementwise over the ``(R, n)`` matrix); models that mix
-        information across agents cannot be expressed as a matrix
-        simulation — run those through
-        :class:`repro.engine.scheduler.ExecutionEngine` instead. A
+        ``collision_model`` hooks must declare ``batch_safe = True`` (no
+        information flow across the replicate axis); the kernel's
+        :func:`~repro.core.kernel.require_batch_safe` enforces this. A
         ``round_hook`` receives the live ``(R, n)`` state each round and
         may apply churn or environment changes (see :mod:`repro.dynamics`).
     replicates:
@@ -145,122 +77,7 @@ def simulate_density_estimation_batch(
     BatchSimulationResult
         Per-replicate, per-agent collision totals (shape ``(R, n)``).
     """
-    require_integer(replicates, "replicates", minimum=1)
-    if config.movement is not None and not getattr(config.movement, "batch_safe", False):
-        raise ValueError(
-            "this movement model mixes information across agents and would leak "
-            "between replicates if batched; run it through the engine scheduler instead"
-        )
-    if config.collision_model is not None and not getattr(config.collision_model, "batch_safe", False):
-        raise ValueError(
-            "this collision observation model does not declare itself batch-safe "
-            "(elementwise over (R, n) count matrices); run it through the engine "
-            "scheduler instead"
-        )
-
-    rng = as_generator(seed)
-    n_agents = config.num_agents
-
-    if config.placement is None:
-        positions = topology.uniform_nodes((replicates, n_agents), rng)
-    else:
-        rows = [
-            np.asarray(config.placement(topology, n_agents, rng), dtype=np.int64)
-            for _ in range(replicates)
-        ]
-        for row in rows:
-            if row.shape != (n_agents,):
-                raise ValueError(
-                    f"placement must return shape ({n_agents},), got {row.shape}"
-                )
-        positions = np.stack(rows)
-    positions = np.asarray(positions, dtype=np.int64)
-    topology.validate_nodes(positions)
-    initial_positions = positions.copy()
-
-    if config.marked_fraction > 0.0:
-        marked = rng.random((replicates, n_agents)) < config.marked_fraction
-    else:
-        marked = np.zeros((replicates, n_agents), dtype=bool)
-    track_marked = bool(marked.any())
-
-    totals = np.zeros((replicates, n_agents), dtype=np.float64)
-    marked_totals = np.zeros((replicates, n_agents), dtype=np.float64)
-
-    trajectory = (
-        np.zeros((config.rounds, replicates, n_agents), dtype=np.float64)
-        if config.record_trajectory
-        else None
-    )
-    marked_trajectory = (
-        np.zeros((config.rounds, replicates, n_agents), dtype=np.float64)
-        if (config.record_trajectory and track_marked)
-        else None
-    )
-
-    for round_index in range(config.rounds):
-        if config.movement is not None:
-            positions = np.asarray(config.movement.step(topology, positions, rng), dtype=np.int64)
-        else:
-            positions = topology.step_many(positions, rng)
-        num_nodes = topology.num_nodes
-        if track_marked:
-            counts, marked_counts = batched_collision_profiles(positions, marked, num_nodes)
-            marked_totals += marked_counts
-            if marked_trajectory is not None:
-                marked_trajectory[round_index] = marked_totals
-        else:
-            counts = batched_collision_counts(positions, num_nodes)
-        if config.collision_model is not None:
-            observed = np.asarray(config.collision_model.observe(counts, rng), dtype=np.float64)
-            if observed.shape != counts.shape:
-                raise ValueError(
-                    "collision_model.observe must preserve the shape of its input"
-                )
-        else:
-            observed = counts.astype(np.float64)
-        totals += observed
-
-        if trajectory is not None:
-            trajectory[round_index] = totals
-
-        if config.round_hook is not None:
-            state = apply_round_hook(
-                config.round_hook,
-                RoundState(
-                    topology=topology,
-                    positions=positions,
-                    totals=totals,
-                    marked=marked,
-                    marked_totals=marked_totals,
-                    observed=observed,
-                    round_index=round_index,
-                    rng=rng,
-                ),
-            )
-            if state.positions.ndim != 2 or state.positions.shape[0] != replicates:
-                raise ValueError(
-                    "round_hook must preserve the replicate axis: expected "
-                    f"({replicates}, n) arrays, got shape {state.positions.shape}"
-                )
-            topology = state.topology
-            positions = state.positions
-            totals = state.totals
-            marked = state.marked
-            marked_totals = state.marked_totals
-
-    return BatchSimulationResult(
-        collision_totals=totals,
-        marked_collision_totals=marked_totals,
-        marked=marked,
-        initial_positions=initial_positions,
-        final_positions=positions,
-        rounds=config.rounds,
-        num_nodes=topology.num_nodes,
-        trajectory=trajectory,
-        marked_trajectory=marked_trajectory,
-        metadata={"topology": topology.name, "replicates": replicates},
-    )
+    return run_kernel(topology, config, replicates, seed)
 
 
 __all__ = ["BatchSimulationResult", "simulate_density_estimation_batch"]

@@ -79,6 +79,25 @@ EXPERIMENTS: dict[str, tuple[object, type]] = {
 }
 
 
+def _engine_aware_runner(key: str, module: object) -> Callable:
+    """The experiment's ``run`` — verified to forward the execution engine.
+
+    Every registered experiment executes through the engine
+    (``ExecutionPlan`` cells and/or the batched kernel), so its ``run``
+    must accept ``engine=``. An experiment that silently dropped the
+    parameter would run serially no matter what ``--workers`` asks for;
+    this guard turns that regression into a loud error naming the module.
+    """
+    runner: Callable = module.run
+    if "engine" not in inspect.signature(runner).parameters:
+        raise TypeError(
+            f"experiment {key} ({module.__name__}) does not accept engine=: "
+            "every experiment must forward the execution engine so that "
+            "batching, caching, and --workers reach it"
+        )
+    return runner
+
+
 def run_experiment(
     experiment_id: str,
     *,
@@ -97,27 +116,31 @@ def run_experiment(
     seed:
         Seed forwarded to the experiment.
     engine:
-        Optional :class:`repro.engine.ExecutionEngine`. Experiments migrated
-        onto the engine accept it as their ``engine=`` parameter (and use a
-        serial default engine otherwise); for the remaining experiments the
-        argument is ignored. Records never depend on the engine's worker
-        count — only wall-clock does.
+        Optional :class:`repro.engine.ExecutionEngine`, forwarded to every
+        experiment (each defaults to a serial engine when ``None``).
+        Records never depend on the engine's worker count — only
+        wall-clock does.
     """
     key = experiment_id.upper()
     if key not in EXPERIMENTS:
         raise KeyError(f"unknown experiment id {experiment_id!r}; known ids: {sorted(EXPERIMENTS)}")
     module, config_cls = EXPERIMENTS[key]
     config = config_cls.quick() if quick else config_cls()
-    runner: Callable = module.run
-    if engine is not None and "engine" in inspect.signature(runner).parameters:
-        return runner(config, seed=seed, engine=engine)
-    return runner(config, seed=seed)
+    runner = _engine_aware_runner(key, module)
+    return runner(config, seed=seed, engine=engine)
 
 
 def run_all(
     *, quick: bool = True, seed: int = 0, engine: "ExecutionEngine | None" = None
 ) -> dict[str, ExperimentResult]:
-    """Run the whole suite (quick configurations by default) and return results by id."""
+    """Run the whole suite (quick configurations by default) and return results by id.
+
+    Before anything runs, every registered experiment is checked to forward
+    the engine — one experiment ignoring ``engine=`` would silently run
+    serially under ``--workers N``, so the check fails fast and names it.
+    """
+    for key, (module, _) in EXPERIMENTS.items():
+        _engine_aware_runner(key, module)
     return {key: run_experiment(key, quick=quick, seed=seed, engine=engine) for key in EXPERIMENTS}
 
 

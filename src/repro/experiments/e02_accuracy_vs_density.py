@@ -20,12 +20,13 @@ import numpy as np
 
 from repro.analysis.accuracy import empirical_epsilon, fit_power_law
 from repro.core import bounds
-from repro.core.estimator import RandomWalkDensityEstimator
+from repro.core.kernel import run_kernel
+from repro.core.simulation import SimulationConfig
 from repro.engine import ExecutionEngine
 from repro.experiments.base import ExperimentResult
 from repro.sweeps.spec import GridAxis, expand_axes
 from repro.topology.torus import Torus2D
-from repro.utils.rng import SeedLike, spawn_generators
+from repro.utils.rng import SeedLike
 
 
 @dataclass(frozen=True)
@@ -52,15 +53,14 @@ def _density_cell(
     *,
     rng: np.random.Generator,
 ) -> dict[str, float]:
-    """One grid point: ``trials`` estimator runs at one target density (picklable)."""
+    """One grid point: ``trials`` batched kernel replicates at one target density."""
     topology = Torus2D(side)
     num_agents = max(2, int(round(target_density * topology.num_nodes)) + 1)
     true_density = (num_agents - 1) / topology.num_nodes
-    epsilons = []
-    for trial_rng in spawn_generators(rng, trials):
-        estimator = RandomWalkDensityEstimator(topology, num_agents, rounds)
-        run_result = estimator.run(trial_rng)
-        epsilons.append(empirical_epsilon(run_result.estimates, true_density, delta))
+    batch = run_kernel(topology, SimulationConfig(num_agents=num_agents, rounds=rounds), trials, rng)
+    epsilons = [
+        empirical_epsilon(row, true_density, delta) for row in batch.estimates()
+    ]
     return {
         "target_density": target_density,
         "true_density": true_density,

@@ -16,9 +16,10 @@ import numpy as np
 
 from repro.analysis.accuracy import fit_power_law
 from repro.core import bounds
+from repro.engine import ExecutionEngine
 from repro.experiments.base import ExperimentResult
 from repro.topology.torus import Torus2D
-from repro.utils.rng import SeedLike, spawn_generators
+from repro.utils.rng import SeedLike
 from repro.walks.equalization import equalization_profile
 from repro.walks.recollision import recollision_profile
 
@@ -37,17 +38,36 @@ class RecollisionTorusConfig:
         return cls(side=50, max_offset=16, trials=3000, report_offsets=(1, 2, 4, 8, 16))
 
 
-def run(config: RecollisionTorusConfig | None = None, seed: SeedLike = 0) -> ExperimentResult:
-    """Run E03 and return the re-collision / equalization probability table."""
-    config = config or RecollisionTorusConfig()
-    topology = Torus2D(config.side)
-    rng_recollision, rng_equalization = spawn_generators(seed, 2)
+def _profile_cell(
+    kind: str, side: int, max_offset: int, trials: int, *, rng: np.random.Generator
+):
+    """One measurement cell: a full re-collision or equalization profile."""
+    topology = Torus2D(side)
+    if kind == "recollision":
+        return recollision_profile(topology, max_offset, trials=trials, seed=rng)
+    return equalization_profile(topology, max_offset, trials=trials, seed=rng)
 
-    profile = recollision_profile(
-        topology, config.max_offset, trials=config.trials, seed=rng_recollision
-    )
-    returns = equalization_profile(
-        topology, config.max_offset, trials=config.trials, seed=rng_equalization
+
+def run(
+    config: RecollisionTorusConfig | None = None,
+    seed: SeedLike = 0,
+    engine: ExecutionEngine | None = None,
+) -> ExperimentResult:
+    """Run E03 and return the re-collision / equalization probability table.
+
+    The two profile measurements are independent cells of one execution
+    plan (cell seeds match the legacy per-profile generators, so records
+    are unchanged by the migration and identical for any worker count).
+    """
+    config = config or RecollisionTorusConfig()
+    engine = engine or ExecutionEngine()
+    topology = Torus2D(config.side)
+
+    base = {"side": config.side, "max_offset": config.max_offset, "trials": config.trials}
+    profile, returns = engine.map(
+        _profile_cell,
+        [{"kind": "recollision", **base}, {"kind": "equalization", **base}],
+        seed,
     )
 
     result = ExperimentResult(

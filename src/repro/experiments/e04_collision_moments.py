@@ -15,9 +15,10 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.engine import ExecutionEngine
 from repro.experiments.base import ExperimentResult
 from repro.topology.torus import Torus2D
-from repro.utils.rng import SeedLike, spawn_generators
+from repro.utils.rng import SeedLike
 from repro.walks.equalization import equalization_counts
 from repro.walks.moments import central_moments, pairwise_collision_counts, visit_counts
 
@@ -42,18 +43,38 @@ def _bound_shape(rounds: int, num_nodes: int, order: int, fitted_constant: float
     return (rounds / num_nodes) * (fitted_constant**order) * math.factorial(order) * (log_term**order)
 
 
-def run(config: CollisionMomentsConfig | None = None, seed: SeedLike = 0) -> ExperimentResult:
-    """Run E04 and return the moment-bound comparison table."""
-    config = config or CollisionMomentsConfig()
-    topology = Torus2D(config.side)
-    rng_pair, rng_visit, rng_equal = spawn_generators(seed, 3)
+def _sample_cell(
+    kind: str, side: int, rounds: int, trials: int, *, rng: np.random.Generator
+) -> np.ndarray:
+    """One measurement cell: a vector of count samples of the given kind."""
+    topology = Torus2D(side)
+    if kind == "pair":
+        return pairwise_collision_counts(topology, rounds, trials=trials, seed=rng)
+    if kind == "visit":
+        return visit_counts(topology, rounds, trials=trials, seed=rng)
+    return equalization_counts(topology, rounds, trials=trials, seed=rng)
 
-    pair_samples = pairwise_collision_counts(
-        topology, config.rounds, trials=config.trials, seed=rng_pair
-    )
-    visit_samples = visit_counts(topology, config.rounds, trials=config.trials, seed=rng_visit)
-    equal_samples = equalization_counts(
-        topology, config.rounds, trials=config.trials, seed=rng_equal
+
+def run(
+    config: CollisionMomentsConfig | None = None,
+    seed: SeedLike = 0,
+    engine: ExecutionEngine | None = None,
+) -> ExperimentResult:
+    """Run E04 and return the moment-bound comparison table.
+
+    The three sample families are independent cells of one execution plan
+    (cell seeds match the legacy per-family generators, so records are
+    unchanged by the migration and identical for any worker count).
+    """
+    config = config or CollisionMomentsConfig()
+    engine = engine or ExecutionEngine()
+    topology = Torus2D(config.side)
+
+    base = {"side": config.side, "rounds": config.rounds, "trials": config.trials}
+    pair_samples, visit_samples, equal_samples = engine.map(
+        _sample_cell,
+        [{"kind": "pair", **base}, {"kind": "visit", **base}, {"kind": "equal", **base}],
+        seed,
     )
 
     pair_moments = central_moments(pair_samples, config.orders)

@@ -16,7 +16,9 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.analysis.accuracy import empirical_epsilon
-from repro.core.estimator import RandomWalkDensityEstimator
+from repro.core.kernel import run_kernel
+from repro.core.simulation import SimulationConfig
+from repro.engine import ExecutionEngine
 from repro.experiments.base import ExperimentResult
 from repro.topology.complete import CompleteGraph
 from repro.topology.expander import RegularExpander
@@ -24,7 +26,7 @@ from repro.topology.hypercube import Hypercube
 from repro.topology.ring import Ring
 from repro.topology.torus import Torus2D
 from repro.topology.torus_kd import TorusKD
-from repro.utils.rng import SeedLike, spawn_generators
+from repro.utils.rng import SeedLike, as_generator, spawn_seed_sequences
 
 
 @dataclass(frozen=True)
@@ -68,9 +70,32 @@ def _topologies(config: TopologyComparisonConfig, seed: SeedLike):
     yield CompleteGraph(config.torus_side**2)
 
 
-def run(config: TopologyComparisonConfig | None = None, seed: SeedLike = 0) -> ExperimentResult:
-    """Run E06 and return the per-topology accuracy table."""
+def _accuracy_cell(
+    topology, num_agents: int, rounds: int, delta: float, *, rng: np.random.Generator
+) -> dict[str, float]:
+    """One Algorithm 1 trial on one topology (stream-identical to the legacy loop)."""
+    outcome = run_kernel(topology, SimulationConfig(num_agents=num_agents, rounds=rounds), None, rng)
+    estimates = outcome.estimates()
+    true_density = (num_agents - 1) / topology.num_nodes
+    return {
+        "epsilon": empirical_epsilon(estimates, true_density, delta),
+        "mean": float(estimates.mean()),
+    }
+
+
+def run(
+    config: TopologyComparisonConfig | None = None,
+    seed: SeedLike = 0,
+    engine: ExecutionEngine | None = None,
+) -> ExperimentResult:
+    """Run E06 and return the per-topology accuracy table.
+
+    Every (topology, trial) pair is one cell of a single execution plan
+    (cell seeds match the legacy trial generators, so records are unchanged
+    by the migration and identical for any worker count).
+    """
     config = config or TopologyComparisonConfig()
+    engine = engine or ExecutionEngine()
     result = ExperimentResult(
         experiment_id="E06",
         title="Density estimation accuracy across topologies at equal (d, t)",
@@ -89,24 +114,29 @@ def run(config: TopologyComparisonConfig | None = None, seed: SeedLike = 0) -> E
         ],
     )
 
-    rngs = spawn_generators(seed, 16)
-    topologies = list(_topologies(config, rngs[0]))
-    trial_rngs = spawn_generators(rngs[1], len(topologies) * config.trials)
-    rng_index = 0
+    children = spawn_seed_sequences(seed, 16)
+    topologies = list(_topologies(config, as_generator(children[0])))
+    agent_counts = [
+        max(2, int(round(config.target_density * topology.num_nodes)) + 1)
+        for topology in topologies
+    ]
+    settings = [
+        {
+            "topology": topology,
+            "num_agents": num_agents,
+            "rounds": config.rounds,
+            "delta": config.delta,
+        }
+        for topology, num_agents in zip(topologies, agent_counts)
+        for _ in range(config.trials)
+    ]
+    cells = engine.map(_accuracy_cell, settings, as_generator(children[1]))
+
     epsilons_by_name: dict[str, float] = {}
-    for topology in topologies:
-        num_agents = max(2, int(round(config.target_density * topology.num_nodes)) + 1)
+    for index, (topology, num_agents) in enumerate(zip(topologies, agent_counts)):
         true_density = (num_agents - 1) / topology.num_nodes
-        epsilons = []
-        means = []
-        for _ in range(config.trials):
-            run_result = RandomWalkDensityEstimator(topology, num_agents, config.rounds).run(
-                trial_rngs[rng_index]
-            )
-            rng_index += 1
-            epsilons.append(empirical_epsilon(run_result.estimates, true_density, config.delta))
-            means.append(run_result.mean_estimate())
-        value = float(np.mean(epsilons))
+        rows = cells[index * config.trials : (index + 1) * config.trials]
+        value = float(np.mean([row["epsilon"] for row in rows]))
         epsilons_by_name[topology.name] = value
         result.add(
             topology=topology.name,
@@ -114,7 +144,7 @@ def run(config: TopologyComparisonConfig | None = None, seed: SeedLike = 0) -> E
             num_agents=num_agents,
             true_density=true_density,
             empirical_epsilon=value,
-            mean_estimate=float(np.mean(means)),
+            mean_estimate=float(np.mean([row["mean"] for row in rows])),
         )
 
     ring_eps = epsilons_by_name.get("ring")

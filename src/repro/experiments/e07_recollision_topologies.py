@@ -26,8 +26,9 @@ from repro.topology.expander import RegularExpander
 from repro.topology.hypercube import Hypercube
 from repro.topology.ring import Ring
 from repro.topology.torus import Torus2D
+from repro.engine import ExecutionEngine
 from repro.topology.torus_kd import TorusKD
-from repro.utils.rng import SeedLike, spawn_generators
+from repro.utils.rng import SeedLike, as_generator, spawn_seed_sequences
 from repro.walks.recollision import recollision_profile
 
 
@@ -59,13 +60,28 @@ class RecollisionTopologiesConfig:
         )
 
 
+def _profile_cell(topology, max_offset: int, trials: int, *, rng: np.random.Generator):
+    """One cell: the full re-collision profile of one topology (picklable)."""
+    return recollision_profile(topology, max_offset, trials=trials, seed=rng)
+
+
 def run(
-    config: RecollisionTopologiesConfig | None = None, seed: SeedLike = 0
+    config: RecollisionTopologiesConfig | None = None,
+    seed: SeedLike = 0,
+    engine: ExecutionEngine | None = None,
 ) -> ExperimentResult:
-    """Run E07 and return the per-topology re-collision decay table."""
+    """Run E07 and return the per-topology re-collision decay table.
+
+    Each topology's profile measurement is one cell of a single execution
+    plan (cell seeds match the legacy per-topology generators, so records
+    are unchanged by the migration and identical for any worker count).
+    """
     config = config or RecollisionTopologiesConfig()
-    rngs = spawn_generators(seed, 8)
-    expander = RegularExpander(config.expander_size, config.expander_degree, seed=rngs[0])
+    engine = engine or ExecutionEngine()
+    children = spawn_seed_sequences(seed, 8)
+    expander = RegularExpander(
+        config.expander_size, config.expander_degree, seed=as_generator(children[0])
+    )
 
     # (topology, expected polynomial exponent or None for geometric decay,
     #  theoretical bound at max_offset)
@@ -108,9 +124,12 @@ def run(
         ],
     )
 
-    profile_rngs = spawn_generators(rngs[1], len(cases))
-    for (topology, expected_exponent, bound_at_max), rng in zip(cases, profile_rngs):
-        profile = recollision_profile(topology, config.max_offset, trials=config.trials, seed=rng)
+    settings = [
+        {"topology": topology, "max_offset": config.max_offset, "trials": config.trials}
+        for topology, _, _ in cases
+    ]
+    profiles = engine.map(_profile_cell, settings, as_generator(children[1]))
+    for (topology, expected_exponent, bound_at_max), profile in zip(cases, profiles):
         offsets = np.array([o for o in config.fit_offsets if o <= config.max_offset], dtype=float)
         probabilities = np.array([profile.probability[int(o)] for o in offsets])
         fitted = float("nan")

@@ -13,14 +13,17 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 
+import numpy as np
+
 from repro.core import bounds
+from repro.engine import ExecutionEngine
 from repro.experiments.base import ExperimentResult
 from repro.topology.expander import RegularExpander
 from repro.topology.hypercube import Hypercube
 from repro.topology.ring import Ring
 from repro.topology.torus import Torus2D
 from repro.topology.torus_kd import TorusKD
-from repro.utils.rng import SeedLike, spawn_generators
+from repro.utils.rng import SeedLike, as_generator, spawn_seed_sequences
 from repro.walks.recollision import recollision_profile
 
 
@@ -50,12 +53,29 @@ class LocalMixingConfig:
         )
 
 
-def run(config: LocalMixingConfig | None = None, seed: SeedLike = 0) -> ExperimentResult:
-    """Run E08 and return the B(t) growth table."""
+def _profile_cell(topology, max_offset: int, trials: int, *, rng: np.random.Generator):
+    """One cell: the full re-collision profile of one topology (picklable)."""
+    return recollision_profile(topology, max_offset, trials=trials, seed=rng)
+
+
+def run(
+    config: LocalMixingConfig | None = None,
+    seed: SeedLike = 0,
+    engine: ExecutionEngine | None = None,
+) -> ExperimentResult:
+    """Run E08 and return the B(t) growth table.
+
+    Each topology's profile measurement is one cell of a single execution
+    plan (cell seeds match the legacy per-topology generators, so records
+    are unchanged by the migration and identical for any worker count).
+    """
     config = config or LocalMixingConfig()
+    engine = engine or ExecutionEngine()
     max_offset = max(config.checkpoints)
-    rngs = spawn_generators(seed, 8)
-    expander = RegularExpander(config.expander_size, config.expander_degree, seed=rngs[0])
+    children = spawn_seed_sequences(seed, 8)
+    expander = RegularExpander(
+        config.expander_size, config.expander_degree, seed=as_generator(children[0])
+    )
 
     topologies = [
         Ring(config.ring_size),
@@ -87,9 +107,12 @@ def run(config: LocalMixingConfig | None = None, seed: SeedLike = 0) -> Experime
         + ["growth_ratio"],
     )
 
-    profile_rngs = spawn_generators(rngs[1], len(topologies))
-    for topology, rng in zip(topologies, profile_rngs):
-        profile = recollision_profile(topology, max_offset, trials=config.trials, seed=rng)
+    settings = [
+        {"topology": topology, "max_offset": max_offset, "trials": config.trials}
+        for topology in topologies
+    ]
+    profiles = engine.map(_profile_cell, settings, as_generator(children[1]))
+    for topology, profile in zip(topologies, profiles):
         cumulative = profile.cumulative()
         record: dict = {"topology": topology.name}
         values = []

@@ -28,7 +28,7 @@ from repro.experiments.base import ExperimentResult
 from repro.netsize.pipeline import NetworkSizeEstimationPipeline
 from repro.sweeps.spec import GridAxis, ZipAxis, expand_axes
 from repro.topology.graph import NetworkXTopology
-from repro.utils.rng import SeedLike, as_generator, spawn_generators, spawn_seed_sequences
+from repro.utils.rng import SeedLike, as_generator, spawn_seed_sequences
 
 
 @dataclass(frozen=True)
@@ -101,10 +101,14 @@ def _e09_cell(
     walks = min(walks, topology.num_nodes // 2)
 
     reports = []
-    for trial_rng in spawn_generators(rng, config.trials):
+    # Trial streams spawn from the cell's generator exactly as the legacy
+    # per-trial generators did (one integer draw per trial), so the cell's
+    # records are unchanged.
+    for trial_seed in spawn_seed_sequences(rng, config.trials):
         pipeline = NetworkSizeEstimationPipeline(
             topology, num_walks=walks, rounds=pipeline_rounds, burn_in=config.burn_in
         )
+        trial_rng = as_generator(trial_seed)
         reports.append(pipeline.run_katzir_baseline(trial_rng) if baseline else pipeline.run(trial_rng))
     return {
         "graph": graph,

@@ -15,10 +15,11 @@ import networkx as nx
 import numpy as np
 
 from repro.core import bounds
+from repro.engine import ExecutionEngine
 from repro.experiments.base import ExperimentResult
 from repro.netsize.degree import estimate_average_degree
 from repro.topology.graph import NetworkXTopology
-from repro.utils.rng import SeedLike, as_generator, spawn_generators
+from repro.utils.rng import SeedLike, as_generator
 
 
 @dataclass(frozen=True)
@@ -36,9 +37,26 @@ class AverageDegreeConfig:
         return cls(graph_size=500, epsilons=(0.3, 0.2), trials=2)
 
 
-def run(config: AverageDegreeConfig | None = None, seed: SeedLike = 0) -> ExperimentResult:
-    """Run E10 and return the average-degree estimation table."""
+def _degree_cell(
+    topology: NetworkXTopology, samples: int, *, rng: np.random.Generator
+) -> float:
+    """One estimation trial at one sample budget (picklable plan cell)."""
+    return estimate_average_degree(topology, samples, rng)
+
+
+def run(
+    config: AverageDegreeConfig | None = None,
+    seed: SeedLike = 0,
+    engine: ExecutionEngine | None = None,
+) -> ExperimentResult:
+    """Run E10 and return the average-degree estimation table.
+
+    Every (epsilon, trial) pair is one cell of a single execution plan
+    (cell seeds match the legacy trial generators, so records are unchanged
+    by the migration and identical for any worker count).
+    """
     config = config or AverageDegreeConfig()
+    engine = engine or ExecutionEngine()
     rng = as_generator(seed)
     graph = nx.barabasi_albert_graph(
         config.graph_size, config.attachment_edges, seed=int(rng.integers(0, 2**31 - 1))
@@ -63,19 +81,21 @@ def run(config: AverageDegreeConfig | None = None, seed: SeedLike = 0) -> Experi
         ],
     )
 
-    trial_rngs = spawn_generators(rng, len(config.epsilons) * config.trials)
-    rng_index = 0
-    for epsilon in config.epsilons:
-        samples = bounds.theorem31_samples_required(
+    sample_budgets = [
+        bounds.theorem31_samples_required(
             true_average, topology.min_degree, epsilon, config.delta
         )
-        errors = []
-        estimates = []
-        for _ in range(config.trials):
-            estimate = estimate_average_degree(topology, samples, trial_rngs[rng_index])
-            rng_index += 1
-            estimates.append(estimate)
-            errors.append(abs(estimate - true_average) / true_average)
+        for epsilon in config.epsilons
+    ]
+    settings = [
+        {"topology": topology, "samples": samples}
+        for samples in sample_budgets
+        for _ in range(config.trials)
+    ]
+    outputs = engine.map(_degree_cell, settings, rng)
+    for index, (epsilon, samples) in enumerate(zip(config.epsilons, sample_budgets)):
+        estimates = outputs[index * config.trials : (index + 1) * config.trials]
+        errors = [abs(estimate - true_average) / true_average for estimate in estimates]
         median_error = float(np.median(errors))
         result.add(
             target_epsilon=epsilon,

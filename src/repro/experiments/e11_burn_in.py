@@ -14,11 +14,12 @@ from dataclasses import dataclass
 import networkx as nx
 import numpy as np
 
+from repro.engine import ExecutionEngine
 from repro.experiments.base import ExperimentResult
 from repro.netsize.pipeline import NetworkSizeEstimationPipeline
 from repro.netsize.burn_in import required_burn_in_steps
 from repro.topology.graph import NetworkXTopology
-from repro.utils.rng import SeedLike, as_generator, spawn_generators
+from repro.utils.rng import SeedLike, as_generator
 
 
 @dataclass(frozen=True)
@@ -38,9 +39,34 @@ class BurnInConfig:
         return cls(graph_size=500, num_walks=80, rounds=16, burn_in_grid=(0, 5, 25), trials=1)
 
 
-def run(config: BurnInConfig | None = None, seed: SeedLike = 0) -> ExperimentResult:
-    """Run E11 and return the burn-in sensitivity table."""
+def _pipeline_cell(
+    topology: NetworkXTopology,
+    num_walks: int,
+    rounds: int,
+    burn_in: int,
+    *,
+    rng: np.random.Generator,
+) -> float:
+    """One size-estimation pipeline run (picklable plan cell)."""
+    pipeline = NetworkSizeEstimationPipeline(
+        topology, num_walks=num_walks, rounds=rounds, burn_in=burn_in
+    )
+    return float(pipeline.run(rng).size_estimate)
+
+
+def run(
+    config: BurnInConfig | None = None,
+    seed: SeedLike = 0,
+    engine: ExecutionEngine | None = None,
+) -> ExperimentResult:
+    """Run E11 and return the burn-in sensitivity table.
+
+    Every (burn-in, trial) pair is one cell of a single execution plan
+    (cell seeds match the legacy trial generators, so records are unchanged
+    by the migration and identical for any worker count).
+    """
     config = config or BurnInConfig()
+    engine = engine or ExecutionEngine()
     rng = as_generator(seed)
     graph = nx.random_regular_graph(
         config.graph_degree, config.graph_size, seed=int(rng.integers(0, 2**31 - 1))
@@ -64,20 +90,19 @@ def run(config: BurnInConfig | None = None, seed: SeedLike = 0) -> ExperimentRes
         ],
     )
 
-    trial_rngs = spawn_generators(rng, len(config.burn_in_grid) * config.trials)
-    rng_index = 0
-    for burn_in in config.burn_in_grid:
-        estimates = []
-        for _ in range(config.trials):
-            pipeline = NetworkSizeEstimationPipeline(
-                topology,
-                num_walks=config.num_walks,
-                rounds=config.rounds,
-                burn_in=burn_in,
-            )
-            report = pipeline.run(trial_rngs[rng_index])
-            rng_index += 1
-            estimates.append(report.size_estimate)
+    settings = [
+        {
+            "topology": topology,
+            "num_walks": config.num_walks,
+            "rounds": config.rounds,
+            "burn_in": burn_in,
+        }
+        for burn_in in config.burn_in_grid
+        for _ in range(config.trials)
+    ]
+    outputs = engine.map(_pipeline_cell, settings, rng)
+    for index, burn_in in enumerate(config.burn_in_grid):
+        estimates = outputs[index * config.trials : (index + 1) * config.trials]
         finite = [e for e in estimates if np.isfinite(e)]
         median_estimate = float(np.median(finite)) if finite else float("inf")
         error = (

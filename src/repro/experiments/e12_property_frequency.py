@@ -14,10 +14,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.frequency import estimate_property_frequency
+from repro.core.frequency import estimate_property_frequency_batch
+from repro.engine import ExecutionEngine
 from repro.experiments.base import ExperimentResult
 from repro.topology.torus import Torus2D
-from repro.utils.rng import SeedLike, spawn_generators
+from repro.utils.rng import SeedLike
 
 
 @dataclass(frozen=True)
@@ -37,10 +38,51 @@ class PropertyFrequencyConfig:
         return cls(side=30, num_agents=180, rounds_grid=(50, 100), trials=1)
 
 
-def run(config: PropertyFrequencyConfig | None = None, seed: SeedLike = 0) -> ExperimentResult:
-    """Run E12 and return the property-frequency accuracy table."""
+def _frequency_cell(
+    side: int,
+    num_agents: int,
+    rounds: int,
+    marked_fraction: float,
+    epsilon: float,
+    trials: int,
+    *,
+    rng: np.random.Generator,
+) -> dict[str, float]:
+    """One grid point: all trials as a single batched kernel simulation."""
+    outcomes = estimate_property_frequency_batch(
+        Torus2D(side), num_agents, rounds, marked_fraction, trials, rng
+    )
+    errors, estimates, fractions = [], [], []
+    true_frequency = float("nan")
+    for outcome in outcomes:
+        if outcome.true_frequency == 0:
+            continue
+        errors.append(float(np.median(outcome.frequency_relative_errors())))
+        estimates.append(float(np.median(outcome.frequency_estimates)))
+        fractions.append(outcome.fraction_within(epsilon))
+        true_frequency = outcome.true_frequency
+    return {
+        "rounds": rounds,
+        "true_frequency": true_frequency,
+        "median_frequency_estimate": float(np.median(estimates)),
+        "median_relative_error": float(np.median(errors)),
+        "fraction_within_epsilon": float(np.mean(fractions)),
+    }
+
+
+def run(
+    config: PropertyFrequencyConfig | None = None,
+    seed: SeedLike = 0,
+    engine: ExecutionEngine | None = None,
+) -> ExperimentResult:
+    """Run E12 and return the property-frequency accuracy table.
+
+    Each round budget is one plan cell, and within a cell all trials run as
+    one batched ``(trials, n)`` kernel simulation (shared collision passes),
+    so the experiment gains both the scheduler and the matrix path.
+    """
     config = config or PropertyFrequencyConfig()
-    topology = Torus2D(config.side)
+    engine = engine or ExecutionEngine()
     result = ExperimentResult(
         experiment_id="E12",
         title="Relative property-frequency estimation (robot swarm / task allocation)",
@@ -57,34 +99,19 @@ def run(config: PropertyFrequencyConfig | None = None, seed: SeedLike = 0) -> Ex
         ],
     )
 
-    rngs = spawn_generators(seed, len(config.rounds_grid) * config.trials)
-    rng_index = 0
-    for rounds in config.rounds_grid:
-        errors = []
-        estimates = []
-        fractions = []
-        for _ in range(config.trials):
-            outcome = estimate_property_frequency(
-                topology,
-                config.num_agents,
-                rounds,
-                config.marked_fraction,
-                rngs[rng_index],
-            )
-            rng_index += 1
-            if outcome.true_frequency == 0:
-                continue
-            errors.append(float(np.median(outcome.frequency_relative_errors())))
-            estimates.append(float(np.median(outcome.frequency_estimates)))
-            fractions.append(outcome.fraction_within(config.epsilon))
-            true_frequency = outcome.true_frequency
-        result.add(
-            rounds=rounds,
-            true_frequency=true_frequency,
-            median_frequency_estimate=float(np.median(estimates)),
-            median_relative_error=float(np.median(errors)),
-            fraction_within_epsilon=float(np.mean(fractions)),
-        )
+    settings = [
+        {
+            "side": config.side,
+            "num_agents": config.num_agents,
+            "rounds": rounds,
+            "marked_fraction": config.marked_fraction,
+            "epsilon": config.epsilon,
+            "trials": config.trials,
+        }
+        for rounds in config.rounds_grid
+    ]
+    for record in engine.map(_frequency_cell, settings, seed):
+        result.add(**record)
 
     result.notes.append(
         "fraction_within_epsilon should increase towards 1 as the round budget grows"

@@ -14,10 +14,12 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core import bounds
-from repro.core.estimator import RandomWalkDensityEstimator
+from repro.core.kernel import run_kernel
+from repro.core.simulation import SimulationConfig
+from repro.engine import ExecutionEngine
 from repro.experiments.base import ExperimentResult
 from repro.topology.torus import Torus2D
-from repro.utils.rng import SeedLike, spawn_generators
+from repro.utils.rng import SeedLike
 
 
 @dataclass(frozen=True)
@@ -37,9 +39,40 @@ class AllAgentsConfig:
         return cls(side=30, num_agents=180, trials=2, max_rounds=1500)
 
 
-def run(config: AllAgentsConfig | None = None, seed: SeedLike = 0) -> ExperimentResult:
-    """Run E13 and return the all-agents accuracy table."""
+def _budget_cell(
+    side: int,
+    num_agents: int,
+    rounds: int,
+    epsilon: float,
+    trials: int,
+    *,
+    rng: np.random.Generator,
+) -> dict[str, float]:
+    """One budget: all trials as a single batched kernel simulation."""
+    topology = Torus2D(side)
+    density = (num_agents - 1) / topology.num_nodes
+    batch = run_kernel(topology, SimulationConfig(num_agents=num_agents, rounds=rounds), trials, rng)
+    errors = np.abs(batch.estimates() - density) / density  # (trials, n)
+    worst = errors.max(axis=1)
+    return {
+        "mean_worst_agent_error": float(worst.mean()),
+        "fraction_of_trials_all_within": float(np.mean(worst <= epsilon)),
+        "mean_fraction_of_agents_within": float(np.mean(errors <= epsilon)),
+    }
+
+
+def run(
+    config: AllAgentsConfig | None = None,
+    seed: SeedLike = 0,
+    engine: ExecutionEngine | None = None,
+) -> ExperimentResult:
+    """Run E13 and return the all-agents accuracy table.
+
+    The two round budgets are plan cells, and within a cell all trials run
+    as one batched ``(trials, n)`` kernel simulation.
+    """
     config = config or AllAgentsConfig()
+    engine = engine or ExecutionEngine()
     topology = Torus2D(config.side)
     density = (config.num_agents - 1) / topology.num_nodes
 
@@ -71,28 +104,20 @@ def run(config: AllAgentsConfig | None = None, seed: SeedLike = 0) -> Experiment
         ],
     )
 
-    rngs = spawn_generators(seed, 2 * config.trials)
-    rng_index = 0
-    for label, rounds in (("single_agent_budget", single_rounds), ("union_bound_budget", union_rounds)):
-        worst_errors = []
-        all_within_flags = []
-        fractions = []
-        for _ in range(config.trials):
-            run_result = RandomWalkDensityEstimator(topology, config.num_agents, rounds).run(
-                rngs[rng_index]
-            )
-            rng_index += 1
-            errors = run_result.relative_errors()
-            worst_errors.append(float(errors.max()))
-            all_within_flags.append(bool(errors.max() <= config.epsilon))
-            fractions.append(float(np.mean(errors <= config.epsilon)))
-        result.add(
-            budget=label,
-            rounds=rounds,
-            mean_worst_agent_error=float(np.mean(worst_errors)),
-            fraction_of_trials_all_within=float(np.mean(all_within_flags)),
-            mean_fraction_of_agents_within=float(np.mean(fractions)),
-        )
+    budgets = (("single_agent_budget", single_rounds), ("union_bound_budget", union_rounds))
+    settings = [
+        {
+            "side": config.side,
+            "num_agents": config.num_agents,
+            "rounds": rounds,
+            "epsilon": config.epsilon,
+            "trials": config.trials,
+        }
+        for _, rounds in budgets
+    ]
+    cells = engine.map(_budget_cell, settings, seed)
+    for (label, rounds), cell in zip(budgets, cells):
+        result.add(budget=label, rounds=rounds, **cell)
 
     result.notes.append(
         f"union-bound budget is {union_rounds} rounds vs {single_rounds} for a single agent "

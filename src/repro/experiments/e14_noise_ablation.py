@@ -15,11 +15,13 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.analysis.accuracy import empirical_epsilon
-from repro.core.estimator import RandomWalkDensityEstimator
+from repro.core.kernel import run_kernel
+from repro.core.simulation import SimulationConfig
+from repro.engine import ExecutionEngine
 from repro.experiments.base import ExperimentResult
 from repro.swarm.noise import NoisyCollisionModel, correct_noisy_estimate
 from repro.topology.torus import Torus2D
-from repro.utils.rng import SeedLike, spawn_generators
+from repro.utils.rng import SeedLike
 
 
 @dataclass(frozen=True)
@@ -46,11 +48,57 @@ class NoiseAblationConfig:
         )
 
 
-def run(config: NoiseAblationConfig | None = None, seed: SeedLike = 0) -> ExperimentResult:
-    """Run E14 and return the noise-robustness table."""
+def _noise_cell(
+    side: int,
+    num_agents: int,
+    rounds: int,
+    miss: float,
+    spurious: float,
+    delta: float,
+    trials: int,
+    *,
+    rng: np.random.Generator,
+) -> dict[str, float]:
+    """One noise setting: all trials as a single batched kernel simulation."""
+    topology = Torus2D(side)
+    density = (num_agents - 1) / topology.num_nodes
+    model = NoisyCollisionModel(miss_probability=miss, spurious_rate=spurious)
+    batch = run_kernel(
+        topology,
+        SimulationConfig(num_agents=num_agents, rounds=rounds, collision_model=model),
+        trials,
+        rng,
+    )
+    raw = batch.estimates()  # (trials, n)
+    corrected = np.asarray(correct_noisy_estimate(raw, model))
+    return {
+        "miss_probability": miss,
+        "spurious_rate": spurious,
+        "raw_mean_estimate": float(raw.mean()),
+        "raw_epsilon": float(
+            np.mean([empirical_epsilon(row, density, delta) for row in raw])
+        ),
+        "corrected_mean_estimate": float(corrected.mean()),
+        "corrected_epsilon": float(
+            np.mean([empirical_epsilon(row, density, delta) for row in corrected])
+        ),
+        "true_density": density,
+    }
+
+
+def run(
+    config: NoiseAblationConfig | None = None,
+    seed: SeedLike = 0,
+    engine: ExecutionEngine | None = None,
+) -> ExperimentResult:
+    """Run E14 and return the noise-robustness table.
+
+    Each (miss, spurious) setting is one plan cell, and within a cell all
+    trials run as one batched ``(trials, n)`` kernel simulation (the noise
+    model is elementwise, hence batch-safe).
+    """
     config = config or NoiseAblationConfig()
-    topology = Torus2D(config.side)
-    density = (config.num_agents - 1) / topology.num_nodes
+    engine = engine or ExecutionEngine()
 
     result = ExperimentResult(
         experiment_id="E14",
@@ -71,36 +119,20 @@ def run(config: NoiseAblationConfig | None = None, seed: SeedLike = 0) -> Experi
     )
 
     settings = [
-        (miss, spurious)
+        {
+            "side": config.side,
+            "num_agents": config.num_agents,
+            "rounds": config.rounds,
+            "miss": miss,
+            "spurious": spurious,
+            "delta": config.delta,
+            "trials": config.trials,
+        }
         for miss in config.miss_probabilities
         for spurious in config.spurious_rates
     ]
-    rngs = spawn_generators(seed, len(settings) * config.trials)
-    rng_index = 0
-    for miss, spurious in settings:
-        model = NoisyCollisionModel(miss_probability=miss, spurious_rate=spurious)
-        raw_means, raw_eps, corr_means, corr_eps = [], [], [], []
-        for _ in range(config.trials):
-            estimator = RandomWalkDensityEstimator(
-                topology, config.num_agents, config.rounds, collision_model=model
-            )
-            run_result = estimator.run(rngs[rng_index])
-            rng_index += 1
-            raw = run_result.estimates
-            corrected = np.asarray(correct_noisy_estimate(raw, model))
-            raw_means.append(float(raw.mean()))
-            corr_means.append(float(corrected.mean()))
-            raw_eps.append(empirical_epsilon(raw, density, config.delta))
-            corr_eps.append(empirical_epsilon(corrected, density, config.delta))
-        result.add(
-            miss_probability=miss,
-            spurious_rate=spurious,
-            raw_mean_estimate=float(np.mean(raw_means)),
-            raw_epsilon=float(np.mean(raw_eps)),
-            corrected_mean_estimate=float(np.mean(corr_means)),
-            corrected_epsilon=float(np.mean(corr_eps)),
-            true_density=density,
-        )
+    for record in engine.map(_noise_cell, settings, seed):
+        result.add(**record)
 
     result.notes.append(
         "raw estimates are biased once noise is present; corrected estimates recentre on the truth"

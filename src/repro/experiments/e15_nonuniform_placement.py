@@ -15,11 +15,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.estimator import RandomWalkDensityEstimator
+from repro.core.simulation import SimulationConfig
+from repro.engine import ExecutionEngine
 from repro.experiments.base import ExperimentResult
 from repro.swarm.placement import clustered_placement, gaussian_blob_placement
 from repro.topology.torus import Torus2D
-from repro.utils.rng import SeedLike, spawn_generators
+from repro.utils.rng import SeedLike, spawn_seed_sequences
 
 
 @dataclass(frozen=True)
@@ -41,10 +42,19 @@ class NonuniformPlacementConfig:
 
 
 def run(
-    config: NonuniformPlacementConfig | None = None, seed: SeedLike = 0
+    config: NonuniformPlacementConfig | None = None,
+    seed: SeedLike = 0,
+    engine: ExecutionEngine | None = None,
 ) -> ExperimentResult:
-    """Run E15 and return the placement-sensitivity table."""
+    """Run E15 and return the placement-sensitivity table.
+
+    All trials of one placement run as a single batched ``(trials, n)``
+    kernel simulation through the engine. The placement functions are
+    closures (not picklable), so the batched cells execute in-process —
+    the records are therefore trivially identical for any worker count.
+    """
     config = config or NonuniformPlacementConfig()
+    engine = engine or ExecutionEngine()
     topology = Torus2D(config.side)
     density = (config.num_agents - 1) / topology.num_nodes
 
@@ -72,28 +82,25 @@ def run(
         ],
     )
 
-    rngs = spawn_generators(seed, len(placements) * config.trials)
-    rng_index = 0
-    for name, placement in placements.items():
-        medians, p90s, means, spreads = [], [], [], []
-        for _ in range(config.trials):
-            estimator = RandomWalkDensityEstimator(
-                topology, config.num_agents, config.rounds, placement=placement
-            )
-            run_result = estimator.run(rngs[rng_index])
-            rng_index += 1
-            errors = run_result.relative_errors()
-            medians.append(float(np.median(errors)))
-            p90s.append(float(np.quantile(errors, 0.9)))
-            means.append(run_result.mean_estimate())
-            spreads.append(float(run_result.estimates.std()))
+    placement_seeds = spawn_seed_sequences(seed, len(placements))
+    for (name, placement), placement_seed in zip(placements.items(), placement_seeds):
+        batch = engine.run_replicates(
+            topology,
+            SimulationConfig(
+                num_agents=config.num_agents, rounds=config.rounds, placement=placement
+            ),
+            config.trials,
+            placement_seed,
+        )
+        estimates = batch.estimates()  # (trials, n)
+        errors = np.abs(estimates - density) / density
         result.add(
             placement=name,
-            mean_estimate=float(np.mean(means)),
+            mean_estimate=float(estimates.mean()),
             true_density=density,
-            median_relative_error=float(np.mean(medians)),
-            p90_relative_error=float(np.mean(p90s)),
-            estimate_spread=float(np.mean(spreads)),
+            median_relative_error=float(np.mean(np.median(errors, axis=1))),
+            p90_relative_error=float(np.mean(np.quantile(errors, 0.9, axis=1))),
+            estimate_spread=float(np.mean(estimates.std(axis=1))),
         )
 
     result.notes.append(

@@ -14,10 +14,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.engine import ExecutionEngine
 from repro.experiments.base import ExperimentResult
 from repro.sensor.aggregation import independent_sample_mean, token_mean_estimate
 from repro.sensor.network import SensorGrid
-from repro.utils.rng import SeedLike, spawn_generators
+from repro.utils.rng import SeedLike, as_generator, spawn_seed_sequences
 
 
 @dataclass(frozen=True)
@@ -34,11 +35,36 @@ class SensorSamplingConfig:
         return cls(side=40, steps_grid=(100, 400), trials=5)
 
 
-def run(config: SensorSamplingConfig | None = None, seed: SeedLike = 0) -> ExperimentResult:
-    """Run E16 and return the token-sampling accuracy table."""
+def _sampling_cell(
+    network: SensorGrid, steps: int, *, rng: np.random.Generator
+) -> dict[str, float]:
+    """One trial: a token walk and its independent-sampling baseline."""
+    token = token_mean_estimate(network, steps, rng)
+    baseline = independent_sample_mean(network, steps, rng)
+    return {
+        "token_error": token.relative_error,
+        "independent_error": baseline.relative_error,
+        "repeat_fraction": token.repeat_visit_fraction,
+    }
+
+
+def run(
+    config: SensorSamplingConfig | None = None,
+    seed: SeedLike = 0,
+    engine: ExecutionEngine | None = None,
+) -> ExperimentResult:
+    """Run E16 and return the token-sampling accuracy table.
+
+    Every (walk length, trial) pair is one cell of a single execution plan;
+    the sensor grid is built once from its own seed stream and shipped to
+    the cells.
+    """
     config = config or SensorSamplingConfig()
-    rngs = spawn_generators(seed, 2 + 2 * len(config.steps_grid) * config.trials)
-    network = SensorGrid.bernoulli(config.side, config.condition_probability, seed=rngs[0])
+    engine = engine or ExecutionEngine()
+    children = spawn_seed_sequences(seed, 2)
+    network = SensorGrid.bernoulli(
+        config.side, config.condition_probability, seed=as_generator(children[0])
+    )
 
     result = ExperimentResult(
         experiment_id="E16",
@@ -56,21 +82,17 @@ def run(config: SensorSamplingConfig | None = None, seed: SeedLike = 0) -> Exper
         ],
     )
 
-    rng_index = 2
-    for steps in config.steps_grid:
-        token_errors = []
-        independent_errors = []
-        repeats = []
-        for _ in range(config.trials):
-            token = token_mean_estimate(network, steps, rngs[rng_index])
-            rng_index += 1
-            baseline = independent_sample_mean(network, steps, rngs[rng_index])
-            rng_index += 1
-            token_errors.append(token.relative_error)
-            independent_errors.append(baseline.relative_error)
-            repeats.append(token.repeat_visit_fraction)
-        token_error = float(np.mean(token_errors))
-        independent_error = float(np.mean(independent_errors))
+    settings = [
+        {"network": network, "steps": steps}
+        for steps in config.steps_grid
+        for _ in range(config.trials)
+    ]
+    cells = engine.map(_sampling_cell, settings, as_generator(children[1]))
+    for index, steps in enumerate(config.steps_grid):
+        rows = cells[index * config.trials : (index + 1) * config.trials]
+        token_error = float(np.mean([row["token_error"] for row in rows]))
+        independent_error = float(np.mean([row["independent_error"] for row in rows]))
+        repeats = [row["repeat_fraction"] for row in rows]
         result.add(
             steps=steps,
             token_mean_error=token_error,

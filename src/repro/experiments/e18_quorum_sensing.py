@@ -14,9 +14,10 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.thresholds import QuorumDetector
+from repro.engine import ExecutionEngine
 from repro.experiments.base import ExperimentResult
 from repro.topology.torus import Torus2D
-from repro.utils.rng import SeedLike, spawn_generators
+from repro.utils.rng import SeedLike
 
 
 @dataclass(frozen=True)
@@ -36,9 +37,41 @@ class QuorumSensingConfig:
         return cls(side=30, density_multipliers=(0.5, 2.0), rounds=200, trials=1)
 
 
-def run(config: QuorumSensingConfig | None = None, seed: SeedLike = 0) -> ExperimentResult:
-    """Run E18 and return the quorum-decision table."""
+def _quorum_cell(
+    side: int,
+    num_agents: int,
+    threshold: float,
+    margin: float,
+    delta: float,
+    rounds: int | None,
+    *,
+    rng: np.random.Generator,
+) -> float:
+    """One detection trial at one density (stream-identical to the legacy loop)."""
+    detector = QuorumDetector(
+        topology=Torus2D(side),
+        num_agents=num_agents,
+        threshold=threshold,
+        margin=margin,
+        delta=delta,
+        rounds=rounds,
+    )
+    return detector.fraction_above(rng)
+
+
+def run(
+    config: QuorumSensingConfig | None = None,
+    seed: SeedLike = 0,
+    engine: ExecutionEngine | None = None,
+) -> ExperimentResult:
+    """Run E18 and return the quorum-decision table.
+
+    Every (density, trial) pair is one cell of a single execution plan
+    (cell seeds match the legacy trial generators, so records are unchanged
+    by the migration and identical for any worker count).
+    """
     config = config or QuorumSensingConfig()
+    engine = engine or ExecutionEngine()
     topology = Torus2D(config.side)
 
     result = ExperimentResult(
@@ -58,26 +91,29 @@ def run(config: QuorumSensingConfig | None = None, seed: SeedLike = 0) -> Experi
         ],
     )
 
-    rngs = spawn_generators(seed, len(config.density_multipliers) * config.trials)
-    rng_index = 0
-    for multiplier in config.density_multipliers:
-        target_density = config.threshold * multiplier
-        num_agents = max(2, int(round(target_density * topology.num_nodes)) + 1)
+    agent_counts = [
+        max(2, int(round(config.threshold * multiplier * topology.num_nodes)) + 1)
+        for multiplier in config.density_multipliers
+    ]
+    settings = [
+        {
+            "side": config.side,
+            "num_agents": num_agents,
+            "threshold": config.threshold,
+            "margin": config.margin,
+            "delta": config.delta,
+            "rounds": config.rounds,
+        }
+        for num_agents in agent_counts
+        for _ in range(config.trials)
+    ]
+    cells = engine.map(_quorum_cell, settings, seed)
+    for index, (multiplier, num_agents) in enumerate(
+        zip(config.density_multipliers, agent_counts)
+    ):
         true_density = (num_agents - 1) / topology.num_nodes
         expected_above = true_density >= config.threshold
-        fractions_above = []
-        for _ in range(config.trials):
-            detector = QuorumDetector(
-                topology=topology,
-                num_agents=num_agents,
-                threshold=config.threshold,
-                margin=config.margin,
-                delta=config.delta,
-                rounds=config.rounds,
-            )
-            fractions_above.append(detector.fraction_above(rngs[rng_index]))
-            rng_index += 1
-        fraction_above = float(np.mean(fractions_above))
+        fraction_above = float(np.mean(cells[index * config.trials : (index + 1) * config.trials]))
         fraction_correct = fraction_above if expected_above else 1.0 - fraction_above
         result.add(
             density_multiplier=multiplier,

@@ -21,10 +21,12 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.analysis.accuracy import empirical_epsilon
-from repro.core.estimator import RandomWalkDensityEstimator
+from repro.core.kernel import run_kernel
+from repro.core.simulation import SimulationConfig
+from repro.engine import ExecutionEngine
 from repro.experiments.base import ExperimentResult
 from repro.topology.torus import Torus2D
-from repro.utils.rng import SeedLike, spawn_generators
+from repro.utils.rng import SeedLike
 from repro.walks.movement import (
     BiasedTorusWalk,
     CollisionAvoidingWalk,
@@ -51,11 +53,55 @@ class MovementModelsConfig:
         return cls(side=30, num_agents=180, rounds=120, trials=1)
 
 
-def run(config: MovementModelsConfig | None = None, seed: SeedLike = 0) -> ExperimentResult:
-    """Run E19 and return the movement-model ablation table."""
+def _movement_cell(
+    side: int,
+    num_agents: int,
+    rounds: int,
+    movement,
+    delta: float,
+    trials: int,
+    *,
+    rng: np.random.Generator,
+) -> dict[str, float]:
+    """One movement model: all trials as a single batched kernel simulation.
+
+    Every catalog model — the collision-avoiding walk included, since its
+    vectorization — is batch-safe, so the whole ablation runs on the
+    kernel's ``(R, n)`` matrix path.
+    """
+    topology = Torus2D(side)
+    density = (num_agents - 1) / topology.num_nodes
+    batch = run_kernel(
+        topology,
+        SimulationConfig(num_agents=num_agents, rounds=rounds, movement=movement),
+        trials,
+        rng,
+    )
+    estimates = batch.estimates()  # (trials, n)
+    mean_estimate = float(estimates.mean())
+    return {
+        "movement_model": movement.name,
+        "mean_estimate": mean_estimate,
+        "true_density": density,
+        "relative_bias": (mean_estimate - density) / density,
+        "empirical_epsilon": float(
+            np.mean([empirical_epsilon(row, density, delta) for row in estimates])
+        ),
+    }
+
+
+def run(
+    config: MovementModelsConfig | None = None,
+    seed: SeedLike = 0,
+    engine: ExecutionEngine | None = None,
+) -> ExperimentResult:
+    """Run E19 and return the movement-model ablation table.
+
+    Each movement model is one plan cell, and within a cell all trials run
+    as one batched ``(trials, n)`` kernel simulation.
+    """
     config = config or MovementModelsConfig()
-    topology = Torus2D(config.side)
-    density = (config.num_agents - 1) / topology.num_nodes
+    engine = engine or ExecutionEngine()
 
     models = [
         UniformRandomWalk(),
@@ -81,27 +127,19 @@ def run(config: MovementModelsConfig | None = None, seed: SeedLike = 0) -> Exper
         ],
     )
 
-    rngs = spawn_generators(seed, len(models) * config.trials)
-    rng_index = 0
-    for model in models:
-        means = []
-        epsilons = []
-        for _ in range(config.trials):
-            estimator = RandomWalkDensityEstimator(
-                topology, config.num_agents, config.rounds, movement=model
-            )
-            run_result = estimator.run(rngs[rng_index])
-            rng_index += 1
-            means.append(run_result.mean_estimate())
-            epsilons.append(empirical_epsilon(run_result.estimates, density, config.delta))
-        mean_estimate = float(np.mean(means))
-        result.add(
-            movement_model=model.name,
-            mean_estimate=mean_estimate,
-            true_density=density,
-            relative_bias=(mean_estimate - density) / density,
-            empirical_epsilon=float(np.mean(epsilons)),
-        )
+    settings = [
+        {
+            "side": config.side,
+            "num_agents": config.num_agents,
+            "rounds": config.rounds,
+            "movement": model,
+            "delta": config.delta,
+            "trials": config.trials,
+        }
+        for model in models
+    ]
+    for record in engine.map(_movement_cell, settings, seed):
+        result.add(**record)
 
     result.notes.append(
         "uniform, lazy, and biased walks should show near-zero relative bias; the "

@@ -17,11 +17,13 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.analysis.accuracy import empirical_epsilon
-from repro.core.estimator import RandomWalkDensityEstimator
+from repro.core.kernel import run_kernel
+from repro.core.simulation import SimulationConfig
+from repro.engine import ExecutionEngine
 from repro.experiments.base import ExperimentResult
 from repro.topology.bounded_grid import BoundedGrid
 from repro.topology.torus import Torus2D
-from repro.utils.rng import SeedLike, spawn_generators
+from repro.utils.rng import SeedLike
 
 
 @dataclass(frozen=True)
@@ -39,9 +41,41 @@ class BoundaryEffectsConfig:
         return cls(sides=(16, 32), rounds=120, trials=1)
 
 
-def run(config: BoundaryEffectsConfig | None = None, seed: SeedLike = 0) -> ExperimentResult:
-    """Run E20 and return the torus-vs-bounded-grid comparison table."""
+def _boundary_cell(
+    topology,
+    num_agents: int,
+    rounds: int,
+    delta: float,
+    trials: int,
+    *,
+    rng: np.random.Generator,
+) -> dict[str, float]:
+    """One (side, topology) point: all trials as one batched kernel simulation."""
+    density = (num_agents - 1) / topology.num_nodes
+    batch = run_kernel(
+        topology, SimulationConfig(num_agents=num_agents, rounds=rounds), trials, rng
+    )
+    estimates = batch.estimates()  # (trials, n)
+    return {
+        "mean_estimate": float(estimates.mean()),
+        "empirical_epsilon": float(
+            np.mean([empirical_epsilon(row, density, delta) for row in estimates])
+        ),
+    }
+
+
+def run(
+    config: BoundaryEffectsConfig | None = None,
+    seed: SeedLike = 0,
+    engine: ExecutionEngine | None = None,
+) -> ExperimentResult:
+    """Run E20 and return the torus-vs-bounded-grid comparison table.
+
+    Each (side, topology) point is one plan cell, and within a cell all
+    trials run as one batched ``(trials, n)`` kernel simulation.
+    """
     config = config or BoundaryEffectsConfig()
+    engine = engine or ExecutionEngine()
     result = ExperimentResult(
         experiment_id="E20",
         title="Boundary effects: torus vs bounded grid with reflecting boundaries",
@@ -60,34 +94,39 @@ def run(config: BoundaryEffectsConfig | None = None, seed: SeedLike = 0) -> Expe
         ],
     )
 
-    rngs = spawn_generators(seed, 2 * len(config.sides) * config.trials)
-    rng_index = 0
+    points = [
+        (side, topology)
+        for side in config.sides
+        for topology in (Torus2D(side), BoundedGrid(side))
+    ]
+    settings = []
+    for _, topology in points:
+        num_agents = max(2, int(round(config.target_density * topology.num_nodes)) + 1)
+        settings.append(
+            {
+                "topology": topology,
+                "num_agents": num_agents,
+                "rounds": config.rounds,
+                "delta": config.delta,
+                "trials": config.trials,
+            }
+        )
+    cells = engine.map(_boundary_cell, settings, seed)
+
     epsilon_by_side: dict[int, dict[str, float]] = {side: {} for side in config.sides}
-    for side in config.sides:
-        for topology in (Torus2D(side), BoundedGrid(side)):
-            num_agents = max(2, int(round(config.target_density * topology.num_nodes)) + 1)
-            density = (num_agents - 1) / topology.num_nodes
-            means = []
-            epsilons = []
-            for _ in range(config.trials):
-                run_result = RandomWalkDensityEstimator(
-                    topology, num_agents, config.rounds
-                ).run(rngs[rng_index])
-                rng_index += 1
-                means.append(run_result.mean_estimate())
-                epsilons.append(empirical_epsilon(run_result.estimates, density, config.delta))
-            mean_estimate = float(np.mean(means))
-            bias = (mean_estimate - density) / density
-            epsilon_value = float(np.mean(epsilons))
-            epsilon_by_side[side][topology.name] = epsilon_value
-            result.add(
-                side=side,
-                topology=topology.name,
-                mean_estimate=mean_estimate,
-                true_density=density,
-                relative_bias=bias,
-                empirical_epsilon=epsilon_value,
-            )
+    for (side, topology), setting, cell in zip(points, settings, cells):
+        density = (setting["num_agents"] - 1) / topology.num_nodes
+        mean_estimate = cell["mean_estimate"]
+        epsilon_value = cell["empirical_epsilon"]
+        epsilon_by_side[side][topology.name] = epsilon_value
+        result.add(
+            side=side,
+            topology=topology.name,
+            mean_estimate=mean_estimate,
+            true_density=density,
+            relative_bias=(mean_estimate - density) / density,
+            empirical_epsilon=epsilon_value,
+        )
 
     penalties = []
     for side in config.sides:

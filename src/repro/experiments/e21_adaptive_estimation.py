@@ -17,9 +17,10 @@ import numpy as np
 
 from repro.analysis.accuracy import fit_power_law
 from repro.core.adaptive import AdaptiveDensityEstimator
+from repro.engine import ExecutionEngine
 from repro.experiments.base import ExperimentResult
 from repro.topology.torus import Torus2D
-from repro.utils.rng import SeedLike, spawn_generators
+from repro.utils.rng import SeedLike
 
 
 @dataclass(frozen=True)
@@ -38,9 +39,51 @@ class AdaptiveEstimationConfig:
         return cls(sides=(16, 28), max_rounds=20_000, trials=1)
 
 
-def run(config: AdaptiveEstimationConfig | None = None, seed: SeedLike = 0) -> ExperimentResult:
-    """Run E21 and return the adaptive-stopping table."""
+def _adaptive_cell(
+    side: int,
+    num_agents: int,
+    target_epsilon: float,
+    delta: float,
+    max_rounds: int,
+    *,
+    rng: np.random.Generator,
+) -> dict[str, float]:
+    """One adaptive-estimation trial (the stopping rule is inherently serial)."""
+    topology = Torus2D(side)
+    true_density = (num_agents - 1) / topology.num_nodes
+    estimator = AdaptiveDensityEstimator(
+        topology,
+        num_agents=num_agents,
+        target_epsilon=target_epsilon,
+        delta=delta,
+        max_rounds=max_rounds,
+    )
+    outcome = estimator.run(rng)
+    errors = np.abs(outcome.estimates - true_density) / true_density
+    return {
+        "rounds_used": outcome.rounds_used,
+        "phases": outcome.phases,
+        "median_error": float(np.median(errors)),
+        "converged_fraction": outcome.converged_fraction,
+    }
+
+
+def run(
+    config: AdaptiveEstimationConfig | None = None,
+    seed: SeedLike = 0,
+    engine: ExecutionEngine | None = None,
+) -> ExperimentResult:
+    """Run E21 and return the adaptive-stopping table.
+
+    Every (side, trial) pair is one cell of a single execution plan (cell
+    seeds match the legacy trial generators, so records are unchanged by
+    the migration and identical for any worker count). The doubling /
+    stopping schedule adapts its round count to its own collision history,
+    so the cells cannot share a batch matrix — the scheduler is the right
+    engine path for this workload.
+    """
     config = config or AdaptiveEstimationConfig()
+    engine = engine or ExecutionEngine()
     result = ExperimentResult(
         experiment_id="E21",
         title="Adaptive density estimation: self-chosen round budgets vs density",
@@ -59,41 +102,34 @@ def run(config: AdaptiveEstimationConfig | None = None, seed: SeedLike = 0) -> E
         ],
     )
 
-    rngs = spawn_generators(seed, len(config.sides) * config.trials)
-    rng_index = 0
+    settings = [
+        {
+            "side": side,
+            "num_agents": config.num_agents,
+            "target_epsilon": config.target_epsilon,
+            "delta": config.delta,
+            "max_rounds": config.max_rounds,
+        }
+        for side in config.sides
+        for _ in range(config.trials)
+    ]
+    cells = engine.map(_adaptive_cell, settings, seed)
+
     densities = []
     rounds_used = []
-    for side in config.sides:
-        topology = Torus2D(side)
-        per_trial_rounds = []
-        per_trial_errors = []
-        per_trial_converged = []
-        per_trial_phases = []
-        true_density = (config.num_agents - 1) / topology.num_nodes
-        for _ in range(config.trials):
-            estimator = AdaptiveDensityEstimator(
-                topology,
-                num_agents=config.num_agents,
-                target_epsilon=config.target_epsilon,
-                delta=config.delta,
-                max_rounds=config.max_rounds,
-            )
-            outcome = estimator.run(rngs[rng_index])
-            rng_index += 1
-            per_trial_rounds.append(outcome.rounds_used)
-            errors = np.abs(outcome.estimates - true_density) / true_density
-            per_trial_errors.append(float(np.median(errors)))
-            per_trial_converged.append(outcome.converged_fraction)
-            per_trial_phases.append(outcome.phases)
+    for index, side in enumerate(config.sides):
+        rows = cells[index * config.trials : (index + 1) * config.trials]
+        true_density = (config.num_agents - 1) / Torus2D(side).num_nodes
+        mean_rounds = float(np.mean([row["rounds_used"] for row in rows]))
         densities.append(true_density)
-        rounds_used.append(float(np.mean(per_trial_rounds)))
+        rounds_used.append(mean_rounds)
         result.add(
             side=side,
             true_density=true_density,
-            rounds_used=float(np.mean(per_trial_rounds)),
-            phases=float(np.mean(per_trial_phases)),
-            median_relative_error=float(np.mean(per_trial_errors)),
-            converged_fraction=float(np.mean(per_trial_converged)),
+            rounds_used=mean_rounds,
+            phases=float(np.mean([row["phases"] for row in rows])),
+            median_relative_error=float(np.mean([row["median_error"] for row in rows])),
+            converged_fraction=float(np.mean([row["converged_fraction"] for row in rows])),
         )
 
     uncapped = [

@@ -14,10 +14,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
+from repro.engine import ExecutionEngine
 from repro.experiments.base import ExperimentResult
 from repro.swarm.collective import MajorityQuorumVote
 from repro.topology.torus import Torus2D
-from repro.utils.rng import SeedLike, spawn_generators
+from repro.utils.rng import SeedLike
 
 
 @dataclass(frozen=True)
@@ -35,9 +38,38 @@ class CollectiveQuorumConfig:
         return cls(side=24, density_multipliers=(0.6, 1.6), rounds=100, trials=4)
 
 
-def run(config: CollectiveQuorumConfig | None = None, seed: SeedLike = 0) -> ExperimentResult:
-    """Run E22 and return the individual-vs-collective failure-rate table."""
+def _vote_cell(
+    side: int,
+    num_agents: int,
+    threshold: float,
+    rounds: int,
+    trials: int,
+    *,
+    rng: np.random.Generator,
+) -> tuple[float, float]:
+    """One density point: individual and majority failure rates over all trials."""
+    vote = MajorityQuorumVote(
+        topology=Torus2D(side),
+        num_agents=num_agents,
+        threshold=threshold,
+        rounds=rounds,
+    )
+    return vote.failure_rates(trials, rng)
+
+
+def run(
+    config: CollectiveQuorumConfig | None = None,
+    seed: SeedLike = 0,
+    engine: ExecutionEngine | None = None,
+) -> ExperimentResult:
+    """Run E22 and return the individual-vs-collective failure-rate table.
+
+    Every density multiplier is one cell of a single execution plan (cell
+    seeds match the legacy per-multiplier generators, so records are
+    unchanged by the migration and identical for any worker count).
+    """
     config = config or CollectiveQuorumConfig()
+    engine = engine or ExecutionEngine()
     topology = Torus2D(config.side)
     result = ExperimentResult(
         experiment_id="E22",
@@ -56,17 +88,24 @@ def run(config: CollectiveQuorumConfig | None = None, seed: SeedLike = 0) -> Exp
         ],
     )
 
-    rngs = spawn_generators(seed, len(config.density_multipliers))
-    for multiplier, rng in zip(config.density_multipliers, rngs):
-        target_density = config.threshold * multiplier
-        num_agents = max(2, int(round(target_density * topology.num_nodes)) + 1)
-        vote = MajorityQuorumVote(
-            topology=topology,
-            num_agents=num_agents,
-            threshold=config.threshold,
-            rounds=config.rounds,
-        )
-        individual, collective = vote.failure_rates(config.trials, rng)
+    agent_counts = [
+        max(2, int(round(config.threshold * multiplier * topology.num_nodes)) + 1)
+        for multiplier in config.density_multipliers
+    ]
+    settings = [
+        {
+            "side": config.side,
+            "num_agents": num_agents,
+            "threshold": config.threshold,
+            "rounds": config.rounds,
+            "trials": config.trials,
+        }
+        for num_agents in agent_counts
+    ]
+    cells = engine.map(_vote_cell, settings, seed)
+    for multiplier, num_agents, (individual, collective) in zip(
+        config.density_multipliers, agent_counts, cells
+    ):
         result.add(
             density_multiplier=multiplier,
             true_density=(num_agents - 1) / topology.num_nodes,

@@ -54,12 +54,23 @@ def second_eigenvalue_magnitude(topology: Topology) -> float:
     sym = sp.diags(d_sqrt) @ walk @ sp.diags(1.0 / d_sqrt)
     sym = (sym + sym.T) * 0.5
 
-    if size <= 400:
+    if size <= 4096:
+        # Dense solve. Deliberately used far beyond the point where Lanczos
+        # becomes cheaper: ARPACK's eigsh is not bit-deterministic across
+        # calls (even with a pinned v0 its restarts perturb the result at
+        # the ~1e-13 level), which is enough to break the suite's
+        # bit-identical-records guarantee. eigvalsh is deterministic, and
+        # every eigenvalue consumer in the library (expanders up to ~2500
+        # nodes, burn-in prescriptions) stays under this threshold at well
+        # under two seconds per (cached) solve.
         eigenvalues = np.linalg.eigvalsh(sym.toarray())
     else:
-        # Largest magnitude eigenvalues; request a few to skip the trivial 1.
+        # Largest magnitude eigenvalues; request a few to skip the trivial
+        # 1. The pinned start vector keeps repeated runs as close as ARPACK
+        # allows, but bit-identity is not guaranteed on this path.
         k = min(6, size - 2)
-        eigenvalues = spla.eigsh(sym, k=k, which="LM", return_eigenvectors=False)
+        v0 = np.full(size, 1.0 / np.sqrt(size))
+        eigenvalues = spla.eigsh(sym, k=k, which="LM", return_eigenvectors=False, v0=v0)
         eigenvalues = np.sort(eigenvalues)
     eigenvalues = np.sort(eigenvalues)
     # Drop one eigenvalue equal to 1 (the stationary eigenvector).

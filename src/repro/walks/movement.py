@@ -20,6 +20,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.encounter import batched_collision_counts
 from repro.topology.base import Topology
 from repro.topology.torus import Torus2D
 from repro.utils.validation import require_probability
@@ -35,9 +36,11 @@ class MovementModel(abc.ABC):
     #: Short label used in experiment tables.
     name: str = "movement"
 
-    #: Whether :meth:`step` is purely elementwise over the position array,
-    #: so the batched engine may run it on ``(R, n)`` replicate matrices
-    #: without information leaking between replicates.
+    #: Whether :meth:`step` never mixes information across the leading
+    #: (replicate) axis of the position array, so the batched kernel may run
+    #: it on ``(R, n)`` replicate matrices without information leaking
+    #: between replicates. Elementwise models qualify trivially; models
+    #: that couple agents must evaluate that coupling per row.
     batch_safe: bool = False
 
     @abc.abstractmethod
@@ -135,10 +138,17 @@ class CollisionAvoidingWalk(MovementModel):
     encounter rate below the density, so the estimator becomes biased — the
     behaviour [GPT93, NTD05] report for real ants and the E19 ablation
     quantifies.
+
+    The model couples agents *within* one agent-set (who collided with
+    whom), but on an ``(R, n)`` replicate matrix the co-location test runs
+    per row via the offset-label trick, so no information crosses the
+    replicate axis — the walk is ``batch_safe`` and runs on the kernel's
+    batched path like every other catalog model.
     """
 
     avoidance_steps: int = 1
     name: str = "collision_avoiding_walk"
+    batch_safe: bool = True
 
     def __post_init__(self) -> None:
         if self.avoidance_steps < 0:
@@ -149,9 +159,14 @@ class CollisionAvoidingWalk(MovementModel):
     ) -> np.ndarray:
         positions = np.asarray(positions, dtype=np.int64)
         moved = topology.step_many(positions, rng)
-        # Agents that were colliding before the step flee: extra steps.
-        _, inverse, counts = np.unique(positions, return_inverse=True, return_counts=True)
-        colliding = counts[inverse] > 1
+        # Agents that were colliding before the step flee: extra steps. The
+        # co-location test is evaluated independently per replicate row
+        # (offset labels keep rows in disjoint ranges), and it consumes no
+        # randomness, so a (1, n) row reproduces the serial stream exactly.
+        matrix = positions.reshape(-1, positions.shape[-1])
+        colliding = (batched_collision_counts(matrix, topology.num_nodes) > 0).reshape(
+            positions.shape
+        )
         for _ in range(self.avoidance_steps):
             fled = topology.step_many(moved, rng)
             moved = np.where(colliding, fled, moved)

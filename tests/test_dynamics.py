@@ -422,7 +422,10 @@ class TestDriver:
             assert to_jsonable(serial.records()) == to_jsonable(parallel.records()), name
             assert serial.summary() == parallel.summary(), name
 
-    def test_non_batch_safe_movement_falls_back_to_single_chunks(self):
+    def test_collision_avoiding_movement_runs_on_the_batched_path(self):
+        # Every catalog movement model is batch-safe since the kernel
+        # unification; collision-avoiding scenarios batch like the rest
+        # (there is no serial fallback branch left to fall back to).
         scenario = build_scenario("stable", quick=True)
         scenario = Scenario.from_dict(
             {**scenario.to_dict(), "movement": {"kind": "collision_avoiding"}}

@@ -188,12 +188,27 @@ class TestBatchSimulation:
         with pytest.raises(ValueError, match="placement must return shape"):
             simulate_density_estimation_batch(Torus2D(6), config, 2, seed=0)
 
-    def test_cross_agent_movement_model_rejected(self):
-        # CollisionAvoidingWalk inspects the whole position vector at once,
-        # which would leak information between replicates if batched.
-        config = SimulationConfig(num_agents=5, rounds=3, movement=CollisionAvoidingWalk())
-        with pytest.raises(ValueError, match="scheduler"):
+    def test_non_batch_safe_movement_model_rejected_by_name(self):
+        class WholePopulationWalk:
+            # No batch_safe attribute: the kernel must refuse to batch it
+            # and its error message must name the offending model.
+            name = "whole_population_walk"
+
+            def step(self, topology, positions, rng):
+                return topology.step_many(positions, rng)
+
+        config = SimulationConfig(num_agents=5, rounds=3, movement=WholePopulationWalk())
+        with pytest.raises(ValueError, match="whole_population_walk"):
             simulate_density_estimation_batch(Torus2D(6), config, 2, seed=0)
+
+    def test_collision_avoiding_walk_batches(self):
+        # The last scheduler-only catalog model is now vectorized: its
+        # co-location test runs per replicate row, so it batches — and each
+        # row reproduces the serial run of the same stream contract.
+        config = SimulationConfig(num_agents=10, rounds=6, movement=CollisionAvoidingWalk(avoidance_steps=2))
+        batch = simulate_density_estimation_batch(Torus2D(6), config, 3, seed=9)
+        assert batch.collision_totals.shape == (3, 10)
+        assert np.all(batch.collision_totals >= 0)
 
     def test_non_batch_safe_collision_model_rejected(self):
         class WholePopulationModel:
