@@ -7,11 +7,18 @@ pipeline. They exist so performance regressions in the substrate are caught
 independently of the experiment tables.
 """
 
+import time
+
 import networkx as nx
 import numpy as np
 import pytest
 
-from repro.core.encounter import collision_counts
+from repro.core.encounter import (
+    batched_collision_counts,
+    batched_collision_counts_linear,
+    collision_counts,
+    linear_counting_is_faster,
+)
 from repro.core.estimator import RandomWalkDensityEstimator
 from repro.netsize.pipeline import NetworkSizeEstimationPipeline
 from repro.topology.graph import NetworkXTopology
@@ -57,6 +64,73 @@ class TestCollisionCounting:
         # Dense regime: many collisions per node.
         positions = rng.integers(0, 100, size=10_000)
         benchmark(lambda: collision_counts(positions))
+
+
+class TestCountingCrossover:
+    """The unique-vs-bincount crossover grid pinning the auto heuristic.
+
+    The fused fast path chooses between the sort-based and the linear
+    (scatter-add) counting primitive with
+    :func:`repro.core.encounter.linear_counting_is_faster`. This grid
+    measures both primitives across (R, n, A) regimes from dense batched
+    macro-workloads to huge sparse grids, prints the measured ratios next
+    to the heuristic's verdict, and asserts the heuristic picks the faster
+    side wherever the measurement is decisive (>= 1.5x either way —
+    near-crossover points are noise and intentionally unasserted).
+    """
+
+    #: (replicates, agents, nodes): dense suite regimes, the crossover
+    #: neighbourhood, and clearly sort-favoured sparse grids.
+    GRID = (
+        (32, 200, 1_024),
+        (32, 200, 2_304),
+        (64, 200, 2_304),
+        (1, 232, 2_304),
+        (8, 2_000, 65_536),
+        (32, 200, 100_000),
+        (32, 50, 262_144),
+        (1, 16, 1_000_000),
+    )
+
+    @staticmethod
+    def _median_seconds(fn, repeats=5, inner=20):
+        fn()
+        samples = []
+        for _ in range(repeats):
+            start = time.perf_counter()
+            for _ in range(inner):
+                fn()
+            samples.append((time.perf_counter() - start) / inner)
+        return sorted(samples)[len(samples) // 2]
+
+    def test_heuristic_matches_measured_crossover(self, rng):
+        rows = []
+        for replicates, agents, nodes in self.GRID:
+            positions = rng.integers(0, nodes, size=(replicates, agents))
+            sort_seconds = self._median_seconds(
+                lambda: batched_collision_counts(positions, nodes)
+            )
+            linear_seconds = self._median_seconds(
+                lambda: batched_collision_counts_linear(positions, nodes)
+            )
+            ratio = sort_seconds / linear_seconds  # > 1 means linear wins
+            predicted = linear_counting_is_faster(replicates, agents, nodes)
+            rows.append((replicates, agents, nodes, ratio, predicted))
+            print(
+                f"R={replicates:3d} n={agents:5d} A={nodes:8d}: sort/linear "
+                f"{ratio:6.2f}x heuristic={'linear' if predicted else 'sort'}"
+            )
+        for replicates, agents, nodes, ratio, predicted in rows:
+            if ratio >= 1.5:
+                assert predicted, (
+                    f"R={replicates} n={agents} A={nodes}: linear measured "
+                    f"{ratio:.2f}x faster but the heuristic picked the sort path"
+                )
+            elif ratio <= 1 / 1.5:
+                assert not predicted, (
+                    f"R={replicates} n={agents} A={nodes}: sort measured "
+                    f"{1 / ratio:.2f}x faster but the heuristic picked the linear path"
+                )
 
 
 class TestEndToEnd:

@@ -35,12 +35,20 @@ MIN_SPEEDUP = 3.0
 
 
 def _run_sequential(seed: int = 0) -> np.ndarray:
-    """The legacy path: one serial kernel run per replicate."""
+    """The legacy path: one serial kernel run per replicate.
+
+    Pinned to the reference backend: this is the pre-engine loop the ISSUE 1
+    gate was defined against, and the gate measures the value of *batching*
+    relative to it. The fused fast path (ISSUE 5) accelerates serial runs
+    too; its own gate lives in bench_fastpath.py.
+    """
     topology = Torus2D(SIDE)
     config = SimulationConfig(num_agents=NUM_AGENTS, rounds=ROUNDS)
     totals = np.empty((REPLICATES, NUM_AGENTS), dtype=np.float64)
     for index, child in enumerate(spawn_seed_sequences(seed, REPLICATES)):
-        totals[index] = run_kernel(topology, config, None, child).collision_totals
+        totals[index] = run_kernel(
+            topology, config, None, child, backend="reference"
+        ).collision_totals
     return totals
 
 

@@ -1,0 +1,250 @@
+"""Benchmark: the fused kernel fast path vs the reference round loop.
+
+ISSUE 5 acceptance gates, all measured on `run_kernel` itself so nothing
+but the backend differs:
+
+1. **Macro**: on the batched macro-workloads the experiment suite actually
+   runs (E14-class noisy ablation, E19-class movement models, E20-class
+   boundary comparison, plus a marked-agent E12-class profile), the fused
+   backend must be at least ``MIN_MACRO_SPEEDUP`` (2.5x) faster than the
+   reference backend on **at least two** workloads, and never slower than
+   ``MIN_MACRO_FLOOR`` on any.
+2. **Micro**: on small-grid micro cases (tiny serial runs, sparse rings,
+   a handful of replicates — the regime where per-run arming overhead
+   could in principle hurt), ``backend="auto"`` must never fall below
+   ``MIN_MICRO_RATIO`` (0.9x) of the reference backend.
+3. **Bit-identity**: before timing anything, every workload's fused result
+   is compared against its reference result array-for-array.
+
+The measurements are also written to ``BENCH_kernel.json`` — one record
+per (workload, backend) with the median seconds and the speedup — so the
+kernel's performance trajectory is machine-readable across PRs (the CI
+benchmarks job uploads it as an artifact).
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_fastpath.py
+
+or through pytest (the assertions are the acceptance gates)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_fastpath.py -s
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro import __version__
+from repro.core.kernel import run_kernel
+from repro.core.simulation import SimulationConfig
+from repro.swarm.noise import NoisyCollisionModel
+from repro.topology.bounded_grid import BoundedGrid
+from repro.topology.ring import Ring
+from repro.topology.torus import Torus2D
+from repro.walks.movement import LazyRandomWalk, UniformRandomWalk
+
+MIN_MACRO_SPEEDUP = 2.5
+MIN_MACRO_HITS = 2
+MIN_MACRO_FLOOR = 0.9
+MIN_MICRO_RATIO = 0.9
+OUTPUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_kernel.json"
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One timed (topology, config, replicates) kernel payload."""
+
+    name: str
+    kind: str  # "macro" | "micro"
+    build: Callable[[], tuple]
+    #: Number of seeded kernel calls per timed pass (micro cases run many
+    #: small calls so per-run overhead, the thing they guard, dominates).
+    calls: int = 1
+
+
+def _macro(name, topology_fn, config_fn, replicates=32):
+    return Workload(
+        name=name,
+        kind="macro",
+        build=lambda: (topology_fn(), config_fn(), replicates),
+    )
+
+
+WORKLOADS = (
+    # The regimes the suite's full configurations run in (cf. the E14/E19/
+    # E20 experiment configs and bench_kernel_migration.py).
+    _macro(
+        "E14-class noisy ablation",
+        lambda: Torus2D(48),
+        lambda: SimulationConfig(
+            num_agents=200,
+            rounds=400,
+            collision_model=NoisyCollisionModel(miss_probability=0.3, spurious_rate=0.05),
+        ),
+    ),
+    _macro(
+        "E19-class uniform movement",
+        lambda: Torus2D(48),
+        lambda: SimulationConfig(num_agents=200, rounds=300, movement=UniformRandomWalk()),
+    ),
+    _macro(
+        "E19-class lazy movement",
+        lambda: Torus2D(48),
+        lambda: SimulationConfig(
+            num_agents=200, rounds=300, movement=LazyRandomWalk(stay_probability=0.1)
+        ),
+    ),
+    _macro(
+        "E20-class bounded grid",
+        lambda: BoundedGrid(32),
+        lambda: SimulationConfig(num_agents=206, rounds=300),
+    ),
+    _macro(
+        "E20-class torus",
+        lambda: Torus2D(32),
+        lambda: SimulationConfig(num_agents=206, rounds=300),
+    ),
+    _macro(
+        "E12-class marked profile",
+        lambda: Torus2D(48),
+        lambda: SimulationConfig(num_agents=200, rounds=300, marked_fraction=0.3),
+    ),
+    # Small-grid micro cases: per-run overhead regime for the auto floor.
+    Workload(
+        name="micro serial small torus",
+        kind="micro",
+        build=lambda: (Torus2D(16), SimulationConfig(num_agents=40, rounds=60), None),
+        calls=40,
+    ),
+    Workload(
+        name="micro serial sparse ring",
+        kind="micro",
+        build=lambda: (Ring(5000), SimulationConfig(num_agents=8, rounds=50), None),
+        calls=40,
+    ),
+    Workload(
+        name="micro tiny batch",
+        kind="micro",
+        build=lambda: (Torus2D(12), SimulationConfig(num_agents=20, rounds=40), 4),
+        calls=40,
+    ),
+)
+
+
+def _run(workload: Workload, backend: str, seed_base: int = 0):
+    topology, config, replicates = workload.build()
+    result = None
+    for index in range(workload.calls):
+        result = run_kernel(topology, config, replicates, seed_base + index, backend=backend)
+    return result
+
+
+def _assert_bit_identical(workload: Workload) -> None:
+    reference = _run(workload, "reference")
+    for backend in ("fused", "auto"):
+        other = _run(workload, backend)
+        for field in ("collision_totals", "marked_collision_totals", "final_positions", "marked"):
+            assert np.array_equal(getattr(reference, field), getattr(other, field)), (
+                f"{workload.name}: backend {backend!r} diverged from reference on {field}"
+            )
+
+
+def _median_seconds(workload: Workload, backend: str, repeats: int = 5) -> float:
+    _run(workload, backend)  # warm caches / first-touch allocations
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        _run(workload, backend)
+        samples.append(time.perf_counter() - start)
+    return statistics.median(samples)
+
+
+def measure() -> list[dict]:
+    """Per-(workload, backend) records; interleaved timing keeps pairs fair."""
+    records = []
+    for workload in WORKLOADS:
+        _assert_bit_identical(workload)
+        fast_backend = "fused" if workload.kind == "macro" else "auto"
+        reference_seconds = _median_seconds(workload, "reference")
+        fast_seconds = _median_seconds(workload, fast_backend)
+        speedup = reference_seconds / fast_seconds
+        records.append(
+            {
+                "workload": workload.name,
+                "kind": workload.kind,
+                "backend": "reference",
+                "median_seconds": reference_seconds,
+                "speedup": 1.0,
+            }
+        )
+        records.append(
+            {
+                "workload": workload.name,
+                "kind": workload.kind,
+                "backend": fast_backend,
+                "median_seconds": fast_seconds,
+                "speedup": speedup,
+            }
+        )
+        print(
+            f"{workload.name:32s} reference {reference_seconds:7.4f}s "
+            f"{fast_backend:9s} {fast_seconds:7.4f}s speedup {speedup:5.2f}x"
+        )
+    return records
+
+
+def write_report(records: list[dict], path: Optional[Path] = None) -> Path:
+    """Write the machine-readable benchmark record (BENCH_kernel.json)."""
+    path = OUTPUT_PATH if path is None else path
+    payload = {
+        "benchmark": "bench_fastpath",
+        "version": __version__,
+        "gates": {
+            "min_macro_speedup": MIN_MACRO_SPEEDUP,
+            "min_macro_hits": MIN_MACRO_HITS,
+            "min_macro_floor": MIN_MACRO_FLOOR,
+            "min_micro_ratio": MIN_MICRO_RATIO,
+        },
+        "records": records,
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return path
+
+
+def test_fused_backend_meets_speedup_gates() -> None:
+    """Acceptance gates: macro speedups, macro floor, and the auto micro floor."""
+    records = measure()
+    path = write_report(records)
+    print(f"wrote {path}")
+
+    macro = [r for r in records if r["kind"] == "macro" and r["backend"] != "reference"]
+    micro = [r for r in records if r["kind"] == "micro" and r["backend"] != "reference"]
+
+    hits = [r for r in macro if r["speedup"] >= MIN_MACRO_SPEEDUP]
+    assert len(hits) >= MIN_MACRO_HITS, (
+        f"only {len(hits)} macro workload(s) reached {MIN_MACRO_SPEEDUP}x "
+        f"(need {MIN_MACRO_HITS}); measured: "
+        + ", ".join(f"{r['workload']}={r['speedup']:.2f}x" for r in macro)
+    )
+    for record in macro:
+        assert record["speedup"] >= MIN_MACRO_FLOOR, (
+            f"{record['workload']}: fused backend is {record['speedup']:.2f}x — "
+            f"below the {MIN_MACRO_FLOOR}x floor"
+        )
+    for record in micro:
+        assert record["speedup"] >= MIN_MICRO_RATIO, (
+            f"{record['workload']}: auto backend is {record['speedup']:.2f}x of "
+            f"reference — below the {MIN_MICRO_RATIO}x small-grid floor"
+        )
+
+
+if __name__ == "__main__":
+    test_fused_backend_meets_speedup_gates()
+    print("benchmark gate passed")

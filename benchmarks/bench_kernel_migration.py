@@ -71,10 +71,13 @@ def _legacy_trials(topology, config: SimulationConfig, trials: int, seed, delta:
     """The pre-migration shape of every experiment's inner loop: one serial
     simulation per trial, one spawned child stream per trial, per-trial
     summary statistics (the old loops computed the mean estimate and the
-    empirical epsilon of every trial as they went)."""
+    empirical epsilon of every trial as they went). Pinned to the reference
+    backend: the loop being emulated predates the fused fast path, and the
+    gate measures the value of the *batched migration* against it — the
+    fast path's own gate lives in bench_fastpath.py."""
     density = (config.num_agents - 1) / topology.num_nodes
     for child in spawn_seed_sequences(seed, trials):
-        outcome = run_kernel(topology, config, None, child)
+        outcome = run_kernel(topology, config, None, child, backend="reference")
         estimates = outcome.estimates()
         float(estimates.mean())
         empirical_epsilon(estimates, density, delta)
@@ -92,9 +95,10 @@ def legacy_e14() -> None:
                 collision_model=model,
             )
             # The old E14 loop additionally bias-corrected every trial's
-            # estimates and scored both vectors.
+            # estimates and scored both vectors. Reference backend: see
+            # _legacy_trials.
             for child in spawn_seed_sequences(index, E14_CONFIG.trials):
-                outcome = run_kernel(topology, config, None, child)
+                outcome = run_kernel(topology, config, None, child, backend="reference")
                 raw = outcome.estimates()
                 corrected = np.asarray(correct_noisy_estimate(raw, model))
                 float(raw.mean())

@@ -62,7 +62,7 @@ Online tracking of a time-varying world:
 
 # Defined before any subpackage import: repro.store and repro.sweeps fold the
 # package version into provenance metadata and cache keys at import time.
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 from repro.core import (
     IndependentSamplingEstimator,
@@ -83,11 +83,14 @@ from repro.dynamics import (
     scenario_names,
 )
 from repro.engine import (
+    KERNEL_BACKENDS,
     BatchSimulationResult,
     ExecutionEngine,
     RunCache,
+    get_default_backend,
     require_batch_safe,
     run_kernel,
+    set_default_backend,
 )
 from repro.store import ResultStore
 from repro.sweeps import (
@@ -129,6 +132,9 @@ __all__ = [
     "DensityEstimationRun",
     "AccuracySummary",
     # Execution engine and the unified simulation kernel
+    "KERNEL_BACKENDS",
+    "get_default_backend",
+    "set_default_backend",
     "ExecutionEngine",
     "BatchSimulationResult",
     "RunCache",

@@ -30,6 +30,11 @@ experiment executes through the engine — its grid expands into execution
 plan cells, and replicate-heavy cells run the batched simulation kernel —
 and records are bit-identical for every worker count, so the flag only
 changes wall-clock.
+``--backend`` selects the simulation kernel backend
+(``auto``/``reference``/``fused``; see :mod:`repro.core.fastpath`). All
+backends produce bit-identical records, so like ``--workers`` the flag
+only changes wall-clock and is excluded from cache keys; worker
+*subprocesses* spawned by ``--workers`` always run the default ``auto``.
 ``--cache-dir`` points at a content-addressed run store
 (:class:`repro.engine.RunCache`): a completed (experiment, config, seed)
 setting is loaded from disk instead of re-simulated. Sweeps checkpoint
@@ -57,7 +62,7 @@ from repro import __version__
 from repro.analysis.aggregate import aggregate_records, parse_metric
 from repro.dynamics.driver import run_scenario
 from repro.dynamics.scenario import SCENARIOS, build_scenario, scenario_names
-from repro.engine import ExecutionEngine, RunCache
+from repro.engine import KERNEL_BACKENDS, ExecutionEngine, RunCache, set_default_backend
 from repro.experiments import EXPERIMENTS, run_experiment
 from repro.experiments.base import ExperimentResult
 from repro.experiments.report import generate_report
@@ -244,6 +249,17 @@ def _build_parser() -> argparse.ArgumentParser:
             default=None,
             metavar="DIR",
             help="content-addressed run cache; completed settings are loaded, not re-run",
+        )
+    for sub in sweep_common[:2] + [run_parser, report_parser, scenario_run]:
+        sub.add_argument(
+            "--backend",
+            default=None,
+            choices=KERNEL_BACKENDS,
+            help=(
+                "simulation kernel backend (default: auto). All backends are "
+                "bit-identical — auto/fused only run faster — so the flag is "
+                "excluded from cache keys; worker subprocesses always use auto"
+            ),
         )
     return parser
 
@@ -657,6 +673,11 @@ def _command_store_export(args) -> int:
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point used by ``python -m repro``."""
     args = _build_parser().parse_args(argv)
+    if getattr(args, "backend", None) is not None:
+        # Results are bit-identical across backends, so this is purely a
+        # performance switch — set it process-wide rather than threading it
+        # through every experiment signature.
+        set_default_backend(args.backend)
     try:
         if args.command == "list":
             return _command_list()

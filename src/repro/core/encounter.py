@@ -3,13 +3,63 @@
 The model of Section 2 gives every agent a single sensing primitive:
 ``count(position)`` — the number of *other* agents currently at its node.
 These functions evaluate that primitive for all agents at once from the
-vector of current positions, in O(n log n) per round (independent of the
-grid size A, which can be much larger than n).
+vector of current positions. Two families coexist:
+
+* the **sort-based** primitives (``np.unique`` over the offset labels),
+  O(R·n log(R·n)) per round and independent of the grid size ``A`` — the
+  right tool when the grid is huge and sparsely occupied;
+* the **linear** primitives (a ``np.bincount`` scatter-add over the
+  ``R·A`` label space), O(R·n + R·A) per round — the paper's
+  ``count(position)`` at its true complexity, and 4–6× faster than the
+  sort in the dense regimes the experiment suite runs in.
+
+:func:`linear_counting_is_faster` is the measured crossover heuristic the
+fused kernel's ``auto`` path uses to pick between them (pinned by the
+crossover grid in ``benchmarks/bench_core_primitives.py``).
 """
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
+
+#: The linear (bincount) path beats the sort path roughly while
+#: ``R·A <= FACTOR · R·n · log2(R·n)``; measured crossover on the reference
+#: hardware is ≈ 3.7, so 3.0 keeps a safety margin (never materially worse
+#: than the sort at the boundary). Pinned by the crossover benchmark grid.
+LINEAR_COUNTING_CROSSOVER_FACTOR = 3.0
+
+#: Hard cap on the per-node scatter buffer (``R·A`` int64 slots) the linear
+#: path may allocate per round, whatever the heuristic says.
+LINEAR_COUNTING_MEMORY_BUDGET_BYTES = 128 * 2**20
+
+
+def linear_counting_is_faster(
+    replicates: int,
+    num_agents: int,
+    num_nodes: int,
+    *,
+    memory_budget_bytes: int = LINEAR_COUNTING_MEMORY_BUDGET_BYTES,
+) -> bool:
+    """Whether the O(R·n + R·A) bincount path should beat the sort path.
+
+    The sort costs ~γ·R·n·log2(R·n); the scatter-add costs ~β·R·A (plus an
+    O(R·n) gather both paths share). The measured β/γ crossover sits near
+    ``R·A ≈ 3.7 · R·n·log2(R·n)``; this predicate uses a conservative
+    factor of 3 and additionally refuses label spaces whose per-round
+    count buffer would exceed ``memory_budget_bytes`` — huge sparse grids
+    stay on the sort path no matter how the asymptotics look.
+    """
+    labels = replicates * num_agents
+    label_space = replicates * num_nodes
+    if labels <= 0:
+        return False
+    if label_space * 8 > memory_budget_bytes:
+        return False
+    return label_space <= LINEAR_COUNTING_CROSSOVER_FACTOR * labels * max(
+        1.0, math.log2(max(labels, 2))
+    )
 
 
 def collision_counts(positions: np.ndarray) -> np.ndarray:
@@ -72,17 +122,26 @@ def marked_collision_counts(positions: np.ndarray, marked: np.ndarray) -> np.nda
     return counts.astype(np.int64)
 
 
-def _offset_labels(positions: np.ndarray, num_nodes: int) -> np.ndarray:
+def _offset_labels(
+    positions: np.ndarray, num_nodes: int, *, assume_validated: bool = False
+) -> np.ndarray:
     """Shift replicate ``r``'s node labels into the block ``[r*A, (r+1)*A)``.
 
     Agents in different replicates then occupy disjoint label ranges, so one
     flat ``np.unique`` pass counts collisions for every replicate at once.
+
+    ``assume_validated=True`` skips the O(R·n) label-range scan: the caller
+    asserts the labels already lie in ``[0, num_nodes)``. The kernel uses
+    this to hoist validation out of its steady-state round loop — positions
+    are validated once after placement and after every ``round_hook``
+    mutation, and in between they come from topology steps that produce
+    in-range labels by construction.
     """
     positions = np.asarray(positions, dtype=np.int64)
     if positions.ndim != 2:
         raise ValueError(f"positions must be 2-D (replicates, agents), got shape {positions.shape}")
     replicates = positions.shape[0]
-    if positions.size:
+    if positions.size and not assume_validated:
         low, high = positions.min(), positions.max()
         if low < 0 or high >= num_nodes:
             # An out-of-range label would alias into a neighbouring
@@ -98,7 +157,9 @@ def _offset_labels(positions: np.ndarray, num_nodes: int) -> np.ndarray:
     return positions + offsets[:, None]
 
 
-def batched_collision_counts(positions: np.ndarray, num_nodes: int) -> np.ndarray:
+def batched_collision_counts(
+    positions: np.ndarray, num_nodes: int, *, assume_validated: bool = False
+) -> np.ndarray:
     """Per-agent collision counts for a batch of independent replicates.
 
     Parameters
@@ -116,15 +177,62 @@ def batched_collision_counts(positions: np.ndarray, num_nodes: int) -> np.ndarra
         ``collision_counts(positions[r])[i]``, computed with a single
         ``np.unique`` pass over all replicates.
     """
-    shifted = _offset_labels(positions, num_nodes)
+    shifted = _offset_labels(positions, num_nodes, assume_validated=assume_validated)
     if shifted.size == 0:
         return np.zeros(shifted.shape, dtype=np.int64)
     _, inverse, counts = np.unique(shifted.reshape(-1), return_inverse=True, return_counts=True)
     return (counts[inverse] - 1).reshape(shifted.shape).astype(np.int64)
 
 
+def batched_collision_counts_linear(
+    positions: np.ndarray, num_nodes: int, *, assume_validated: bool = False
+) -> np.ndarray:
+    """O(R·n + R·A) batched collision counts via a bincount scatter-add.
+
+    Bit-identical results to :func:`batched_collision_counts` (pinned by
+    property-based tests), but counts by scattering the offset labels into
+    the flat ``R·A`` label space instead of sorting them — the paper's
+    ``count(position)`` primitive at its true linear complexity. Wins when
+    the occupied fraction is non-negligible; on huge sparse grids the
+    ``R·A`` scatter pass loses to the sort
+    (:func:`linear_counting_is_faster` is the measured crossover).
+    """
+    shifted = _offset_labels(positions, num_nodes, assume_validated=assume_validated)
+    if shifted.size == 0:
+        return np.zeros(shifted.shape, dtype=np.int64)
+    per_node = np.bincount(shifted.reshape(-1), minlength=shifted.shape[0] * num_nodes)
+    return per_node[shifted] - 1
+
+
+def batched_collision_profiles_linear(
+    positions: np.ndarray, marked: np.ndarray, num_nodes: int, *, assume_validated: bool = False
+) -> tuple[np.ndarray, np.ndarray]:
+    """Linear-time plain *and* marked batched counts from two scatter-adds.
+
+    Bit-identical to :func:`batched_collision_profiles`; shares the offset
+    labels between the plain count and the marked (weighted) count.
+    """
+    marked = np.asarray(marked, dtype=bool)
+    shifted = _offset_labels(positions, num_nodes, assume_validated=assume_validated)
+    if shifted.shape != marked.shape:
+        raise ValueError(
+            f"positions and marked must have the same shape, "
+            f"got {shifted.shape} and {marked.shape}"
+        )
+    if shifted.size == 0:
+        return np.zeros(shifted.shape, dtype=np.int64), np.zeros(shifted.shape, dtype=np.int64)
+    flat = shifted.reshape(-1)
+    space = shifted.shape[0] * num_nodes
+    per_node = np.bincount(flat, minlength=space)
+    plain = per_node[shifted] - 1
+    marked_float = marked.astype(np.float64)
+    marked_per_node = np.bincount(flat, weights=marked_float.reshape(-1), minlength=space)
+    marked_counts = marked_per_node[shifted] - marked_float
+    return plain, marked_counts.astype(np.int64)
+
+
 def batched_collision_profiles(
-    positions: np.ndarray, marked: np.ndarray, num_nodes: int
+    positions: np.ndarray, marked: np.ndarray, num_nodes: int, *, assume_validated: bool = False
 ) -> tuple[np.ndarray, np.ndarray]:
     """Plain *and* marked batched collision counts from one ``np.unique`` pass.
 
@@ -134,7 +242,7 @@ def batched_collision_profiles(
     marked agents.
     """
     marked = np.asarray(marked, dtype=bool)
-    shifted = _offset_labels(positions, num_nodes)
+    shifted = _offset_labels(positions, num_nodes, assume_validated=assume_validated)
     if shifted.shape != marked.shape:
         raise ValueError(
             f"positions and marked must have the same shape, "
@@ -178,7 +286,12 @@ __all__ = [
     "collision_counts",
     "marked_collision_counts",
     "batched_collision_counts",
+    "batched_collision_counts_linear",
     "batched_collision_profiles",
+    "batched_collision_profiles_linear",
     "batched_marked_collision_counts",
     "collision_matrix",
+    "linear_counting_is_faster",
+    "LINEAR_COUNTING_CROSSOVER_FACTOR",
+    "LINEAR_COUNTING_MEMORY_BUDGET_BYTES",
 ]

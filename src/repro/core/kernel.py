@@ -32,6 +32,28 @@ is how :class:`~repro.walks.movement.CollisionAvoidingWalk` batches).
 ``getattr(model, "batch_safe", False)`` checks it replaced are gone.
 Serial mode accepts any model — with one replicate there is nothing to
 leak into.
+
+The loop body itself exists in two interchangeable **backends**:
+
+* ``backend="reference"`` — the loop in this module: the historical
+  implementation, deliberately simple, counting through the sort-based
+  ``np.unique`` primitives. It is the semantic baseline every optimisation
+  is checked against.
+* ``backend="fused"`` — the fast path in :mod:`repro.core.fastpath`:
+  linear-time ``np.bincount`` collision counting, chunked multi-round RNG
+  draws for ``precomputed_steps`` topologies, precomputed displacement
+  tables, and reused scratch buffers. **Bit-identical** to the reference
+  backend — same random stream, same results — which the equivalence suite
+  and the golden fixtures pin.
+* ``backend="auto"`` (the default) — currently always selects the fused
+  path; its internal heuristics (the unique-vs-bincount crossover, the
+  table amortisation test, chunk eligibility) degrade gracefully to
+  reference-equivalent behaviour feature by feature, so there is no
+  workload where choosing it loses.
+
+``backend=None`` resolves to the process-wide default
+(:func:`get_default_backend`, settable via :func:`set_default_backend` or
+the CLI's ``--backend`` flag).
 """
 
 from __future__ import annotations
@@ -51,6 +73,36 @@ from repro.core.simulation import (
 from repro.topology.base import Topology
 from repro.utils.rng import SeedLike, as_generator
 from repro.utils.validation import require_integer
+
+#: The selectable kernel backends; see the module docstring.
+KERNEL_BACKENDS = ("auto", "reference", "fused")
+
+_default_backend = "auto"
+
+
+def set_default_backend(backend: str) -> None:
+    """Set the process-wide kernel backend used when ``backend=None``.
+
+    Accepts one of :data:`KERNEL_BACKENDS`. Because every backend is
+    bit-identical, switching only changes wall-clock — which is why the
+    run cache and the scheduler deliberately ignore the setting (worker
+    processes run their own default, ``"auto"``).
+    """
+    global _default_backend
+    _default_backend = _validated_backend(backend)
+
+
+def get_default_backend() -> str:
+    """The process-wide kernel backend used when ``backend=None``."""
+    return _default_backend
+
+
+def _validated_backend(backend: str) -> str:
+    if backend not in KERNEL_BACKENDS:
+        raise ValueError(
+            f"unknown kernel backend {backend!r}; expected one of {KERNEL_BACKENDS}"
+        )
+    return backend
 
 
 def require_batch_safe(model: Any, role: str = "model") -> None:
@@ -171,10 +223,55 @@ def _place_agents(
                 raise ValueError(
                     f"placement must return shape ({n_agents},), got {row.shape}"
                 )
-        positions = rows[0] if replicates is None else np.stack(rows)
+        # Serial mode must own its positions array: a placement callable may
+        # return (and retain) its own buffer, and the fused backend steps
+        # positions in place — without the copy it would corrupt the
+        # caller's array. Batched mode already copies via np.stack.
+        positions = rows[0].copy() if replicates is None else np.stack(rows)
     positions = np.asarray(positions, dtype=np.int64)
     topology.validate_nodes(positions)
     return positions
+
+
+def _build_result(
+    serial: bool,
+    replicates: Optional[int],
+    topology: Topology,
+    config: SimulationConfig,
+    totals: np.ndarray,
+    marked_totals: np.ndarray,
+    marked: np.ndarray,
+    initial_positions: np.ndarray,
+    final_positions: np.ndarray,
+    trajectory: np.ndarray | None,
+    marked_trajectory: np.ndarray | None,
+) -> SimulationResult | BatchSimulationResult:
+    """Assemble the mode's result container (shared by both backends)."""
+    if serial:
+        return SimulationResult(
+            collision_totals=totals,
+            marked_collision_totals=marked_totals,
+            marked=marked,
+            initial_positions=initial_positions,
+            final_positions=final_positions,
+            rounds=config.rounds,
+            num_nodes=topology.num_nodes,
+            trajectory=trajectory,
+            marked_trajectory=marked_trajectory,
+            metadata={"topology": topology.name},
+        )
+    return BatchSimulationResult(
+        collision_totals=totals,
+        marked_collision_totals=marked_totals,
+        marked=marked,
+        initial_positions=initial_positions,
+        final_positions=final_positions,
+        rounds=config.rounds,
+        num_nodes=topology.num_nodes,
+        trajectory=trajectory,
+        marked_trajectory=marked_trajectory,
+        metadata={"topology": topology.name, "replicates": replicates},
+    )
 
 
 def run_kernel(
@@ -182,6 +279,7 @@ def run_kernel(
     config: SimulationConfig,
     replicates: Optional[int] = None,
     seed: SeedLike = None,
+    backend: Optional[str] = None,
 ) -> SimulationResult | BatchSimulationResult:
     """Run Algorithm 1 for every agent — serially or for ``R`` replicates at once.
 
@@ -203,6 +301,10 @@ def run_kernel(
     seed:
         Seed or generator controlling all randomness (placement, walks,
         property assignment, and observation noise).
+    backend:
+        ``"reference"``, ``"fused"``, or ``"auto"``; ``None`` (the default)
+        resolves to the process-wide default (normally ``"auto"``). All
+        backends are bit-identical; the choice only affects wall-clock.
 
     Returns
     -------
@@ -218,8 +320,15 @@ def run_kernel(
         if config.collision_model is not None:
             require_batch_safe(config.collision_model, "collision model")
 
+    resolved = _validated_backend(backend if backend is not None else _default_backend)
+    if resolved != "reference":
+        # "auto" and "fused" both run the fast path; its internal
+        # heuristics make the per-feature choices (see fastpath docstring).
+        from repro.core.fastpath import run_fused  # deferred: fastpath imports us
+
+        return run_fused(topology, config, replicates, seed)
+
     rng = as_generator(seed)
-    n_agents = config.num_agents
     positions = _place_agents(topology, config, replicates, rng)
     shape = positions.shape
     initial_positions = positions.copy()
@@ -244,25 +353,38 @@ def run_kernel(
         else None
     )
 
+    # Loop-invariant work hoisted out of the steady-state rounds: the
+    # num_nodes lookup and the decision whether positions need a per-round
+    # label-range check. Placement was validated above; topology steps and
+    # catalog movement models (``emits_valid_nodes``) produce in-range
+    # labels by construction; apply_round_hook re-validates after every
+    # hook mutation. Only foreign movement models keep the per-round scan.
+    num_nodes = topology.num_nodes
+    hoisted_validation = config.movement is None or getattr(
+        config.movement, "emits_valid_nodes", False
+    )
+
     for round_index in range(config.rounds):
         if config.movement is not None:
             positions = np.asarray(config.movement.step(topology, positions, rng), dtype=np.int64)
         else:
             positions = topology.step_many(positions, rng)
-        num_nodes = topology.num_nodes
         # Counting is shared between the modes: serial mode views its (n,)
         # vector as a single replicate row. No randomness is involved, so
         # the round's stream is untouched either way.
         matrix = positions.reshape(-1, positions.shape[-1])
         if track_marked:
             counts, marked_counts = batched_collision_profiles(
-                matrix, marked.reshape(matrix.shape), num_nodes
+                matrix, marked.reshape(matrix.shape), num_nodes,
+                assume_validated=hoisted_validation,
             )
             marked_totals += marked_counts.reshape(shape)
             if marked_trajectory is not None:
                 marked_trajectory[round_index] = marked_totals
         else:
-            counts = batched_collision_counts(matrix, num_nodes)
+            counts = batched_collision_counts(
+                matrix, num_nodes, assume_validated=hoisted_validation
+            )
         counts = counts.reshape(positions.shape)
         if config.collision_model is not None:
             observed = np.asarray(config.collision_model.observe(counts, rng), dtype=np.float64)
@@ -270,9 +392,20 @@ def run_kernel(
                 raise ValueError(
                     "collision_model.observe must preserve the shape of its input"
                 )
-        else:
+            totals += observed
+        elif config.round_hook is not None:
+            # The hook contract hands over a fresh float observed array
+            # every round (hooks may retain it), so the conversion cannot
+            # be elided here the way it is below.
             observed = counts.astype(np.float64)
-        totals += observed
+            totals += observed
+        else:
+            # No model and no hook observes this round's float view, so
+            # accumulate the integer counts directly — np.add applies the
+            # same exact int64→float64 conversion the astype produced,
+            # without materialising a per-round temporary.
+            observed = None
+            np.add(totals, counts, out=totals)
 
         if trajectory is not None:
             trajectory[round_index] = totals
@@ -304,32 +437,30 @@ def run_kernel(
             marked = state.marked
             marked_totals = state.marked_totals
             shape = positions.shape
+            # Re-arm the hoisted invariants: the hook may have swapped the
+            # topology (apply_round_hook already validated positions on it).
+            num_nodes = topology.num_nodes
 
-    if serial:
-        return SimulationResult(
-            collision_totals=totals,
-            marked_collision_totals=marked_totals,
-            marked=marked,
-            initial_positions=initial_positions,
-            final_positions=positions,
-            rounds=config.rounds,
-            num_nodes=topology.num_nodes,
-            trajectory=trajectory,
-            marked_trajectory=marked_trajectory,
-            metadata={"topology": topology.name},
-        )
-    return BatchSimulationResult(
-        collision_totals=totals,
-        marked_collision_totals=marked_totals,
-        marked=marked,
-        initial_positions=initial_positions,
-        final_positions=positions,
-        rounds=config.rounds,
-        num_nodes=topology.num_nodes,
-        trajectory=trajectory,
-        marked_trajectory=marked_trajectory,
-        metadata={"topology": topology.name, "replicates": replicates},
+    return _build_result(
+        serial,
+        replicates,
+        topology,
+        config,
+        totals,
+        marked_totals,
+        marked,
+        initial_positions,
+        positions,
+        trajectory,
+        marked_trajectory,
     )
 
 
-__all__ = ["BatchSimulationResult", "require_batch_safe", "run_kernel"]
+__all__ = [
+    "BatchSimulationResult",
+    "KERNEL_BACKENDS",
+    "get_default_backend",
+    "require_batch_safe",
+    "run_kernel",
+    "set_default_backend",
+]

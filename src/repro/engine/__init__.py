@@ -25,7 +25,13 @@ and reproducibly:
     result = run_experiment("E09", quick=True, engine=engine)
 """
 
-from repro.core.kernel import require_batch_safe, run_kernel
+from repro.core.kernel import (
+    KERNEL_BACKENDS,
+    get_default_backend,
+    require_batch_safe,
+    run_kernel,
+    set_default_backend,
+)
 from repro.engine.batch import BatchSimulationResult, simulate_density_estimation_batch
 from repro.engine.cache import RunCache, cache_key
 from repro.engine.scheduler import (
@@ -40,12 +46,15 @@ __all__ = [
     "BatchSimulationResult",
     "ExecutionEngine",
     "ExecutionPlan",
+    "KERNEL_BACKENDS",
     "RunCache",
     "build_plan",
     "cache_key",
     "execute_plan",
+    "get_default_backend",
     "iter_execute_plan",
     "require_batch_safe",
     "run_kernel",
+    "set_default_backend",
     "simulate_density_estimation_batch",
 ]

@@ -45,6 +45,7 @@ def simulate_density_estimation_batch(
     config: SimulationConfig,
     replicates: int,
     seed: SeedLike = None,
+    backend: str | None = None,
 ) -> BatchSimulationResult:
     """Run ``replicates`` independent copies of Algorithm 1 as one matrix simulation.
 
@@ -71,13 +72,17 @@ def simulate_density_estimation_batch(
         Seed or generator controlling all randomness. The replicates draw
         from one shared stream, so they are deterministic given the seed and
         mutually independent.
+    backend:
+        Kernel backend (``"auto"``/``"reference"``/``"fused"``); ``None``
+        uses the process-wide default. All backends are bit-identical —
+        the flag only changes wall-clock (see :mod:`repro.core.fastpath`).
 
     Returns
     -------
     BatchSimulationResult
         Per-replicate, per-agent collision totals (shape ``(R, n)``).
     """
-    return run_kernel(topology, config, replicates, seed)
+    return run_kernel(topology, config, replicates, seed, backend=backend)
 
 
 __all__ = ["BatchSimulationResult", "simulate_density_estimation_batch"]

@@ -26,10 +26,29 @@ class Topology(abc.ABC):
     Subclasses must provide :attr:`num_nodes`, :meth:`degree_of`,
     :meth:`neighbors`, and :meth:`step_many`. Regular topologies should
     additionally subclass :class:`RegularTopology`.
+
+    Topologies whose random-walk step factors into "draw an index, then
+    apply a deterministic displacement" may additionally declare the
+    ``precomputed_steps`` capability (see :meth:`draw_steps`), which lets
+    the fused kernel fast path (:mod:`repro.core.fastpath`) draw many
+    rounds of randomness at once and apply steps through precomputed
+    displacement tables.
     """
 
     #: Human-readable name used in experiment tables.
     name: str = "topology"
+
+    #: The ``precomputed_steps`` capability: ``True`` when the walk step
+    #: decomposes into :meth:`draw_steps` + :meth:`apply_steps` with
+    #: *bit-identical* stream consumption to :meth:`step_many`. Declaring
+    #: it obliges the subclass to implement both methods, to set
+    #: :attr:`num_step_choices`, and to route its own ``step_many``
+    #: through the pair so the decomposition can never drift.
+    precomputed_steps: bool = False
+
+    #: Number of distinct values :meth:`draw_steps` may return (draws lie
+    #: in ``[0, num_step_choices)``); ``None`` without the capability.
+    num_step_choices: int | None = None
 
     @property
     @abc.abstractmethod
@@ -73,6 +92,54 @@ class Topology(abc.ABC):
         numpy.ndarray
             Array of the same shape with the new node labels.
         """
+
+    # ------------------------------------------------------------------
+    # The precomputed_steps capability
+    # ------------------------------------------------------------------
+    def draw_steps(self, shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+        """Draw one round of step choices, consuming the stream like ``step_many``.
+
+        Returns an integer array of ``shape`` with values in
+        ``[0, num_step_choices)``. The contract (the **bit-identity stream
+        contract**, see TESTING.md) is exact, not distributional:
+        ``apply_steps(p, draw_steps(p.shape, rng))`` must equal
+        ``step_many(p, rng)`` *and* leave ``rng`` in the same state.
+        Capability-declaring subclasses therefore implement ``step_many``
+        as exactly that composition.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not declare the precomputed_steps capability"
+        )
+
+    def draw_steps_chunk(
+        self, chunk: int, shape: tuple[int, ...], rng: np.random.Generator
+    ) -> np.ndarray:
+        """Draw ``chunk`` rounds of step choices as one ``(chunk, *shape)`` array.
+
+        Row ``k`` must be bit-identical to the ``k``-th of ``chunk``
+        sequential :meth:`draw_steps` calls, and the generator must end in
+        the same state. The default implementation draws round by round,
+        which satisfies the contract for *any* topology (including those
+        whose per-round draw interleaves several generator calls, like
+        :class:`~repro.topology.TorusKD`); subclasses whose draw is a
+        single generator call override this with one vectorised draw —
+        NumPy's bounded-integer samplers consume the stream element by
+        element in C order, so one ``(chunk, *shape)`` draw is
+        bit-identical to ``chunk`` consecutive ``shape`` draws.
+        """
+        return np.stack([self.draw_steps(shape, rng) for _ in range(chunk)])
+
+    def apply_steps(self, positions: np.ndarray, draws: np.ndarray) -> np.ndarray:
+        """Deterministically apply drawn step choices to positions.
+
+        Pure (no randomness): ``apply_steps(p, d)`` maps current node
+        labels ``p`` and draw indices ``d`` (same shape) to next labels.
+        The fused kernel may tabulate this function over all
+        ``(node, choice)`` pairs, so it must be elementwise.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not declare the precomputed_steps capability"
+        )
 
     # ------------------------------------------------------------------
     # Placement helpers

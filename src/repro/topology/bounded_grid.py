@@ -32,6 +32,8 @@ class BoundedGrid(Topology):
     """
 
     name = "bounded_grid"
+    precomputed_steps = True
+    num_step_choices = 4
 
     STEPS = np.array([(0, 1), (0, -1), (1, 0), (-1, 0)], dtype=np.int64)
 
@@ -81,11 +83,17 @@ class BoundedGrid(Topology):
                 result.append(nx_ * self.side + ny_)
         return np.array(sorted(result), dtype=np.int64)
 
-    def step_many(self, positions: np.ndarray, rng: np.random.Generator) -> np.ndarray:
-        positions = np.asarray(positions, dtype=np.int64)
-        choices = rng.integers(0, 4, size=positions.shape)
-        dx = self.STEPS[choices, 0]
-        dy = self.STEPS[choices, 1]
+    def draw_steps(self, shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+        return rng.integers(0, 4, size=shape)
+
+    def draw_steps_chunk(
+        self, chunk: int, shape: tuple[int, ...], rng: np.random.Generator
+    ) -> np.ndarray:
+        return rng.integers(0, 4, size=(chunk, *shape))
+
+    def apply_steps(self, positions: np.ndarray, draws: np.ndarray) -> np.ndarray:
+        dx = self.STEPS[draws, 0]
+        dy = self.STEPS[draws, 1]
         x, y = self.decode(positions)
         new_x = x + dx
         new_y = y + dy
@@ -94,6 +102,10 @@ class BoundedGrid(Topology):
         new_x = np.where(blocked, x, new_x)
         new_y = np.where(blocked, y, new_y)
         return (new_x * self.side + new_y).astype(np.int64)
+
+    def step_many(self, positions: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        positions = np.asarray(positions, dtype=np.int64)
+        return self.apply_steps(positions, self.draw_steps(positions.shape, rng))
 
     def boundary_nodes(self) -> np.ndarray:
         """Labels of all nodes on the outer boundary of the grid."""

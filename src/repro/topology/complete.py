@@ -18,11 +18,13 @@ class CompleteGraph(RegularTopology):
     """Complete graph on ``size`` nodes; a step moves to a uniform *other* node."""
 
     name = "complete"
+    precomputed_steps = True
 
     def __init__(self, size: int):
         require_integer(size, "size", minimum=2)
         self.size = int(size)
         self.degree = self.size - 1
+        self.num_step_choices = self.size - 1
 
     @property
     def num_nodes(self) -> int:
@@ -32,12 +34,22 @@ class CompleteGraph(RegularTopology):
         node = int(node)
         return np.array([v for v in range(self.size) if v != node], dtype=np.int64)
 
+    def draw_steps(self, shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+        return rng.integers(0, self.size - 1, size=shape)
+
+    def draw_steps_chunk(
+        self, chunk: int, shape: tuple[int, ...], rng: np.random.Generator
+    ) -> np.ndarray:
+        return rng.integers(0, self.size - 1, size=(chunk, *shape))
+
+    def apply_steps(self, positions: np.ndarray, draws: np.ndarray) -> np.ndarray:
+        # Sample uniformly from the other size-1 nodes: a draw from
+        # [0, size-1) is shifted up by one when >= the current position.
+        return np.where(draws >= positions, draws + 1, draws).astype(np.int64)
+
     def step_many(self, positions: np.ndarray, rng: np.random.Generator) -> np.ndarray:
         positions = np.asarray(positions, dtype=np.int64)
-        # Sample uniformly from the other size-1 nodes: draw from [0, size-1)
-        # and shift values >= current position up by one.
-        draws = rng.integers(0, self.size - 1, size=positions.shape)
-        return np.where(draws >= positions, draws + 1, draws).astype(np.int64)
+        return self.apply_steps(positions, self.draw_steps(positions.shape, rng))
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"CompleteGraph(size={self.size})"

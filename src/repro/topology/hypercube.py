@@ -18,6 +18,7 @@ class Hypercube(RegularTopology):
     """The hypercube on ``2**dims`` vertices with bit-flip random-walk steps."""
 
     name = "hypercube"
+    precomputed_steps = True
 
     def __init__(self, dims: int):
         require_integer(dims, "dims", minimum=1)
@@ -25,6 +26,7 @@ class Hypercube(RegularTopology):
             raise ValueError(f"dims must be <= 62 to fit in int64 labels, got {dims}")
         self.dims = int(dims)
         self.degree = self.dims
+        self.num_step_choices = self.dims
         self._num_nodes = 1 << self.dims
 
     @property
@@ -35,10 +37,20 @@ class Hypercube(RegularTopology):
         node = int(node)
         return np.array([node ^ (1 << bit) for bit in range(self.dims)], dtype=np.int64)
 
+    def draw_steps(self, shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+        return rng.integers(0, self.dims, size=shape)
+
+    def draw_steps_chunk(
+        self, chunk: int, shape: tuple[int, ...], rng: np.random.Generator
+    ) -> np.ndarray:
+        return rng.integers(0, self.dims, size=(chunk, *shape))
+
+    def apply_steps(self, positions: np.ndarray, draws: np.ndarray) -> np.ndarray:
+        return positions ^ (np.int64(1) << draws)
+
     def step_many(self, positions: np.ndarray, rng: np.random.Generator) -> np.ndarray:
         positions = np.asarray(positions, dtype=np.int64)
-        bits = rng.integers(0, self.dims, size=positions.shape)
-        return positions ^ (np.int64(1) << bits)
+        return self.apply_steps(positions, self.draw_steps(positions.shape, rng))
 
     def hamming_distance(self, a: np.ndarray | int, b: np.ndarray | int) -> np.ndarray | int:
         """Number of differing bits between node labels ``a`` and ``b``."""

@@ -20,6 +20,12 @@ class Ring(RegularTopology):
 
     name = "ring"
     degree = 2
+    precomputed_steps = True
+    num_step_choices = 2
+
+    #: Draw index -> signed step, ordered so that index ``(delta > 0)``
+    #: reproduces the historical ``rng.choice([-1, 1])`` values exactly.
+    _DELTAS = np.array([-1, 1], dtype=np.int64)
 
     def __init__(self, size: int):
         require_integer(size, "size", minimum=3)
@@ -32,10 +38,25 @@ class Ring(RegularTopology):
     def neighbors(self, node: int) -> np.ndarray:
         return np.array([(node - 1) % self.size, (node + 1) % self.size], dtype=np.int64)
 
+    def draw_steps(self, shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+        # `rng.choice` without probabilities is a bounded-integer draw, so
+        # re-encoding its +-1 values as indices keeps the stream identical
+        # to the historical `rng.choice([-1, 1])` call.
+        deltas = rng.choice(self._DELTAS, size=shape)
+        return (deltas > 0).astype(np.int64)
+
+    def draw_steps_chunk(
+        self, chunk: int, shape: tuple[int, ...], rng: np.random.Generator
+    ) -> np.ndarray:
+        deltas = rng.choice(self._DELTAS, size=(chunk, *shape))
+        return (deltas > 0).astype(np.int64)
+
+    def apply_steps(self, positions: np.ndarray, draws: np.ndarray) -> np.ndarray:
+        return (positions + self._DELTAS[draws]) % self.size
+
     def step_many(self, positions: np.ndarray, rng: np.random.Generator) -> np.ndarray:
         positions = np.asarray(positions, dtype=np.int64)
-        deltas = rng.choice(np.array([-1, 1], dtype=np.int64), size=positions.shape)
-        return (positions + deltas) % self.size
+        return self.apply_steps(positions, self.draw_steps(positions.shape, rng))
 
     def ring_distance(self, a: np.ndarray | int, b: np.ndarray | int) -> np.ndarray | int:
         """Shortest-path distance between node labels ``a`` and ``b`` on the cycle."""

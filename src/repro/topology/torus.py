@@ -27,6 +27,8 @@ class Torus2D(RegularTopology):
 
     name = "torus2d"
     degree = 4
+    precomputed_steps = True
+    num_step_choices = 4
 
     #: The four axis-aligned unit steps of the paper's model.
     STEPS = np.array([(0, 1), (0, -1), (1, 0), (-1, 0)], dtype=np.int64)
@@ -63,13 +65,25 @@ class Torus2D(RegularTopology):
         ys = (y + self.STEPS[:, 1]) % self.side
         return np.asarray(self.encode(xs, ys), dtype=np.int64)
 
-    def step_many(self, positions: np.ndarray, rng: np.random.Generator) -> np.ndarray:
-        positions = np.asarray(positions, dtype=np.int64)
-        choices = rng.integers(0, 4, size=positions.shape)
-        dx = self.STEPS[choices, 0]
-        dy = self.STEPS[choices, 1]
+    def draw_steps(self, shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+        return rng.integers(0, 4, size=shape)
+
+    def draw_steps_chunk(
+        self, chunk: int, shape: tuple[int, ...], rng: np.random.Generator
+    ) -> np.ndarray:
+        # One bounded-integer draw; element order matches `chunk` sequential
+        # per-round draws, so the stream contract holds exactly.
+        return rng.integers(0, 4, size=(chunk, *shape))
+
+    def apply_steps(self, positions: np.ndarray, draws: np.ndarray) -> np.ndarray:
+        dx = self.STEPS[draws, 0]
+        dy = self.STEPS[draws, 1]
         x, y = self.decode(positions)
         return np.asarray(self.encode(x + dx, y + dy), dtype=np.int64)
+
+    def step_many(self, positions: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        positions = np.asarray(positions, dtype=np.int64)
+        return self.apply_steps(positions, self.draw_steps(positions.shape, rng))
 
     # ------------------------------------------------------------------
     # Geometry helpers (used by tests and the swarm application)

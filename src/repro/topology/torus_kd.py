@@ -33,6 +33,11 @@ class TorusKD(RegularTopology):
     """
 
     name = "torus_kd"
+    precomputed_steps = True
+
+    #: Index -> signed delta; index parity ``(delta > 0)`` matches the
+    #: historical ``rng.choice([-1, 1])`` encoding.
+    _DELTAS = np.array([-1, 1], dtype=np.int64)
 
     def __init__(self, side: int, dims: int):
         require_integer(side, "side", minimum=2)
@@ -40,6 +45,7 @@ class TorusKD(RegularTopology):
         self.side = int(side)
         self.dims = int(dims)
         self.degree = 2 * self.dims
+        self.num_step_choices = 2 * self.dims
         self._num_nodes = self.side**self.dims
         # Precompute the radix multipliers for encode/decode.
         self._radix = self.side ** np.arange(self.dims, dtype=np.int64)
@@ -82,19 +88,31 @@ class TorusKD(RegularTopology):
                 index += 1
         return result
 
-    def step_many(self, positions: np.ndarray, rng: np.random.Generator) -> np.ndarray:
-        positions = np.asarray(positions, dtype=np.int64)
+    def draw_steps(self, shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+        # Two interleaved generator calls per round (axis, then sign): the
+        # values are packed as ``axis * 2 + (delta > 0)``. Because the calls
+        # interleave, chunked drawing cannot be collapsed into two bulk
+        # draws without reordering the stream — this topology therefore
+        # keeps the base class's per-round ``draw_steps_chunk``.
+        axes = rng.integers(0, self.dims, size=shape)
+        deltas = rng.choice(self._DELTAS, size=shape)
+        return axes * 2 + (deltas > 0)
+
+    def apply_steps(self, positions: np.ndarray, draws: np.ndarray) -> np.ndarray:
         coords = self.decode(positions)
-        axes = rng.integers(0, self.dims, size=positions.shape)
-        deltas = rng.choice(np.array([-1, 1], dtype=np.int64), size=positions.shape)
         flat_coords = coords.reshape(-1, self.dims)
-        flat_axes = np.asarray(axes).reshape(-1)
-        flat_deltas = np.asarray(deltas).reshape(-1)
+        flat_draws = np.asarray(draws).reshape(-1)
+        flat_axes = flat_draws >> 1
+        flat_deltas = self._DELTAS[flat_draws & 1]
         row_index = np.arange(flat_coords.shape[0])
         flat_coords[row_index, flat_axes] = (
             flat_coords[row_index, flat_axes] + flat_deltas
         ) % self.side
-        return self.encode(flat_coords.reshape(coords.shape)).reshape(positions.shape)
+        return self.encode(flat_coords.reshape(coords.shape)).reshape(np.shape(positions))
+
+    def step_many(self, positions: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        positions = np.asarray(positions, dtype=np.int64)
+        return self.apply_steps(positions, self.draw_steps(positions.shape, rng))
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"TorusKD(side={self.side}, dims={self.dims})"

@@ -43,6 +43,24 @@ class MovementModel(abc.ABC):
     #: that couple agents must evaluate that coupling per row.
     batch_safe: bool = False
 
+    #: Whether :meth:`step` delegates its randomness entirely to the
+    #: topology's own step draw, so the fused kernel fast path
+    #: (:mod:`repro.core.fastpath`) may replace it with the topology's
+    #: ``draw_steps``/``apply_steps`` pair — including chunked (multi-round)
+    #: draws — without changing the random stream. Models that draw *any*
+    #: randomness of their own (laziness coins, biased step choices,
+    #: avoidance re-steps) must leave this ``False``: their draws interleave
+    #: with the topology's within each round, and reordering them would
+    #: break the bit-identity stream contract.
+    precomputed_steps: bool = False
+
+    #: Whether :meth:`step` can only ever return valid node labels of the
+    #: topology it was given (all catalog models qualify: they compose
+    #: ``step_many``/``encode`` calls, which wrap or clamp into range).
+    #: The kernel hoists per-round label-range validation out of the loop
+    #: for models declaring this; foreign models keep the per-round check.
+    emits_valid_nodes: bool = False
+
     @abc.abstractmethod
     def step(
         self, topology: Topology, positions: np.ndarray, rng: np.random.Generator
@@ -56,6 +74,8 @@ class UniformRandomWalk(MovementModel):
 
     name: str = "uniform_random_walk"
     batch_safe: bool = True
+    precomputed_steps: bool = True
+    emits_valid_nodes: bool = True
 
     def step(
         self, topology: Topology, positions: np.ndarray, rng: np.random.Generator
@@ -76,6 +96,7 @@ class LazyRandomWalk(MovementModel):
     stay_probability: float = 0.5
     name: str = "lazy_random_walk"
     batch_safe: bool = True
+    emits_valid_nodes: bool = True
 
     def __post_init__(self) -> None:
         require_probability(self.stay_probability, "stay_probability", allow_one=False)
@@ -104,6 +125,7 @@ class BiasedTorusWalk(MovementModel):
     bias: float = 0.2
     name: str = "biased_torus_walk"
     batch_safe: bool = True
+    emits_valid_nodes: bool = True
 
     def __post_init__(self) -> None:
         require_probability(self.bias, "bias")
@@ -149,6 +171,7 @@ class CollisionAvoidingWalk(MovementModel):
     avoidance_steps: int = 1
     name: str = "collision_avoiding_walk"
     batch_safe: bool = True
+    emits_valid_nodes: bool = True
 
     def __post_init__(self) -> None:
         if self.avoidance_steps < 0:

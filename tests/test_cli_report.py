@@ -69,6 +69,25 @@ class TestCli:
         assert main(["run", "E99", "--quick"]) == 2
         assert "error" in capsys.readouterr().err
 
+    def test_run_backend_flag_is_bit_identical(self, capsys):
+        """--backend only changes wall-clock: records match across backends."""
+        from repro.core.kernel import get_default_backend, set_default_backend
+
+        previous = get_default_backend()
+        try:
+            outputs = {}
+            for backend in ("reference", "fused", "auto"):
+                assert main(["run", "E17", "--quick", "--json", "--backend", backend]) == 0
+                outputs[backend] = capsys.readouterr().out
+                assert get_default_backend() == backend
+            assert outputs["reference"] == outputs["fused"] == outputs["auto"]
+        finally:
+            set_default_backend(previous)
+
+    def test_run_rejects_unknown_backend(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["run", "E17", "--quick", "--backend", "turbo"])
+
     @pytest.mark.slow
     def test_report_to_file(self, tmp_path, capsys):
         target = tmp_path / "report.md"
