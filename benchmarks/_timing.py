@@ -1,0 +1,119 @@
+"""Shared timing harness for the benchmark suite.
+
+Every ``benchmarks/bench_*.py`` script times the same way — wall-clock
+``time.perf_counter`` passes over a callable, reduced to a best/median, and
+(for A/B gates) *interleaved* (baseline, candidate) pairs so a noisy
+neighbour on a shared CI runner slows both sides of a ratio together
+instead of biasing one. This module is that harness, extracted so the
+scripts share one implementation, and so every ``BENCH_*.json`` artifact
+carries the same provenance block (package version, git SHA, hostname,
+numpy version) the bench-history observatory (``repro bench history``)
+keys its series on.
+
+The module is imported as a plain sibling (``from _timing import …``): the
+``benchmarks/`` directory is on ``sys.path`` both when a script runs
+standalone (script directory) and under pytest's default prepend import
+mode (no ``__init__.py`` here, by design — benchmarks are scripts, not a
+package).
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import time
+from pathlib import Path
+from typing import Any, Callable, Mapping, Sequence
+
+from repro import __version__
+from repro.utils.provenance import provenance_stamp
+
+#: The BENCH_*.json artifact format version (the report schema, not the
+#: package). Bump when the report shape changes incompatibly.
+BENCH_SCHEMA = 1
+
+
+def once(fn: Callable[[], Any]) -> float:
+    """One timed call: wall-clock seconds of ``fn()``."""
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def best_of(fn: Callable[[], Any], repeats: int = 3) -> float:
+    """Best-of-``repeats`` wall-clock seconds (first call also warms caches)."""
+    return min(once(fn) for _ in range(max(1, repeats)))
+
+
+def median_of(fn: Callable[[], Any], repeats: int = 5, warmup: bool = True) -> float:
+    """Median-of-``repeats`` wall-clock seconds, after an untimed warmup call."""
+    if warmup:
+        fn()
+    return statistics.median(once(fn) for _ in range(max(1, repeats)))
+
+
+def interleaved_pairs(
+    baseline_fn: Callable[[], Any],
+    candidate_fn: Callable[[], Any],
+    repeats: int = 3,
+) -> list[tuple[float, float]]:
+    """``repeats`` interleaved (baseline, candidate) timing pairs.
+
+    Interleaving keeps both sides of each ratio under the same background
+    load, so a load spike slows the pair together instead of biasing one
+    side; the first pair also warms caches for both.
+    """
+    return [(once(baseline_fn), once(candidate_fn)) for _ in range(max(1, repeats))]
+
+
+def best_pair(pairs: Sequence[tuple[float, float]]) -> tuple[float, float]:
+    """The pair with the highest baseline/candidate ratio (least load-biased)."""
+    return max(pairs, key=lambda pair: pair[0] / pair[1])
+
+
+def interleaved_best_speedup(
+    baseline_fn: Callable[[], Any],
+    candidate_fn: Callable[[], Any],
+    repeats: int = 3,
+) -> float:
+    """Best candidate speedup over interleaved (baseline, candidate) pairs.
+
+    Taking the best pair discards repeats hit by load spikes — the standard
+    reduction for every A/B acceptance gate in this suite.
+    """
+    baseline_seconds, candidate_seconds = best_pair(
+        interleaved_pairs(baseline_fn, candidate_fn, repeats)
+    )
+    return baseline_seconds / candidate_seconds
+
+
+def bench_provenance(**extra: Any) -> dict[str, Any]:
+    """The provenance block every ``BENCH_*.json`` artifact carries."""
+    return provenance_stamp(**extra)
+
+
+def write_bench_report(
+    path: str | Path,
+    benchmark: str,
+    gates: Mapping[str, Any],
+    records: Sequence[Mapping[str, Any]],
+) -> Path:
+    """Write one machine-readable ``BENCH_*.json`` benchmark artifact.
+
+    The shape is shared by every emitter so ``repro bench history`` can
+    ingest any of them: identity fields (``benchmark``, per-record
+    ``workload``/``backend``) plus numeric measurements, stamped with
+    :func:`bench_provenance`. Legacy artifacts without the provenance
+    block still ingest (the observatory tolerates missing fields).
+    """
+    path = Path(path)
+    payload = {
+        "benchmark": benchmark,
+        "schema": BENCH_SCHEMA,
+        "version": __version__,
+        "provenance": bench_provenance(),
+        "gates": dict(gates),
+        "records": [dict(record) for record in records],
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return path

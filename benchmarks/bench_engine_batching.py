@@ -4,7 +4,9 @@ Measures the engine's headline win (ISSUE 1 acceptance criterion): running
 R = 32 replicates of Algorithm 1 (200 agents x 400 rounds on
 ``Torus2D(side=64)``) as one ``(R, n)`` matrix simulation must beat running
 the same 32 replicates through ``simulate_density_estimation`` one at a time
-by at least 3x throughput.
+by at least 3x throughput. The measurements are written to
+``BENCH_batching.json`` with the shared provenance block so ``repro bench
+history`` can track them across PRs.
 
 Run standalone::
 
@@ -17,10 +19,11 @@ or through pytest (the assertion is the acceptance gate)::
 
 from __future__ import annotations
 
-import time
+from pathlib import Path
 
 import numpy as np
 
+from _timing import best_of, write_bench_report
 from repro.core.kernel import run_kernel
 from repro.core.simulation import SimulationConfig
 from repro.engine import simulate_density_estimation_batch
@@ -32,6 +35,7 @@ NUM_AGENTS = 200
 ROUNDS = 400
 REPLICATES = 32
 MIN_SPEEDUP = 3.0
+OUTPUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_batching.json"
 
 
 def _run_sequential(seed: int = 0) -> np.ndarray:
@@ -59,19 +63,9 @@ def _run_batched(seed: int = 0) -> np.ndarray:
     return simulate_density_estimation_batch(topology, config, REPLICATES, seed).collision_totals
 
 
-def _time(fn, repeats: int = 3) -> float:
-    """Best-of-``repeats`` wall-clock seconds (first call also warms caches)."""
-    best = float("inf")
-    for _ in range(repeats):
-        start = time.perf_counter()
-        fn()
-        best = min(best, time.perf_counter() - start)
-    return best
-
-
 def measure() -> dict[str, float]:
-    sequential_seconds = _time(_run_sequential)
-    batched_seconds = _time(_run_batched)
+    sequential_seconds = best_of(_run_sequential)
+    batched_seconds = best_of(_run_batched)
     return {
         "sequential_seconds": sequential_seconds,
         "batched_seconds": batched_seconds,
@@ -97,10 +91,40 @@ def _report(stats: dict[str, float]) -> None:
     print(f"  speedup         : {stats['speedup']:7.2f}x (gate: >= {MIN_SPEEDUP}x)")
 
 
+def write_report(stats: dict[str, float], path: Path | None = None) -> Path:
+    """Write the machine-readable benchmark record (BENCH_batching.json)."""
+    workload = f"{REPLICATES}x({NUM_AGENTS} agents x {ROUNDS} rounds) torus-{SIDE}"
+    records = [
+        {
+            "workload": workload,
+            "kind": "macro",
+            "backend": "sequential",
+            "best_seconds": stats["sequential_seconds"],
+            "replicates_per_second": stats["sequential_replicates_per_second"],
+            "speedup": 1.0,
+        },
+        {
+            "workload": workload,
+            "kind": "macro",
+            "backend": "batched",
+            "best_seconds": stats["batched_seconds"],
+            "replicates_per_second": stats["batched_replicates_per_second"],
+            "speedup": stats["speedup"],
+        },
+    ]
+    return write_bench_report(
+        OUTPUT_PATH if path is None else path,
+        "bench_engine_batching",
+        {"min_speedup": MIN_SPEEDUP},
+        records,
+    )
+
+
 def test_batched_engine_speedup():
     """Acceptance gate: batched throughput >= 3x the sequential loop."""
     stats = measure()
     _report(stats)
+    print(f"wrote {write_report(stats)}")
 
     # Same workload, so the estimates must agree statistically: both paths
     # are unbiased estimators of the same density.

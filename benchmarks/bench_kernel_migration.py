@@ -12,7 +12,9 @@ of the three.
 
 The trial counts are raised above the defaults so the batch has enough
 replicates to amortise the per-round NumPy overhead — the same regime the
-full (non-quick) configurations run in.
+full (non-quick) configurations run in. The measurements are written to
+``BENCH_migration.json`` with the shared provenance block so ``repro bench
+history`` can track them across PRs.
 
 Run standalone::
 
@@ -25,10 +27,11 @@ or through pytest (the assertion is the acceptance gate)::
 
 from __future__ import annotations
 
-import time
+from pathlib import Path
 
 import numpy as np
 
+from _timing import best_pair, interleaved_pairs, write_bench_report
 from repro.analysis.accuracy import empirical_epsilon
 from repro.core.kernel import run_kernel
 from repro.core.simulation import SimulationConfig
@@ -50,6 +53,7 @@ from repro.walks.movement import (
 
 MIN_SPEEDUP = 3.0
 TRIALS = 32
+OUTPUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_migration.json"
 
 # Populations around 200 agents are the regime the suite's full
 # configurations run in (and the regime bench_engine_batching gates): small
@@ -137,31 +141,49 @@ CASES = (
 )
 
 
-def _once(fn) -> float:
-    start = time.perf_counter()
-    fn()
-    return time.perf_counter() - start
+def measure() -> list[dict]:
+    """Per-experiment records from the best interleaved (legacy, migrated) pair.
 
-
-def _best_speedup(legacy, migrated, repeats: int = 3) -> float:
-    """Best speedup over interleaved (legacy, migrated) timing pairs.
-
-    Interleaving keeps both sides of each ratio under the same background
-    load, so a noisy neighbour on a shared CI runner slows the pair
-    together instead of biasing one side; taking the best pair discards
-    repeats hit by load spikes. The first pair also warms caches.
+    The interleaved-pairs reduction (see ``_timing.interleaved_pairs``)
+    keeps both sides of each ratio under the same background load; taking
+    the best pair discards repeats hit by load spikes. The first pair also
+    warms caches.
     """
-    return max(_once(legacy) / _once(migrated) for _ in range(repeats))
+    records = []
+    for name, legacy, migrated in CASES:
+        legacy_seconds, migrated_seconds = best_pair(interleaved_pairs(legacy, migrated))
+        records.append(
+            {
+                "workload": name,
+                "kind": "macro",
+                "backend": "migrated",
+                "legacy_seconds": legacy_seconds,
+                "migrated_seconds": migrated_seconds,
+                "speedup": legacy_seconds / migrated_seconds,
+            }
+        )
+    return records
+
+
+def write_report(records: list[dict], path: Path | None = None) -> Path:
+    """Write the machine-readable benchmark record (BENCH_migration.json)."""
+    return write_bench_report(
+        OUTPUT_PATH if path is None else path,
+        "bench_kernel_migration",
+        {"min_speedup": MIN_SPEEDUP},
+        records,
+    )
 
 
 def test_migrated_experiments_at_least_3x_faster() -> None:
     """Acceptance gate: every gated experiment beats its legacy loop >= 3x."""
-    for name, legacy, migrated in CASES:
-        speedup = _best_speedup(legacy, migrated)
-        print(f"{name}: speedup x{speedup:.2f} (gate: >= x{MIN_SPEEDUP})")
-        assert speedup >= MIN_SPEEDUP, (
-            f"{name}: migrated path only x{speedup:.2f} faster than its legacy "
-            f"trial loop (required x{MIN_SPEEDUP})"
+    records = measure()
+    print(f"wrote {write_report(records)}")
+    for record in records:
+        print(f"{record['workload']}: speedup x{record['speedup']:.2f} (gate: >= x{MIN_SPEEDUP})")
+        assert record["speedup"] >= MIN_SPEEDUP, (
+            f"{record['workload']}: migrated path only x{record['speedup']:.2f} faster "
+            f"than its legacy trial loop (required x{MIN_SPEEDUP})"
         )
 
 

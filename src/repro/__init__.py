@@ -62,7 +62,7 @@ Online tracking of a time-varying world:
 
 # Defined before any subpackage import: repro.store and repro.sweeps fold the
 # package version into provenance metadata and cache keys at import time.
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 from repro.core import (
     IndependentSamplingEstimator,
@@ -91,6 +91,13 @@ from repro.engine import (
     require_batch_safe,
     run_kernel,
     set_default_backend,
+)
+from repro.obs import (
+    Telemetry,
+    TelemetryRecorder,
+    get_telemetry,
+    set_telemetry,
+    use_telemetry,
 )
 from repro.store import ResultStore
 from repro.sweeps import (
@@ -148,6 +155,12 @@ __all__ = [
     "RandomAxis",
     "run_sweep_spec",
     "ResultStore",
+    # Observability: telemetry spine + bench-history observatory
+    "Telemetry",
+    "TelemetryRecorder",
+    "get_telemetry",
+    "set_telemetry",
+    "use_telemetry",
     # Dynamics: time-varying scenarios and online tracking
     "Scenario",
     "ScenarioRunResult",

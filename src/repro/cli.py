@@ -53,6 +53,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import logging
 import os
 import sys
 from pathlib import Path
@@ -66,6 +67,7 @@ from repro.engine import KERNEL_BACKENDS, ExecutionEngine, RunCache, set_default
 from repro.experiments import EXPERIMENTS, run_experiment
 from repro.experiments.base import ExperimentResult
 from repro.experiments.report import generate_report
+from repro.obs.telemetry import TelemetryRecorder, set_telemetry
 from repro.store import ResultStore, StoreError
 from repro.sweeps import load_spec, run_sweep_spec, sweep_status
 from repro.utils.serialization import dumps, rows_to_csv
@@ -73,6 +75,32 @@ from repro.utils.tables import format_records
 
 #: Bump when the cached payload layout changes; folded into every cache key.
 _CACHE_SCHEMA = 1
+
+#: Exit code of ``repro bench history`` when a perf regression is flagged
+#: (2 = CLI error, 3 = incomplete sweep are already taken).
+_EXIT_REGRESSION = 4
+
+#: The CLI's progress/diagnostic reporter. Progress lines emit at INFO —
+#: the default level, so default stderr output is byte-identical to the
+#: historical ``print(..., file=sys.stderr)`` form — and extra diagnostics
+#: emit at DEBUG, visible only under ``--verbose``. ``--quiet`` raises the
+#: threshold to WARNING, silencing progress without touching stdout.
+_LOGGER = logging.getLogger("repro")
+
+
+def _configure_logging(verbose: bool, quiet: bool) -> None:
+    """(Re)configure the CLI reporter; idempotent across repeated main() calls."""
+    handler = logging.StreamHandler(sys.stderr)
+    handler.setFormatter(logging.Formatter("%(message)s"))
+    _LOGGER.handlers.clear()
+    _LOGGER.addHandler(handler)
+    _LOGGER.propagate = False
+    if quiet:
+        _LOGGER.setLevel(logging.WARNING)
+    elif verbose:
+        _LOGGER.setLevel(logging.DEBUG)
+    else:
+        _LOGGER.setLevel(logging.INFO)
 
 
 def _positive_int(text: str) -> int:
@@ -92,6 +120,19 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--version", action="version", version=f"%(prog)s {__version__}"
+    )
+    verbosity = parser.add_mutually_exclusive_group()
+    verbosity.add_argument(
+        "-v",
+        "--verbose",
+        action="store_true",
+        help="also emit diagnostic detail on stderr (cache keys, telemetry paths, ...)",
+    )
+    verbosity.add_argument(
+        "-q",
+        "--quiet",
+        action="store_true",
+        help="suppress progress reporting on stderr (results on stdout are unaffected)",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -233,6 +274,60 @@ def _build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="emit one JSON object with per-round records"
     )
 
+    bench_parser = subparsers.add_parser(
+        "bench", help="benchmark-artifact observatory (perf trajectories over builds)"
+    )
+    bench_sub = bench_parser.add_subparsers(dest="bench_command", required=True)
+    history_parser = bench_sub.add_parser(
+        "history",
+        help=(
+            "ingest BENCH_*.json artifacts into a history store and flag statistically "
+            "significant perf regressions (two-window Welch-z detector)"
+        ),
+    )
+    history_parser.add_argument(
+        "artifacts",
+        nargs="*",
+        metavar="BENCH.json",
+        help="bench artifacts to ingest before scanning (idempotent; may be empty)",
+    )
+    history_parser.add_argument(
+        "--store", required=True, metavar="DIR", help="bench-history result store directory"
+    )
+    history_parser.add_argument(
+        "--metric",
+        default="median_seconds",
+        metavar="COL",
+        help=(
+            "record metric to scan (default: median_seconds); metrics with "
+            "'seconds'/'time' in the name regress upward, rates like speedup downward"
+        ),
+    )
+    history_parser.add_argument(
+        "--window",
+        type=_positive_int,
+        default=4,
+        metavar="W",
+        help="detector window: compares the last W points against the W before them (default: 4)",
+    )
+    history_parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        metavar="F",
+        help="relative shift the window means must exceed (default: 0.25)",
+    )
+    history_parser.add_argument(
+        "--z",
+        type=float,
+        default=4.5,
+        metavar="Z",
+        help="Welch z-score the shift must also exceed (default: 4.5)",
+    )
+    history_parser.add_argument(
+        "--json", action="store_true", help="emit the full scan report as JSON"
+    )
+
     for sub in (run_parser, report_parser, scenario_run):
         sub.add_argument(
             "--workers",
@@ -259,6 +354,16 @@ def _build_parser() -> argparse.ArgumentParser:
                 "simulation kernel backend (default: auto). All backends are "
                 "bit-identical — auto/fused only run faster — so the flag is "
                 "excluded from cache keys; worker subprocesses always use auto"
+            ),
+        )
+        sub.add_argument(
+            "--telemetry",
+            default=None,
+            metavar="DIR",
+            help=(
+                "record structured telemetry (counters, timers, spans) into DIR: "
+                "events.jsonl + summary.json. Observation-only — results are "
+                "bit-identical with or without it"
             ),
         )
     return parser
@@ -553,7 +658,7 @@ def _command_sweep_run(args, *, resume: bool) -> int:
         )
 
     def progress(cell, status) -> None:
-        print(f"[{spec.name}] cell {cell.index}: {cell.label()} — {status}", file=sys.stderr)
+        _LOGGER.info("[%s] cell %d: %s — %s", spec.name, cell.index, cell.label(), status)
 
     outcome = run_sweep_spec(
         spec,
@@ -670,14 +775,70 @@ def _command_store_export(args) -> int:
     return 0
 
 
-def main(argv: Sequence[str] | None = None) -> int:
-    """Entry point used by ``python -m repro``."""
-    args = _build_parser().parse_args(argv)
-    if getattr(args, "backend", None) is not None:
-        # Results are bit-identical across backends, so this is purely a
-        # performance switch — set it process-wide rather than threading it
-        # through every experiment signature.
-        set_default_backend(args.backend)
+def _command_bench_history(args) -> int:
+    """Ingest bench artifacts, scan every series, gate on the trajectory.
+
+    Exit codes: 0 = no regression, :data:`_EXIT_REGRESSION` = at least one
+    series shows a statistically significant regression, 2 = CLI error —
+    so CI can gate on perf *trajectory*, not just one-shot thresholds.
+    """
+    from repro.obs.history import analyze_history, ingest_artifact
+
+    store = ResultStore(args.store)
+    ingested = []
+    for artifact in args.artifacts:
+        outcome = ingest_artifact(store, artifact)
+        ingested.append(outcome)
+        _LOGGER.debug(
+            "ingested %s as %s (%d records)%s",
+            outcome["artifact"],
+            outcome["segment"],
+            outcome["records"],
+            "" if outcome["ingested"] else " — already present, skipped",
+        )
+    report = analyze_history(
+        store,
+        metric=args.metric,
+        window=args.window,
+        threshold=args.threshold,
+        z_threshold=args.z,
+    )
+    fresh = sum(1 for outcome in ingested if outcome["ingested"])
+    report["ingested"] = fresh
+    report["artifacts"] = ingested
+    report["store"] = str(store.directory)
+    if args.json:
+        print(dumps(report))
+    else:
+        print(
+            f"bench history: {fresh} artifact(s) ingested "
+            f"({len(ingested) - fresh} already present), "
+            f"{report['series_scanned']} series scanned on {args.metric!r}"
+        )
+        for series in report["series"]:
+            label = "/".join(str(part) for part in (series["benchmark"], series["workload"], series["backend"]) if part)
+            if series["status"] == "insufficient":
+                print(
+                    f"  {label}: {series['points']} point(s) — needs {series['required']} "
+                    "to arm the detector"
+                )
+                continue
+            verdict = []
+            if series["regressions"]:
+                verdict.append(f"{len(series['regressions'])} REGRESSION(S)")
+            if series["improvements"]:
+                verdict.append(f"{len(series['improvements'])} improvement(s)")
+            print(f"  {label}: {series['points']} points — {', '.join(verdict) or 'stable'}")
+        if report["regressions_detected"]:
+            print(
+                f"error: {report['regressions_detected']} perf regression(s) detected",
+                file=sys.stderr,
+            )
+    return _EXIT_REGRESSION if report["regressions_detected"] else 0
+
+
+def _dispatch(args) -> int:
+    """Route one parsed invocation to its command implementation."""
     try:
         if args.command == "list":
             return _command_list()
@@ -729,6 +890,14 @@ def main(argv: Sequence[str] | None = None) -> int:
             except (KeyError, ValueError, OSError, StoreError) as error:
                 print(f"error: {error}", file=sys.stderr)
                 return 2
+        if args.command == "bench":
+            try:
+                return _command_bench_history(args)
+            except BrokenPipeError:
+                raise  # handled by the top-level pipe guard, not an "error:"
+            except (KeyError, ValueError, OSError, StoreError) as error:
+                print(f"error: {error}", file=sys.stderr)
+                return 2
         if args.command == "scenario":
             if args.scenario_command == "list":
                 return _command_scenario_list()
@@ -753,6 +922,55 @@ def main(argv: Sequence[str] | None = None) -> int:
         os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
         return 0
     return 2  # pragma: no cover - argparse enforces the choices
+
+
+def _command_label(args) -> str:
+    """The full command path of an invocation, e.g. ``sweep run``."""
+    parts = [args.command]
+    for attribute in ("sweep_command", "store_command", "scenario_command", "bench_command"):
+        sub = getattr(args, attribute, None)
+        if sub:
+            parts.append(sub)
+    return " ".join(parts)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point used by ``python -m repro``."""
+    args = _build_parser().parse_args(argv)
+    _configure_logging(args.verbose, args.quiet)
+    if getattr(args, "backend", None) is not None:
+        # Results are bit-identical across backends, so this is purely a
+        # performance switch — set it process-wide rather than threading it
+        # through every experiment signature.
+        set_default_backend(args.backend)
+
+    telemetry_dir = getattr(args, "telemetry", None)
+    if telemetry_dir is None:
+        return _dispatch(args)
+
+    # Telemetry is observation-only: the recorder wraps the whole dispatch
+    # in one "run" span, and every probe in kernel/scheduler/cache/sweeps
+    # reports into it without touching a single random draw.
+    command = _command_label(args)
+    recorder = TelemetryRecorder(
+        directory=telemetry_dir,
+        level="events",
+        provenance={"command": command, "seed_root": getattr(args, "seed", None)},
+    )
+    previous = set_telemetry(recorder)
+    try:
+        with recorder.span("run", command=command):
+            exit_code = _dispatch(args)
+        recorder.gauge("run.exit_code", exit_code)
+        return exit_code
+    finally:
+        set_telemetry(previous)
+        try:
+            summary_path = recorder.write()
+        except OSError as error:  # pragma: no cover - disk-full etc.
+            print(f"error: could not write telemetry to {telemetry_dir!r}: {error}", file=sys.stderr)
+        else:
+            _LOGGER.debug("telemetry summary written to %s", summary_path)
 
 
 if __name__ == "__main__":  # pragma: no cover

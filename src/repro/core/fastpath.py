@@ -60,6 +60,7 @@ Contracts preserved exactly:
 
 from __future__ import annotations
 
+import time
 from typing import Optional
 
 import numpy as np
@@ -74,6 +75,7 @@ from repro.core.simulation import (
     SimulationConfig,
     apply_round_hook,
 )
+from repro.obs.telemetry import Telemetry, get_telemetry
 from repro.topology.base import Topology
 from repro.utils.rng import SeedLike, as_generator
 
@@ -271,6 +273,28 @@ class _ArmedLoop:
         return self.count_buf, marked_counts
 
 
+def _report_armed(tel: Telemetry, armed: _ArmedLoop, reason: str, chunkable: bool) -> None:
+    """Telemetry snapshot of one arming: counting path, crossover inputs, features.
+
+    Observation only — called only when a recorder is installed, and reads
+    nothing but already-computed invariants.
+    """
+    rows = armed.shape[0] if len(armed.shape) == 2 else 1
+    path = "bincount" if armed.linear else "unique"
+    tel.counter("fastpath.counting_path", path=path)
+    tel.event(
+        "fastpath.armed",
+        reason=reason,
+        counting_path=path,
+        rows=rows,
+        agents=int(armed.shape[-1]),
+        num_nodes=int(armed.num_nodes),
+        steps_precomputable=armed.steps_precomputable,
+        displacement_table=armed.table is not None,
+        chunked_rng=chunkable,
+    )
+
+
 def run_fused(
     topology: Topology,
     config: SimulationConfig,
@@ -325,35 +349,79 @@ def run_fused(
     chunk: Optional[np.ndarray] = None
     chunk_start = 0
 
+    # Telemetry is observation-only: probes never draw from `rng`, never
+    # touch simulation state, and all timing is gated on one local bool so
+    # the no-op default costs a predicted branch per phase.
+    tel = get_telemetry()
+    timing = tel.enabled
+    if timing:
+        _report_armed(tel, armed, "initial", chunkable)
+    clock = time.perf_counter
+    draw_seconds = step_seconds = count_seconds = observe_seconds = 0.0
+    phase_start = 0.0
+
     for round_index in range(rounds):
         # ---- movement -------------------------------------------------
         if chunkable:
             if chunk is None or round_index - chunk_start >= chunk.shape[0]:
                 chunk_start = round_index
                 capacity = max(1, CHUNK_BUDGET_ELEMENTS // max(1, positions.size))
+                if timing:
+                    phase_start = clock()
                 chunk = armed.topology.draw_steps_chunk(
                     min(rounds - round_index, capacity), shape, rng
                 )
+                if timing:
+                    draw_seconds += clock() - phase_start
+                    tel.counter("fastpath.chunk_refills")
+                    tel.event(
+                        "fastpath.chunk_refill",
+                        start_round=round_index,
+                        rounds=int(chunk.shape[0]),
+                        elements=int(chunk.size),
+                    )
+            if timing:
+                phase_start = clock()
             positions = armed.step_precomputed(
                 positions, chunk[round_index - chunk_start], in_place=True
             )
+            if timing:
+                step_seconds += clock() - phase_start
         elif armed.steps_precomputable:
+            if timing:
+                phase_start = clock()
             # positions.shape, not the placement shape: a hook may have
             # reshaped the live state (agent churn) since the loop started.
             draws = armed.topology.draw_steps(positions.shape, rng)
+            if timing:
+                now = clock()
+                draw_seconds += now - phase_start
+                phase_start = now
             # With a hook in play the hook may retain this round's
             # positions, so never reuse the array in place.
             positions = armed.step_precomputed(positions, draws, in_place=hook is None)
+            if timing:
+                step_seconds += clock() - phase_start
         elif movement is not None:
+            if timing:
+                phase_start = clock()
             positions = np.asarray(
                 movement.step(armed.topology, positions, rng), dtype=np.int64
             )
             if armed.validate_each_round:
                 armed.topology.validate_nodes(positions)
+            if timing:
+                step_seconds += clock() - phase_start
         else:
+            if timing:
+                phase_start = clock()
             positions = armed.topology.step_many(positions, rng)
+            if timing:
+                step_seconds += clock() - phase_start
 
         # ---- counting -------------------------------------------------
+        if timing:
+            phase_start = clock()
         if track_marked:
             counts, marked_counts = armed.count_profiles(
                 positions, marked, fresh=noise is not None
@@ -363,8 +431,12 @@ def run_fused(
                 marked_trajectory[round_index] = marked_totals
         else:
             counts = armed.count(positions, fresh=noise is not None)
+        if timing:
+            count_seconds += clock() - phase_start
 
         # ---- observation + accumulation -------------------------------
+        if timing:
+            phase_start = clock()
         if noise is not None:
             observed = np.asarray(noise.observe(counts, rng), dtype=np.float64)
             if observed.shape != counts.shape:
@@ -379,6 +451,8 @@ def run_fused(
         else:
             observed = None
             np.add(totals, counts, out=totals)
+        if timing:
+            observe_seconds += clock() - phase_start
 
         if trajectory is not None:
             trajectory[round_index] = totals
@@ -421,6 +495,15 @@ def run_fused(
                 armed = _ArmedLoop(
                     state.topology, positions.shape, config, rounds - round_index - 1
                 )
+                if timing:
+                    tel.counter("fastpath.rearms")
+                    _report_armed(tel, armed, "round_hook", chunkable)
+
+    if timing:
+        tel.timer("fastpath.draw_seconds", draw_seconds)
+        tel.timer("fastpath.step_seconds", step_seconds)
+        tel.timer("fastpath.count_seconds", count_seconds)
+        tel.timer("fastpath.observe_seconds", observe_seconds)
 
     return _build_result(
         serial,

@@ -70,6 +70,7 @@ from repro.core.simulation import (
     SimulationResult,
     apply_round_hook,
 )
+from repro.obs.telemetry import get_telemetry
 from repro.topology.base import Topology
 from repro.utils.rng import SeedLike, as_generator
 from repro.utils.validation import require_integer
@@ -321,12 +322,22 @@ def run_kernel(
             require_batch_safe(config.collision_model, "collision model")
 
     resolved = _validated_backend(backend if backend is not None else _default_backend)
+    tel = get_telemetry()
+    if tel.enabled:
+        tel.counter(
+            "kernel.runs", backend=resolved, mode="serial" if serial else "batched"
+        )
     if resolved != "reference":
         # "auto" and "fused" both run the fast path; its internal
         # heuristics make the per-feature choices (see fastpath docstring).
         from repro.core.fastpath import run_fused  # deferred: fastpath imports us
 
         return run_fused(topology, config, replicates, seed)
+
+    if tel.enabled:
+        # The reference loop has no counting crossover: it is always the
+        # sort-based np.unique path.
+        tel.counter("kernel.counting_path", backend="reference", path="unique")
 
     rng = as_generator(seed)
     positions = _place_agents(topology, config, replicates, rng)

@@ -17,9 +17,11 @@ from __future__ import annotations
 
 import hashlib
 import json
+import time
 from pathlib import Path
 from typing import Any, Iterator, Mapping
 
+from repro.obs.telemetry import get_telemetry
 from repro.utils.atomic import atomic_write_text
 from repro.utils.serialization import to_jsonable
 
@@ -79,10 +81,12 @@ class RunCache:
         is left in place — the data may be perfectly valid.
         """
         path = self.path_for(key)
+        tel = get_telemetry()
         try:
             with open(path, "r", encoding="utf-8") as handle:
-                return json.load(handle)
+                payload = json.load(handle)
         except FileNotFoundError:
+            tel.counter("cache.misses")
             return None
         except ValueError:
             # Undecodable bytes or malformed JSON: the entry is corrupt.
@@ -91,15 +95,26 @@ class RunCache:
                 path.unlink()
             except OSError:
                 pass
+            tel.counter("cache.corrupt_recovered")
+            tel.counter("cache.misses")
             return None
         except OSError:
+            tel.counter("cache.read_errors")
+            tel.counter("cache.misses")
             return None
+        tel.counter("cache.hits")
+        return payload
 
     def store(self, key: str, payload: Mapping[str, Any]) -> Path:
         """Atomically write ``payload`` under ``key``; returns the entry path."""
         path = self.path_for(key)
+        tel = get_telemetry()
+        start = time.perf_counter() if tel.enabled else 0.0
         document = json.dumps(to_jsonable(payload), indent=2, sort_keys=False)
         atomic_write_text(path, document)
+        if tel.enabled:
+            tel.counter("cache.stores")
+            tel.timer("cache.store_seconds", time.perf_counter() - start)
         return path
 
     # ------------------------------------------------------------------
@@ -131,6 +146,8 @@ class RunCache:
                 removed += 1
             except OSError:
                 pass
+        if removed:
+            get_telemetry().counter("cache.evicted", removed)
         return removed
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

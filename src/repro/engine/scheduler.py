@@ -24,6 +24,7 @@ tested against).
 from __future__ import annotations
 
 import math
+import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
@@ -32,6 +33,7 @@ import numpy as np
 
 from repro.engine.batch import BatchSimulationResult, simulate_density_estimation_batch
 from repro.core.simulation import SimulationConfig
+from repro.obs.telemetry import get_telemetry
 from repro.topology.base import Topology
 from repro.utils.rng import SeedLike, spawn_seed_sequences
 from repro.utils.validation import require_integer
@@ -84,12 +86,28 @@ def _run_chunk(
     task: TaskFn,
     settings: Sequence[Mapping[str, Any]],
     seed_sequences: Sequence[np.random.SeedSequence],
-) -> list[Any]:
-    """Execute one contiguous chunk of a plan (runs inside a worker process)."""
-    return [
-        task(**setting, rng=np.random.default_rng(sequence))
-        for setting, sequence in zip(settings, seed_sequences)
-    ]
+    timed: bool = False,
+) -> tuple[list[Any], list[float] | None]:
+    """Execute one contiguous chunk of a plan (runs inside a worker process).
+
+    Worker processes always run the default no-op telemetry; when the
+    *parent* has a recorder installed it asks for ``timed=True`` and folds
+    the worker-measured per-cell durations into its own recorder — which is
+    what keeps telemetry parent-side and counters identical across worker
+    counts.
+    """
+    if not timed:
+        return [
+            task(**setting, rng=np.random.default_rng(sequence))
+            for setting, sequence in zip(settings, seed_sequences)
+        ], None
+    results: list[Any] = []
+    durations: list[float] = []
+    for setting, sequence in zip(settings, seed_sequences):
+        start = time.perf_counter()
+        results.append(task(**setting, rng=np.random.default_rng(sequence)))
+        durations.append(time.perf_counter() - start)
+    return results, durations
 
 
 def _chunk_bounds(total: int, chunk_size: int) -> list[tuple[int, int]]:
@@ -119,9 +137,30 @@ def iter_execute_plan(
     total = len(plan)
     if total == 0:
         return
+    tel = get_telemetry()
+    timed = tel.enabled
     if workers == 1 or total == 1:
-        for index, (setting, sequence) in enumerate(zip(plan.settings, plan.seed_sequences)):
-            yield index, plan.task(**setting, rng=np.random.default_rng(sequence))
+        with tel.span("plan", tasks=total, workers=1):
+            busy = 0.0
+            wall_start = time.perf_counter() if timed else 0.0
+            for index, (setting, sequence) in enumerate(
+                zip(plan.settings, plan.seed_sequences)
+            ):
+                if timed:
+                    start = time.perf_counter()
+                result = plan.task(**setting, rng=np.random.default_rng(sequence))
+                if timed:
+                    elapsed = time.perf_counter() - start
+                    busy += elapsed
+                    tel.counter("scheduler.cells")
+                    tel.timer("scheduler.cell_seconds", elapsed)
+                yield index, result
+            if timed:
+                wall = time.perf_counter() - wall_start
+                tel.gauge(
+                    "scheduler.worker_utilization",
+                    min(1.0, busy / wall) if wall > 0 else 1.0,
+                )
         return
 
     if chunk_size is None:
@@ -129,25 +168,54 @@ def iter_execute_plan(
     require_integer(chunk_size, "chunk_size", minimum=1)
 
     bounds = _chunk_bounds(total, chunk_size)
-    pool = ProcessPoolExecutor(max_workers=min(workers, len(bounds)))
-    try:
-        future_bounds = {
-            pool.submit(
-                _run_chunk, plan.task, plan.settings[lo:hi], plan.seed_sequences[lo:hi]
-            ): (lo, hi)
-            for lo, hi in bounds
-        }
-        for future in as_completed(future_bounds):
-            lo, _ = future_bounds[future]
-            for offset, result in enumerate(future.result()):
-                yield lo + offset, result
-    finally:
-        # Reached on normal exhaustion (all futures done; cancelling is a
-        # no-op) and on abandonment — a consumer error between yields or an
-        # explicit close. Cancelling the queued chunks then surfaces the
-        # consumer's exception immediately instead of silently running the
-        # rest of a possibly huge plan to completion and discarding it.
-        pool.shutdown(wait=True, cancel_futures=True)
+    pool_workers = min(workers, len(bounds))
+    pool = ProcessPoolExecutor(max_workers=pool_workers)
+    with tel.span("plan", tasks=total, workers=pool_workers, chunks=len(bounds)):
+        busy = 0.0
+        wall_start = time.perf_counter() if timed else 0.0
+        try:
+            future_bounds = {
+                pool.submit(
+                    _run_chunk,
+                    plan.task,
+                    plan.settings[lo:hi],
+                    plan.seed_sequences[lo:hi],
+                    timed,
+                ): (lo, hi)
+                for lo, hi in bounds
+            }
+            for future in as_completed(future_bounds):
+                lo, _ = future_bounds[future]
+                results, durations = future.result()
+                if timed and durations is not None:
+                    for seconds in durations:
+                        busy += seconds
+                        tel.timer("scheduler.cell_seconds", seconds)
+                    tel.counter("scheduler.cells", len(results))
+                    tel.event(
+                        "scheduler.chunk_complete",
+                        start=lo,
+                        cells=len(results),
+                        busy_seconds=round(sum(durations), 6),
+                    )
+                for offset, result in enumerate(results):
+                    yield lo + offset, result
+            if timed:
+                # Busy time is worker-measured, wall time parent-measured
+                # (including consumer time between yields), so this is the
+                # fraction of the pool's capacity the plan actually used.
+                wall = time.perf_counter() - wall_start
+                tel.gauge(
+                    "scheduler.worker_utilization",
+                    min(1.0, busy / (wall * pool_workers)) if wall > 0 else 1.0,
+                )
+        finally:
+            # Reached on normal exhaustion (all futures done; cancelling is a
+            # no-op) and on abandonment — a consumer error between yields or an
+            # explicit close. Cancelling the queued chunks then surfaces the
+            # consumer's exception immediately instead of silently running the
+            # rest of a possibly huge plan to completion and discarding it.
+            pool.shutdown(wait=True, cancel_futures=True)
 
 
 def execute_plan(

@@ -1,0 +1,61 @@
+"""repro.obs — the observability layer: telemetry spine + bench observatory.
+
+Two halves:
+
+* :mod:`repro.obs.telemetry` — the process-wide probe interface (no-op by
+  default) and the :class:`TelemetryRecorder` that turns the kernel,
+  scheduler, cache, and sweep probes into JSONL event streams plus an
+  aggregated ``summary.json``.
+* :mod:`repro.obs.history` — the ``repro bench history`` observatory:
+  ``BENCH_*.json`` artifacts ingested into a ResultStore and scanned for
+  statistically significant perf shifts with the two-window Welch-z
+  detector from :mod:`repro.dynamics.online`.
+
+The history half is re-exported lazily: probe sites deep in the kernel
+import :mod:`repro.obs.telemetry` (stdlib-only) at module load, and an
+eager ``history`` import here would drag :mod:`repro.store` and
+:mod:`repro.dynamics` into that import chain — a cycle during package
+initialisation.
+"""
+
+from repro.obs.telemetry import (
+    NULL_TELEMETRY,
+    TELEMETRY_LEVELS,
+    Telemetry,
+    TelemetryRecorder,
+    get_telemetry,
+    set_telemetry,
+    use_telemetry,
+)
+
+_HISTORY_EXPORTS = (
+    "analyze_history",
+    "extract_series",
+    "ingest_artifact",
+    "lower_is_better",
+    "scan_series",
+)
+
+
+def __getattr__(name: str):
+    if name in _HISTORY_EXPORTS:
+        from repro.obs import history
+
+        return getattr(history, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+__all__ = [
+    "NULL_TELEMETRY",
+    "TELEMETRY_LEVELS",
+    "Telemetry",
+    "TelemetryRecorder",
+    "analyze_history",
+    "extract_series",
+    "get_telemetry",
+    "ingest_artifact",
+    "lower_is_better",
+    "scan_series",
+    "set_telemetry",
+    "use_telemetry",
+]

@@ -1,0 +1,239 @@
+"""The bench-history observatory: perf trajectories, not one-shot thresholds.
+
+``BENCH_*.json`` artifacts (written by the scripts in ``benchmarks/``) each
+capture one build's timings. This module ingests them into a dedicated
+:class:`~repro.store.ResultStore` — one idempotent, digest-named segment
+per artifact — and scans every (benchmark, workload, backend) series with
+the two-window Welch-z change detector from :mod:`repro.dynamics.online`:
+the same anytime-estimation machinery the paper's collision-based density
+estimators use, pointed back at the system itself. A perf regression is a
+*density shift in the timing stream*, and is flagged with the identical
+material-AND-significant conjunction (relative threshold + Welch z-score
+with Bartlett autocorrelation inflation).
+
+Ingestion is append-only and idempotent: a segment is named by the SHA-256
+digest of the artifact's bytes, so re-feeding the same artifact (a re-run
+CI job, a resumed ingest) never duplicates points, and each point's
+``seq`` — its position in ingestion order — is pinned at first ingest.
+
+Direction matters: for metrics where lower is better (anything with
+``seconds`` or ``time`` in the name) an upward shift is a regression and a
+downward one an improvement; for rates like ``speedup`` it is the
+opposite. :func:`analyze_history` reports both, but only regressions drive
+the CLI's nonzero exit code.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+from repro.dynamics.online import TwoWindowChangeDetector
+from repro.store import ResultStore
+
+#: Provenance fields copied from an artifact onto each of its rows. Legacy
+#: artifacts predate provenance stamping; absent fields ingest as ``None``.
+PROVENANCE_FIELDS = ("package_version", "git_sha", "hostname", "numpy")
+
+#: Record fields that identify a series rather than measure it.
+SERIES_KEY_FIELDS = ("benchmark", "workload", "backend")
+
+
+def lower_is_better(metric: str) -> bool:
+    """Whether a downward trend in ``metric`` is the good direction."""
+    lowered = metric.lower()
+    return "seconds" in lowered or "time" in lowered
+
+
+def _artifact_digest(payload: bytes) -> str:
+    return hashlib.sha256(payload).hexdigest()[:16]
+
+
+def ingest_artifact(store: ResultStore, path: str | Path) -> dict[str, Any]:
+    """Ingest one ``BENCH_*.json`` artifact as a digest-named segment.
+
+    Tolerates legacy artifacts: a missing ``benchmark`` name falls back to
+    the file stem, missing ``provenance`` ingests as ``None`` fields, and
+    records missing ``backend``/``kind`` keep working (they simply form a
+    coarser series key). Returns a small report of what happened; the
+    ``ingested`` flag is ``False`` when the artifact's digest segment
+    already exists (idempotent re-feed).
+    """
+    path = Path(path)
+    payload = path.read_bytes()
+    try:
+        artifact = json.loads(payload)
+    except ValueError as error:
+        raise ValueError(f"unreadable bench artifact {path}: {error}") from error
+    if not isinstance(artifact, Mapping):
+        raise ValueError(f"bench artifact {path} is not a JSON object")
+
+    digest = _artifact_digest(payload)
+    segment = f"bench-{digest}"
+    if store.has_segment(segment):
+        return {"artifact": path.name, "segment": segment, "ingested": False, "records": 0}
+
+    benchmark = artifact.get("benchmark") or path.stem
+    provenance = artifact.get("provenance") or {}
+    # seq pins ingestion order at first ingest: segment names are digests
+    # (unordered), so the row itself must carry the series position.
+    seq = len(store.segments()) if store.exists() else 0
+
+    rows: list[dict[str, Any]] = []
+    for record in artifact.get("records", []):
+        if not isinstance(record, Mapping):
+            continue
+        row: dict[str, Any] = {
+            "seq": seq,
+            "artifact": path.name,
+            "benchmark": benchmark,
+            "workload": record.get("workload"),
+            "kind": record.get("kind"),
+            "backend": record.get("backend"),
+        }
+        for key, value in record.items():
+            if key in row:
+                continue
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue
+            row[key] = value
+        for field in PROVENANCE_FIELDS:
+            row[field] = provenance.get(field)
+        rows.append(row)
+
+    store.append(
+        segment,
+        rows,
+        meta={"artifact": path.name, "seq": seq, "benchmark": benchmark},
+        provenance={"purpose": "bench-history"},
+    )
+    return {"artifact": path.name, "segment": segment, "ingested": True, "records": len(rows)}
+
+
+def extract_series(store: ResultStore, metric: str) -> dict[tuple, list[tuple[int, float]]]:
+    """Per-(benchmark, workload, backend) series of ``metric``, in seq order."""
+    series: dict[tuple, list[tuple[int, float]]] = {}
+    for row in store.rows():
+        value = row.get(metric)
+        if value is None or isinstance(value, bool) or not isinstance(value, (int, float)):
+            continue
+        key = tuple(row.get(field) for field in SERIES_KEY_FIELDS)
+        series.setdefault(key, []).append((int(row.get("seq", 0)), float(value)))
+    for points in series.values():
+        points.sort()
+    return series
+
+
+def scan_series(
+    values: Sequence[float],
+    *,
+    window: int,
+    threshold: float,
+    z_threshold: float,
+    metric: str,
+) -> dict[str, Any]:
+    """Run the two-window detector over one series; classify each flag.
+
+    Each flagged index is classified by comparing the recent-window mean
+    against the reference-window mean at the flag point, oriented by
+    :func:`lower_is_better` for ``metric``. Series shorter than
+    ``2 * window`` cannot arm the detector and come back with
+    ``"status": "insufficient"``.
+    """
+    values = [float(v) for v in values]
+    if len(values) < 2 * window:
+        return {
+            "status": "insufficient",
+            "points": len(values),
+            "required": 2 * window,
+            "regressions": [],
+            "improvements": [],
+        }
+    detector = TwoWindowChangeDetector(
+        window, tracks=1, threshold=threshold, z_threshold=z_threshold
+    )
+    regressions: list[dict[str, Any]] = []
+    improvements: list[dict[str, Any]] = []
+    history: list[float] = []
+    for index, value in enumerate(values):
+        history.append(value)
+        flagged = bool(detector.update(value)[0])
+        if not flagged:
+            continue
+        recent = float(np.mean(history[-window:]))
+        reference = float(np.mean(history[-2 * window : -window]))
+        worse = recent > reference if lower_is_better(metric) else recent < reference
+        shift = {
+            "index": index,
+            "recent_mean": recent,
+            "reference_mean": reference,
+            "relative_change": (recent - reference) / reference if reference else None,
+        }
+        (regressions if worse else improvements).append(shift)
+    return {
+        "status": "scanned",
+        "points": len(values),
+        "regressions": regressions,
+        "improvements": improvements,
+    }
+
+
+def analyze_history(
+    store: ResultStore,
+    *,
+    metric: str = "median_seconds",
+    window: int = 4,
+    threshold: float = 0.25,
+    z_threshold: float = 4.5,
+) -> dict[str, Any]:
+    """Scan every series of ``metric`` in ``store``; the ``--json`` report.
+
+    The top-level ``regressions_detected`` count is what the CLI turns
+    into its exit code: any regression on any series is a trajectory
+    failure, independent of the one-shot threshold gates.
+    """
+    all_series = extract_series(store, metric)
+    reports = []
+    regressions_detected = 0
+    for key in sorted(all_series, key=lambda k: tuple(str(part) for part in k)):
+        points = all_series[key]
+        scan = scan_series(
+            [value for _, value in points],
+            window=window,
+            threshold=threshold,
+            z_threshold=z_threshold,
+            metric=metric,
+        )
+        regressions_detected += len(scan["regressions"])
+        reports.append(
+            {
+                **{field: key[i] for i, field in enumerate(SERIES_KEY_FIELDS)},
+                "values": [value for _, value in points],
+                **scan,
+            }
+        )
+    return {
+        "metric": metric,
+        "lower_is_better": lower_is_better(metric),
+        "window": window,
+        "threshold": threshold,
+        "z_threshold": z_threshold,
+        "series": reports,
+        "series_scanned": len(reports),
+        "regressions_detected": regressions_detected,
+    }
+
+
+__all__ = [
+    "PROVENANCE_FIELDS",
+    "SERIES_KEY_FIELDS",
+    "analyze_history",
+    "extract_series",
+    "ingest_artifact",
+    "lower_is_better",
+    "scan_series",
+]

@@ -29,7 +29,6 @@ Design constraints, in order:
 from __future__ import annotations
 
 import json
-import subprocess
 import sys
 from pathlib import Path
 from typing import Any, Callable, Iterator, Mapping, Sequence
@@ -37,6 +36,7 @@ from typing import Any, Callable, Iterator, Mapping, Sequence
 from repro import __version__
 from repro.utils.atomic import atomic_write_bytes as _atomic_write_bytes
 from repro.utils.atomic import atomic_write_text as _atomic_write_text
+from repro.utils.provenance import git_sha as _git_sha
 from repro.utils.serialization import rows_to_csv, to_jsonable
 
 #: Bump when the on-disk layout or row conventions change incompatibly.
@@ -61,22 +61,6 @@ class StoreError(RuntimeError):
 def default_store_format() -> str:
     """The best format this environment can write: parquet if available, else ndjson."""
     return "parquet" if _HAVE_PYARROW else "ndjson"
-
-
-def _git_sha() -> str | None:
-    """HEAD commit of the working tree, or ``None`` outside a git checkout."""
-    try:
-        proc = subprocess.run(
-            ["git", "rev-parse", "HEAD"],
-            capture_output=True,
-            text=True,
-            timeout=10,
-            check=False,
-        )
-    except (OSError, subprocess.SubprocessError):
-        return None
-    sha = proc.stdout.strip()
-    return sha if proc.returncode == 0 and sha else None
 
 
 def _encode_rows_ndjson(rows: Sequence[Mapping[str, Any]]) -> str:

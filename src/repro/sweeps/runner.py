@@ -22,6 +22,7 @@ The execution contract, which the tests pin down:
 from __future__ import annotations
 
 import dataclasses
+import time
 from dataclasses import dataclass
 from typing import Any, Callable, Mapping
 
@@ -30,6 +31,7 @@ import numpy as np
 from repro import __version__
 from repro.engine.cache import RunCache, cache_key
 from repro.engine.scheduler import ExecutionPlan, iter_execute_plan
+from repro.obs.telemetry import get_telemetry
 from repro.store import ResultStore
 from repro.sweeps.spec import SweepSpec, axis_seed, expand_axes
 from repro.utils.rng import spawn_seed_sequences
@@ -366,51 +368,63 @@ def run_sweep_spec(
     require_integer(workers, "workers", minimum=1)
     if max_cells is not None:
         require_integer(max_cells, "max_cells", minimum=0)
+    tel = get_telemetry()
     cells = compile_cells(spec)
     seeds = spawn_seed_sequences(spec.seed, len(cells))
     payloads: list[dict[str, Any] | None] = [None] * len(cells)
     cached = [False] * len(cells)
     executed = [False] * len(cells)
 
-    if cache is not None:
-        for cell in cells:
-            payload = cache.load(cell.key)
-            if payload is not None:
-                payloads[cell.index] = payload
-                cached[cell.index] = True
-                if store is not None:
-                    _store_cell(spec, cell, payload, store)
-                if progress is not None:
-                    progress(cell, "cached")
+    with tel.span("sweep", sweep=spec.name, cells=len(cells), workers=workers):
+        if cache is not None:
+            for cell in cells:
+                payload = cache.load(cell.key)
+                if payload is not None:
+                    payloads[cell.index] = payload
+                    cached[cell.index] = True
+                    if store is not None:
+                        _store_cell(spec, cell, payload, store)
+                    if tel.enabled:
+                        tel.counter("sweep.cells_cached")
+                        tel.event("sweep.cell", cell=cell.index, status="cached")
+                    if progress is not None:
+                        progress(cell, "cached")
 
-    pending = [index for index in range(len(cells)) if payloads[index] is None]
-    to_run = pending if max_cells is None else pending[:max_cells]
-    if to_run:
-        plan = ExecutionPlan(
-            task=run_cell,
-            settings=tuple(
-                {
-                    "target_kind": cells[index].target_kind,
-                    "target_name": cells[index].target_name,
-                    "params": dict(cells[index].params),
-                }
-                for index in to_run
-            ),
-            seed_sequences=tuple(seeds[index] for index in to_run),
-        )
-        # chunk_size=1: cells are whole experiments, so per-cell round trips
-        # are cheap relative to the work, and every completed cell is
-        # checkpointed before the next one is awaited.
-        for position, payload in iter_execute_plan(plan, workers=workers, chunk_size=1):
-            index = to_run[position]
-            payloads[index] = payload
-            executed[index] = True
-            if cache is not None:
-                cache.store(cells[index].key, payload)
-            if store is not None:
-                _store_cell(spec, cells[index], payload, store)
-            if progress is not None:
-                progress(cells[index], "computed")
+        pending = [index for index in range(len(cells)) if payloads[index] is None]
+        to_run = pending if max_cells is None else pending[:max_cells]
+        if to_run:
+            plan = ExecutionPlan(
+                task=run_cell,
+                settings=tuple(
+                    {
+                        "target_kind": cells[index].target_kind,
+                        "target_name": cells[index].target_name,
+                        "params": dict(cells[index].params),
+                    }
+                    for index in to_run
+                ),
+                seed_sequences=tuple(seeds[index] for index in to_run),
+            )
+            # chunk_size=1: cells are whole experiments, so per-cell round trips
+            # are cheap relative to the work, and every completed cell is
+            # checkpointed before the next one is awaited.
+            for position, payload in iter_execute_plan(plan, workers=workers, chunk_size=1):
+                index = to_run[position]
+                payloads[index] = payload
+                executed[index] = True
+                checkpoint_start = time.perf_counter() if tel.enabled else 0.0
+                if cache is not None:
+                    cache.store(cells[index].key, payload)
+                if store is not None:
+                    _store_cell(spec, cells[index], payload, store)
+                if tel.enabled:
+                    tel.counter("sweep.cells_computed")
+                    tel.timer(
+                        "sweep.checkpoint_seconds", time.perf_counter() - checkpoint_start
+                    )
+                    tel.event("sweep.cell", cell=index, status="computed")
+                if progress is not None:
+                    progress(cells[index], "computed")
 
     return SweepOutcome(spec=spec, cells=cells, payloads=payloads, cached=cached, executed=executed)
 

@@ -1,0 +1,64 @@
+"""Provenance stamps: who/what/where produced an artifact.
+
+One shared implementation for every artifact writer in the repository — the
+result store's ``_schema.json``, the telemetry summary of
+:mod:`repro.obs.telemetry`, and the ``BENCH_*.json`` benchmark reports —
+so their provenance blocks stay mutually comparable (the bench-history
+observatory segments its series by exactly these fields).
+"""
+
+from __future__ import annotations
+
+import socket
+import subprocess
+import sys
+from typing import Any
+
+import numpy as np
+
+from repro import __version__
+
+
+def git_sha() -> str | None:
+    """HEAD commit of the working tree, or ``None`` outside a git checkout."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=False,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = proc.stdout.strip()
+    return sha if proc.returncode == 0 and sha else None
+
+
+def hostname() -> str | None:
+    """This machine's hostname, or ``None`` when it cannot be resolved."""
+    try:
+        return socket.gethostname() or None
+    except OSError:  # pragma: no cover - platform-dependent
+        return None
+
+
+def provenance_stamp(**extra: Any) -> dict[str, Any]:
+    """The full provenance block: package, interpreter, git, host, numpy.
+
+    ``extra`` keys are folded in last, so callers can add (or override)
+    fields — the telemetry recorder adds the seed root, the sweep runner
+    its sweep name.
+    """
+    stamp: dict[str, Any] = {
+        "package_version": __version__,
+        "python": ".".join(str(part) for part in sys.version_info[:2]),
+        "git_sha": git_sha(),
+        "hostname": hostname(),
+        "numpy": np.__version__,
+    }
+    stamp.update(extra)
+    return stamp
+
+
+__all__ = ["git_sha", "hostname", "provenance_stamp"]

@@ -1,0 +1,267 @@
+"""Tests for the bench-history observatory (repro.obs.history + CLI).
+
+Pins the ISSUE 6 acceptance behaviours: idempotent digest-named ingestion,
+tolerance for legacy artifacts (no provenance block, no benchmark name),
+detection of a seeded synthetic perf regression (CLI exit code 4) and
+*non*-detection on a stable series (exit 0), and the direction handling
+that makes a drop in ``speedup`` a regression but a drop in
+``median_seconds`` an improvement.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.obs.history import (
+    PROVENANCE_FIELDS,
+    analyze_history,
+    extract_series,
+    ingest_artifact,
+    lower_is_better,
+    scan_series,
+)
+from repro.store import ResultStore
+from repro.utils.provenance import provenance_stamp
+
+_EXIT_REGRESSION = 4
+
+
+def _write_artifact(
+    directory,
+    index: int,
+    median_seconds: float,
+    speedup: float,
+    *,
+    benchmark: str | None = "bench_fastpath",
+    with_provenance: bool = True,
+):
+    """One minimal BENCH_*.json artifact with a single fused macro record."""
+    payload = {
+        "records": [
+            {
+                "workload": "E20-class torus",
+                "kind": "macro",
+                "backend": "fused",
+                "median_seconds": median_seconds,
+                "speedup": speedup,
+            }
+        ]
+    }
+    if benchmark is not None:
+        payload["benchmark"] = benchmark
+    if with_provenance:
+        payload["provenance"] = provenance_stamp()
+    path = directory / f"BENCH_{index:03d}.json"
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return path
+
+
+def _series(stable: int, degraded: int, seed: int = 0):
+    """(median_seconds, speedup) points: ``stable`` good builds, then a cliff."""
+    rng = np.random.default_rng(seed)
+    seconds = [0.010 + abs(rng.normal(0, 2e-4)) for _ in range(stable)]
+    seconds += [0.021 + abs(rng.normal(0, 2e-4)) for _ in range(degraded)]
+    return [(s, 0.042 / s) for s in seconds]
+
+
+class TestIngestion:
+    def test_ingest_is_idempotent_by_artifact_digest(self, tmp_path):
+        store = ResultStore(tmp_path / "history")
+        path = _write_artifact(tmp_path, 0, 0.010, 4.2)
+        first = ingest_artifact(store, path)
+        second = ingest_artifact(store, path)
+        assert first["ingested"] and first["records"] == 1
+        assert not second["ingested"] and second["records"] == 0
+        assert len(list(store.rows())) == 1
+
+    def test_seq_is_pinned_at_first_ingest(self, tmp_path):
+        store = ResultStore(tmp_path / "history")
+        paths = [
+            _write_artifact(tmp_path, index, seconds, speedup)
+            for index, (seconds, speedup) in enumerate(_series(3, 0))
+        ]
+        for path in paths:
+            ingest_artifact(store, path)
+        ingest_artifact(store, paths[0])  # re-feed must not renumber
+        series = extract_series(store, "median_seconds")
+        (points,) = series.values()
+        assert [seq for seq, _ in points] == [0, 1, 2]
+
+    def test_legacy_artifact_without_provenance_or_name(self, tmp_path):
+        store = ResultStore(tmp_path / "history")
+        path = _write_artifact(
+            tmp_path, 0, 0.010, 4.2, benchmark=None, with_provenance=False
+        )
+        report = ingest_artifact(store, path)
+        assert report["ingested"]
+        (row,) = store.rows()
+        assert row["benchmark"] == path.stem  # falls back to the file name
+        for field in PROVENANCE_FIELDS:
+            assert row[field] is None
+
+    def test_unreadable_artifact_raises_value_error(self, tmp_path):
+        store = ResultStore(tmp_path / "history")
+        path = tmp_path / "BENCH_bad.json"
+        path.write_text("{not json", encoding="utf-8")
+        with pytest.raises(ValueError, match="BENCH_bad"):
+            ingest_artifact(store, path)
+
+    def test_series_key_separates_benchmark_workload_backend(self, tmp_path):
+        store = ResultStore(tmp_path / "history")
+        ingest_artifact(store, _write_artifact(tmp_path, 0, 0.010, 4.2))
+        ingest_artifact(
+            store, _write_artifact(tmp_path, 1, 0.020, 2.1, benchmark="bench_other")
+        )
+        assert len(extract_series(store, "median_seconds")) == 2
+
+
+class TestScan:
+    def test_direction_for_metric_names(self):
+        assert lower_is_better("median_seconds")
+        assert lower_is_better("wall_time")
+        assert not lower_is_better("speedup")
+        assert not lower_is_better("replicates_per_second")  # a rate, not a duration
+
+    def test_insufficient_points_do_not_arm_the_detector(self):
+        scan = scan_series(
+            [0.01] * 7, window=4, threshold=0.25, z_threshold=4.5, metric="median_seconds"
+        )
+        assert scan["status"] == "insufficient" and scan["required"] == 8
+        assert scan["regressions"] == [] and scan["improvements"] == []
+
+    def test_upward_seconds_shift_is_a_regression(self):
+        values = [seconds for seconds, _ in _series(8, 4)]
+        scan = scan_series(
+            values, window=4, threshold=0.25, z_threshold=4.5, metric="median_seconds"
+        )
+        assert scan["status"] == "scanned"
+        assert len(scan["regressions"]) >= 1
+        shift = scan["regressions"][0]
+        assert shift["recent_mean"] > shift["reference_mean"]
+        assert shift["relative_change"] > 0.25
+
+    def test_downward_speedup_shift_is_a_regression(self):
+        values = [speedup for _, speedup in _series(8, 4)]
+        scan = scan_series(
+            values, window=4, threshold=0.25, z_threshold=4.5, metric="speedup"
+        )
+        assert len(scan["regressions"]) >= 1
+        assert scan["regressions"][0]["recent_mean"] < scan["regressions"][0]["reference_mean"]
+
+    def test_downward_seconds_shift_is_an_improvement_not_a_regression(self):
+        degrading = [seconds for seconds, _ in _series(8, 4)]
+        improving = list(reversed(degrading))
+        scan = scan_series(
+            improving, window=4, threshold=0.25, z_threshold=4.5, metric="median_seconds"
+        )
+        assert scan["regressions"] == []
+        assert len(scan["improvements"]) >= 1
+
+    def test_stable_series_is_quiet(self):
+        values = [seconds for seconds, _ in _series(12, 0)]
+        scan = scan_series(
+            values, window=4, threshold=0.25, z_threshold=4.5, metric="median_seconds"
+        )
+        assert scan["regressions"] == [] and scan["improvements"] == []
+
+
+class TestAnalyzeHistory:
+    def _ingest_series(self, tmp_path, stable: int, degraded: int) -> ResultStore:
+        store = ResultStore(tmp_path / "history")
+        for index, (seconds, speedup) in enumerate(_series(stable, degraded)):
+            # The first three artifacts predate provenance stamping: the
+            # observatory must tolerate a mixed history.
+            ingest_artifact(
+                store,
+                _write_artifact(
+                    tmp_path, index, seconds, speedup, with_provenance=index >= 3
+                ),
+            )
+        return store
+
+    def test_degrading_history_is_flagged_on_both_metrics(self, tmp_path):
+        store = self._ingest_series(tmp_path, 8, 4)
+        for metric in ("median_seconds", "speedup"):
+            report = analyze_history(store, metric=metric)
+            assert report["regressions_detected"] >= 1, metric
+            assert report["series_scanned"] == 1
+            (series,) = report["series"]
+            assert series["benchmark"] == "bench_fastpath"
+            assert series["workload"] == "E20-class torus"
+            assert series["backend"] == "fused"
+            assert series["points"] == 12
+
+    def test_stable_history_is_quiet(self, tmp_path):
+        store = self._ingest_series(tmp_path, 8, 0)
+        report = analyze_history(store)
+        assert report["regressions_detected"] == 0
+        assert report["series"][0]["status"] == "scanned"
+
+    def test_empty_store_scans_nothing(self, tmp_path):
+        report = analyze_history(ResultStore(tmp_path / "empty"))
+        assert report["series_scanned"] == 0 and report["regressions_detected"] == 0
+
+
+class TestBenchHistoryCLI:
+    def _artifacts(self, tmp_path, stable: int, degraded: int) -> list[str]:
+        return [
+            str(_write_artifact(tmp_path, index, seconds, speedup))
+            for index, (seconds, speedup) in enumerate(_series(stable, degraded))
+        ]
+
+    def test_regression_exits_nonzero_with_json_report(self, tmp_path, capsys):
+        artifacts = self._artifacts(tmp_path, 8, 4)
+        store_dir = str(tmp_path / "history")
+        code = main(["bench", "history", "--store", store_dir, "--json", *artifacts])
+        assert code == _EXIT_REGRESSION
+        report = json.loads(capsys.readouterr().out)
+        assert report["regressions_detected"] >= 1
+        assert report["ingested"] == 12
+        assert report["metric"] == "median_seconds"
+
+    def test_stable_history_exits_zero(self, tmp_path, capsys):
+        artifacts = self._artifacts(tmp_path, 10, 0)
+        store_dir = str(tmp_path / "history")
+        assert main(["bench", "history", "--store", store_dir, *artifacts]) == 0
+        out = capsys.readouterr().out
+        assert "stable" in out
+
+    def test_human_output_names_the_regressing_series(self, tmp_path, capsys):
+        artifacts = self._artifacts(tmp_path, 8, 4)
+        store_dir = str(tmp_path / "history")
+        code = main(["bench", "history", "--store", store_dir, *artifacts])
+        assert code == _EXIT_REGRESSION
+        captured = capsys.readouterr()
+        assert "REGRESSION" in captured.out
+        assert "E20-class torus" in captured.out
+
+    def test_reingest_is_idempotent_across_invocations(self, tmp_path, capsys):
+        artifacts = self._artifacts(tmp_path, 10, 0)
+        store_dir = str(tmp_path / "history")
+        assert main(["bench", "history", "--store", store_dir, "--json", *artifacts]) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert main(["bench", "history", "--store", store_dir, "--json", *artifacts]) == 0
+        second = json.loads(capsys.readouterr().out)
+        assert first["ingested"] == 10 and second["ingested"] == 0
+        assert first["series"][0]["points"] == second["series"][0]["points"] == 10
+
+    def test_speedup_metric_flag(self, tmp_path, capsys):
+        artifacts = self._artifacts(tmp_path, 8, 4)
+        store_dir = str(tmp_path / "history")
+        code = main(
+            ["bench", "history", "--store", store_dir, "--metric", "speedup", "--json", *artifacts]
+        )
+        assert code == _EXIT_REGRESSION
+        report = json.loads(capsys.readouterr().out)
+        assert report["metric"] == "speedup" and not report["lower_is_better"]
+
+    def test_unreadable_artifact_is_a_usage_error(self, tmp_path, capsys):
+        bad = tmp_path / "BENCH_bad.json"
+        bad.write_text("{not json", encoding="utf-8")
+        code = main(["bench", "history", "--store", str(tmp_path / "h"), str(bad)])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
