@@ -1,0 +1,183 @@
+"""Minimal stdlib client for the ``repro serve`` daemon.
+
+Everything here is ``urllib`` + ``json`` — no requests, no SSE library —
+to show (and test) that the daemon's whole surface is reachable from a
+bare Python install. The same helpers double as the CI smoke driver.
+
+As a library::
+
+    from serve_client import ServeClient
+    client = ServeClient("http://127.0.0.1:8765")
+    job = client.submit({"kind": "experiment", "name": "E01", "quick": True})
+    record = client.wait(job["id"])
+    payload = client.result(job["id"])
+    for event in client.stream(job["id"]):      # SSE: 'round' ... 'final'
+        print(event["event"], event["data"])
+
+As a script (used by the CI serve smoke job)::
+
+    python examples/serve_client.py wait-ready --base http://127.0.0.1:8765
+    python examples/serve_client.py run '{"kind": "experiment", "name": "E01", "quick": true}'
+    python examples/serve_client.py stream-demo --events 5
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Iterator
+
+
+class ServeClient:
+    """Submit, poll, fetch, and stream against one ``repro serve`` daemon."""
+
+    def __init__(self, base: str = "http://127.0.0.1:8765", *, timeout: float = 30.0):
+        self.base = base.rstrip("/")
+        self.timeout = timeout
+
+    # -- plumbing ------------------------------------------------------
+    def _request(self, path: str, *, method: str = "GET", body: Any = None):
+        data = json.dumps(body).encode("utf-8") if body is not None else None
+        request = urllib.request.Request(
+            self.base + path,
+            data=data,
+            method=method,
+            headers={"Content-Type": "application/json"} if data else {},
+        )
+        return urllib.request.urlopen(request, timeout=self.timeout)
+
+    def _json(self, path: str, *, method: str = "GET", body: Any = None) -> Any:
+        with self._request(path, method=method, body=body) as response:
+            return json.loads(response.read())
+
+    # -- API -----------------------------------------------------------
+    def health(self) -> dict:
+        return self._json("/healthz")
+
+    def openapi(self) -> dict:
+        return self._json("/openapi.json")
+
+    def submit(self, submission: dict) -> dict:
+        """POST /jobs; returns the job record (raises on 4xx/5xx)."""
+        return self._json("/jobs", method="POST", body=submission)
+
+    def job(self, job_id: str) -> dict:
+        return self._json(f"/jobs/{job_id}")
+
+    def wait(self, job_id: str, *, timeout: float = 300.0, poll: float = 0.2) -> dict:
+        """Poll until the job reaches a terminal status; returns its record."""
+        deadline = time.monotonic() + timeout
+        while True:
+            record = self.job(job_id)
+            if record["status"] in ("done", "failed", "cancelled"):
+                return record
+            if time.monotonic() >= deadline:
+                raise TimeoutError(f"job {job_id} still {record['status']} after {timeout}s")
+            time.sleep(poll)
+
+    def result(self, job_id: str) -> dict:
+        return self._json(f"/jobs/{job_id}/result")
+
+    def result_bytes(self, job_id: str) -> bytes:
+        """The result payload's exact bytes (for bit-identity checks)."""
+        with self._request(f"/jobs/{job_id}/result") as response:
+            return response.read()
+
+    def cancel(self, job_id: str) -> dict:
+        return self._json(f"/jobs/{job_id}", method="DELETE")
+
+    def stream(self, job_id: str, *, max_events: int | None = None) -> Iterator[dict]:
+        """Yield parsed SSE events (``{"event", "data", "id"}``) until
+        the ``final`` event (inclusive) or ``max_events``."""
+        count = 0
+        with self._request(f"/jobs/{job_id}/stream") as response:
+            event: dict[str, Any] = {}
+            data_lines: list[str] = []
+            for raw in response:
+                line = raw.decode("utf-8").rstrip("\n")
+                if line.startswith(":"):  # keep-alive comment
+                    continue
+                if line.startswith("id: "):
+                    event["id"] = int(line[4:])
+                elif line.startswith("event: "):
+                    event["event"] = line[7:]
+                elif line.startswith("data: "):
+                    data_lines.append(line[6:])
+                elif not line and event:
+                    event["data"] = json.loads("\n".join(data_lines) or "null")
+                    yield event
+                    count += 1
+                    if event.get("event") == "final":
+                        return
+                    if max_events is not None and count >= max_events:
+                        return
+                    event, data_lines = {}, []
+
+    def wait_ready(self, *, timeout: float = 30.0, poll: float = 0.25) -> dict:
+        """Block until ``/healthz`` answers ``ok``; returns the health body."""
+        deadline = time.monotonic() + timeout
+        last: Any = None
+        while time.monotonic() < deadline:
+            try:
+                health = self.health()
+                if health.get("status") == "ok":
+                    return health
+                last = health
+            except (urllib.error.URLError, ConnectionError, OSError) as error:
+                last = str(error)
+            time.sleep(poll)
+        raise TimeoutError(f"daemon not ready after {timeout}s (last: {last})")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--base", default="http://127.0.0.1:8765", help="daemon base URL")
+    commands = parser.add_subparsers(dest="command", required=True)
+    commands.add_parser("wait-ready", help="block until /healthz reports ok")
+    run_parser = commands.add_parser("run", help="submit a JSON workload, wait, print the result")
+    run_parser.add_argument("submission", help="submission JSON, e.g. "
+                            '\'{"kind": "experiment", "name": "E01", "quick": true}\'')
+    stream_parser = commands.add_parser(
+        "stream-demo", help="submit a quick crash scenario and print streamed events"
+    )
+    stream_parser.add_argument("--events", type=int, default=5, help="events to print")
+    args = parser.parse_args(argv)
+    client = ServeClient(args.base)
+
+    if args.command == "wait-ready":
+        health = client.wait_ready()
+        print(json.dumps(health))
+        return 0
+    if args.command == "run":
+        job = client.submit(json.loads(args.submission))
+        record = client.wait(job["id"])
+        if record["status"] != "done":
+            print(json.dumps(record), file=sys.stderr)
+            return 1
+        sys.stdout.write(client.result_bytes(job["id"]).decode("utf-8"))
+        # The record (with its hit/computed/dedupe result_status) goes to
+        # stderr so stdout stays exactly the payload bytes.
+        print(json.dumps(record), file=sys.stderr)
+        return 0
+    # stream-demo: a scenario small enough to finish fast, streamed live.
+    job = client.submit(
+        {"kind": "scenario", "name": "crash", "quick": True, "replicates": 2, "seed": 0}
+    )
+    shown = 0
+    for event in client.stream(job["id"]):
+        print(json.dumps({"event": event["event"], "round": event["data"].get("round")}))
+        shown += 1
+        if event["event"] == "final" or shown >= args.events:
+            break
+    if shown == 0:
+        print("no events streamed", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

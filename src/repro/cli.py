@@ -61,20 +61,17 @@ from typing import Sequence
 
 from repro import __version__
 from repro.analysis.aggregate import aggregate_records, parse_metric
-from repro.dynamics.driver import run_scenario
-from repro.dynamics.scenario import SCENARIOS, build_scenario, scenario_names
+from repro.dynamics.scenario import SCENARIOS, scenario_names
 from repro.engine import KERNEL_BACKENDS, ExecutionEngine, RunCache, set_default_backend
-from repro.experiments import EXPERIMENTS, run_experiment
+from repro.experiments import EXPERIMENTS
 from repro.experiments.base import ExperimentResult
 from repro.experiments.report import generate_report
 from repro.obs.telemetry import TelemetryRecorder, set_telemetry
+from repro.serve.submit import Submission, result_from_payload, run_submission
 from repro.store import ResultStore, StoreError
 from repro.sweeps import load_spec, run_sweep_spec, sweep_status
 from repro.utils.serialization import dumps, rows_to_csv
 from repro.utils.tables import format_records
-
-#: Bump when the cached payload layout changes; folded into every cache key.
-_CACHE_SCHEMA = 1
 
 #: Exit code of ``repro bench history`` when a perf regression is flagged
 #: (2 = CLI error, 3 = incomplete sweep are already taken).
@@ -136,7 +133,12 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
-    subparsers.add_parser("list", help="list all experiments and what they reproduce")
+    list_parser = subparsers.add_parser("list", help="list all experiments and what they reproduce")
+    list_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the machine-readable registry (ids, summaries, config schemas)",
+    )
 
     run_parser = subparsers.add_parser("run", help="run one experiment (or 'all')")
     run_parser.add_argument("experiment", help="experiment id, e.g. E03, or 'all'")
@@ -249,7 +251,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "scenario", help="time-varying scenarios with online (anytime) density tracking"
     )
     scenario_sub = scenario_parser.add_subparsers(dest="scenario_command", required=True)
-    scenario_sub.add_parser("list", help="list the scenario catalog")
+    scenario_list = scenario_sub.add_parser("list", help="list the scenario catalog")
+    scenario_list.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the machine-readable catalog (names, descriptions, geometry)",
+    )
     scenario_run = scenario_sub.add_parser(
         "run", help="run one scenario and emit per-round tracking records"
     )
@@ -328,6 +335,67 @@ def _build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="emit the full scan report as JSON"
     )
 
+    serve_parser = subparsers.add_parser(
+        "serve", help="run the async job daemon (HTTP API + SSE round-stream)"
+    )
+    serve_parser.add_argument(
+        "serve_command",
+        nargs="?",
+        choices=("schema",),
+        default=None,
+        help="'schema' dumps the generated OpenAPI document instead of serving",
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)")
+    serve_parser.add_argument(
+        "--port", type=int, default=8765, help="TCP port (default: 8765; 0 picks a free port)"
+    )
+    serve_parser.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=2,
+        metavar="N",
+        help=(
+            "job worker threads draining the queue (default: 2). Jobs run on an "
+            "in-process engine so per-round streaming works; results are "
+            "bit-identical for any worker count"
+        ),
+    )
+    serve_parser.add_argument(
+        "--state-dir",
+        default=".repro-serve",
+        metavar="DIR",
+        help="daemon state: job records under DIR/jobs, result cache under DIR/cache",
+    )
+    serve_parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="shared content-addressed result cache (default: <state-dir>/cache); "
+        "identical concurrent submissions dedupe to one execution through it",
+    )
+    serve_parser.add_argument(
+        "--queue-depth",
+        type=_positive_int,
+        default=64,
+        metavar="N",
+        help="max queued jobs before submissions get 503 + Retry-After (default: 64)",
+    )
+    serve_parser.add_argument(
+        "--rate",
+        type=float,
+        default=None,
+        metavar="R",
+        help="per-client submissions/second; exceeding it gets 429 + Retry-After "
+        "(default: unlimited)",
+    )
+    serve_parser.add_argument(
+        "--burst",
+        type=_positive_int,
+        default=10,
+        metavar="N",
+        help="per-client token-bucket burst size (default: 10; only with --rate)",
+    )
+
     for sub in (run_parser, report_parser, scenario_run):
         sub.add_argument(
             "--workers",
@@ -345,7 +413,7 @@ def _build_parser() -> argparse.ArgumentParser:
             metavar="DIR",
             help="content-addressed run cache; completed settings are loaded, not re-run",
         )
-    for sub in sweep_common[:2] + [run_parser, report_parser, scenario_run]:
+    for sub in sweep_common[:2] + [run_parser, report_parser, scenario_run, serve_parser]:
         sub.add_argument(
             "--backend",
             default=None,
@@ -369,7 +437,14 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _command_list() -> int:
+def _command_list(as_json: bool = False) -> int:
+    if as_json:
+        # The same serialization path the serve API and its schema
+        # generator use, so CLI listings can never drift from /experiments.
+        from repro.serve.schema import experiment_listing
+
+        print(dumps(experiment_listing()))
+        return 0
     for experiment_id in sorted(EXPERIMENTS):
         module, _ = EXPERIMENTS[experiment_id]
         summary = (module.__doc__ or "").strip().splitlines()[0]
@@ -377,66 +452,19 @@ def _command_list() -> int:
     return 0
 
 
-def _experiment_cache_key(cache: RunCache, experiment_id: str, quick: bool, seed: int) -> str:
-    """Content key of one experiment run: id + full config + seed + version.
-
-    The dataclass repr pins every configuration field, so editing an
-    experiment's parameters automatically misses the cache, and the package
-    version invalidates entries across upgrades whose code changes could
-    alter records. The engine's worker count is deliberately *not* part of
-    the key: records are bit-identical across worker counts.
-    """
-    _, config_cls = EXPERIMENTS[experiment_id]
-    config = config_cls.quick() if quick else config_cls()
-    return cache.key(
-        kind="experiment",
-        schema=_CACHE_SCHEMA,
-        version=__version__,
-        experiment=experiment_id,
-        quick=quick,
-        seed=seed,
-        config=repr(config),
-    )
-
-
-def _result_from_payload(payload: dict) -> ExperimentResult:
-    return ExperimentResult(
-        experiment_id=payload["experiment_id"],
-        title=payload["title"],
-        claim=payload["claim"],
-        records=list(payload["records"]),
-        columns=payload.get("columns"),
-        notes=list(payload.get("notes", [])),
-    )
-
-
 def _run_one_cached(
     experiment_id: str, *, quick: bool, seed: int, engine: ExecutionEngine, cache: RunCache | None
 ) -> tuple[ExperimentResult, bool]:
-    """Run one experiment through the cache; returns (result, was_cache_hit)."""
-    if cache is None:
-        return run_experiment(experiment_id, quick=quick, seed=seed, engine=engine), False
-    if experiment_id not in EXPERIMENTS:
-        raise KeyError(
-            f"unknown experiment id {experiment_id!r}; known ids: {sorted(EXPERIMENTS)}"
-        )
-    key = _experiment_cache_key(cache, experiment_id, quick, seed)
-    payload = cache.load(key)
-    if payload is not None:
-        return _result_from_payload(payload), True
-    result = run_experiment(experiment_id, quick=quick, seed=seed, engine=engine)
-    cache.store(
-        key,
-        {
-            "experiment_id": result.experiment_id,
-            "title": result.title,
-            "claim": result.claim,
-            "records": result.records,
-            "columns": list(result.columns) if result.columns else None,
-            "notes": result.notes,
-        },
-    )
-    return result, False
+    """Run one experiment through the shared submission path.
+
+    The same :class:`~repro.serve.submit.Submission` the serve daemon
+    executes — so a run completed here is a cache hit for an identical HTTP
+    submission (and vice versa), and concurrent identical runs single-flight
+    through :meth:`RunCache.get_or_compute`. Returns (result, was_cache_hit).
+    """
+    submission = Submission(kind="experiment", name=experiment_id, quick=quick, seed=seed)
+    payload, status = run_submission(submission, cache=cache, engine=engine)
+    return result_from_payload(payload), status == "hit"
 
 
 def _open_cache(cache_dir: str | None) -> RunCache | None:
@@ -513,30 +541,15 @@ def _command_run(
     return 0
 
 
-def _command_scenario_list() -> int:
+def _command_scenario_list(as_json: bool = False) -> int:
+    if as_json:
+        from repro.serve.schema import scenario_listing
+
+        print(dumps(scenario_listing()))
+        return 0
     for name in scenario_names():
         print(f"{name:18s} {SCENARIOS[name].description}")
     return 0
-
-
-def _scenario_cache_key(
-    cache: RunCache, scenario_repr: str, replicates: int, seed: int
-) -> str:
-    """Content key of one scenario run: full spec + replicates + seed + version.
-
-    The scenario repr pins the topology, events, and tracking parameters,
-    so any change to the catalog (or a ``--rounds`` override) misses the
-    cache. Worker count is deliberately excluded: records are bit-identical
-    for every worker count.
-    """
-    return cache.key(
-        kind="scenario",
-        schema=_CACHE_SCHEMA,
-        version=__version__,
-        scenario=scenario_repr,
-        replicates=replicates,
-        seed=seed,
-    )
 
 
 def _command_scenario_run(
@@ -549,25 +562,15 @@ def _command_scenario_run(
     workers: int,
     cache_dir: str | None,
 ) -> int:
-    scenario = build_scenario(name, rounds=rounds, quick=quick)
+    # The same shared submission path as `run` (see _run_one_cached).
+    submission = Submission(
+        kind="scenario", name=name, rounds=rounds, replicates=replicates, quick=quick, seed=seed
+    )
+    scenario = submission.build_scenario()
     engine = ExecutionEngine(workers=workers)
     cache = _open_cache(cache_dir)
-    payload = None
-    key = None
-    if cache is not None:
-        key = _scenario_cache_key(cache, repr(scenario), replicates, seed)
-        payload = cache.load(key)
-    cached = payload is not None
-    if payload is None:
-        outcome = run_scenario(scenario, replicates=replicates, engine=engine, seed=seed)
-        payload = {
-            "scenario": scenario.to_dict(),
-            "replicates": replicates,
-            "records": outcome.records(),
-            "summary": outcome.summary(),
-        }
-        if cache is not None and key is not None:
-            cache.store(key, payload)
+    payload, status = run_submission(submission, cache=cache, engine=engine)
+    cached = status == "hit"
     if as_json:
         print(dumps(payload))
         return 0
@@ -837,97 +840,140 @@ def _command_bench_history(args) -> int:
     return _EXIT_REGRESSION if report["regressions_detected"] else 0
 
 
-def _dispatch(args) -> int:
-    """Route one parsed invocation to its command implementation."""
+def _command_serve(args) -> int:
+    """Run the async job daemon (or dump its generated OpenAPI document)."""
+    from repro.serve.api import ROUTES, ReproServer, serve_forever
+    from repro.serve.jobs import JobManager
+    from repro.serve.schema import openapi_document
+
+    if args.serve_command == "schema":
+        print(dumps(openapi_document(ROUTES)))
+        return 0
+    state_dir = Path(args.state_dir)
+    cache = _open_cache(args.cache_dir if args.cache_dir is not None else str(state_dir / "cache"))
+    manager = JobManager(
+        cache=cache,
+        jobs_dir=state_dir / "jobs",
+        workers=args.workers,
+        queue_depth=args.queue_depth,
+        rate=args.rate,
+        burst=args.burst,
+    )
     try:
-        if args.command == "list":
-            return _command_list()
-        if args.command == "run":
-            try:
-                return _command_run(
-                    args.experiment,
-                    args.quick,
-                    args.seed,
-                    args.json,
-                    args.figure,
-                    args.workers,
-                    args.cache_dir,
-                )
-            except (KeyError, ValueError) as error:
-                print(f"error: {error}", file=sys.stderr)
-                return 2
-        if args.command == "report":
-            try:
-                return _command_report(
-                    args.quick,
-                    args.seed,
-                    args.output,
-                    args.workers,
-                    args.cache_dir,
-                    args.from_store,
-                )
-            except (ValueError, StoreError) as error:
-                print(f"error: {error}", file=sys.stderr)
-                return 2
-        if args.command == "sweep":
-            try:
-                if args.sweep_command == "status":
-                    return _command_sweep_status(args)
-                return _command_sweep_run(args, resume=args.sweep_command == "resume")
-            except BrokenPipeError:
-                raise  # handled by the top-level pipe guard, not an "error:"
-            except (KeyError, ValueError, OSError, StoreError) as error:
-                message = error.args[0] if isinstance(error, KeyError) and error.args else error
-                print(f"error: {message}", file=sys.stderr)
-                return 2
-        if args.command == "store":
-            try:
-                if args.store_command == "query":
-                    return _command_store_query(args)
-                return _command_store_export(args)
-            except BrokenPipeError:
-                raise  # handled by the top-level pipe guard, not an "error:"
-            except (KeyError, ValueError, OSError, StoreError) as error:
-                print(f"error: {error}", file=sys.stderr)
-                return 2
-        if args.command == "bench":
-            try:
-                return _command_bench_history(args)
-            except BrokenPipeError:
-                raise  # handled by the top-level pipe guard, not an "error:"
-            except (KeyError, ValueError, OSError, StoreError) as error:
-                print(f"error: {error}", file=sys.stderr)
-                return 2
-        if args.command == "scenario":
-            if args.scenario_command == "list":
-                return _command_scenario_list()
-            try:
-                return _command_scenario_run(
-                    args.scenario,
-                    args.rounds,
-                    args.replicates,
-                    args.quick,
-                    args.seed,
-                    args.json,
-                    args.workers,
-                    args.cache_dir,
-                )
-            except (KeyError, ValueError) as error:
-                message = error.args[0] if isinstance(error, KeyError) and error.args else error
-                print(f"error: {message}", file=sys.stderr)
-                return 2
+        server = ReproServer((args.host, args.port), manager)
+    except OSError as error:
+        raise ValueError(f"cannot bind {args.host}:{args.port}: {error}") from None
+    host, port = server.server_address[:2]
+    _LOGGER.info("repro serve listening on http://%s:%d (SIGTERM/SIGINT to stop)", host, port)
+    _LOGGER.debug(
+        "state: jobs=%s cache=%s workers=%d queue_depth=%d",
+        state_dir / "jobs",
+        cache.directory if cache is not None else None,
+        args.workers,
+        args.queue_depth,
+    )
+    serve_forever(server)
+    _LOGGER.info("repro serve stopped")
+    return 0
+
+
+def _guarded(command, *arguments) -> int:
+    """Uniform error envelope of every subcommand.
+
+    One place instead of six per-command ``try`` blocks, so every
+    subcommand — including ``serve`` — maps the same conditions to the
+    same exit codes: expected operational failures (bad ids, malformed
+    specs, unusable paths, store trouble) print ``error: ...`` and exit 2;
+    ``BrokenPipeError`` and ``KeyboardInterrupt`` re-raise for the
+    top-level guards in :func:`_dispatch` (exit 0 and 130 respectively).
+    ``KeyError`` unwraps ``args[0]`` so the message is not repr-quoted.
+    """
+    try:
+        return command(*arguments)
+    except (BrokenPipeError, KeyboardInterrupt):
+        raise
+    except (KeyError, ValueError, OSError, StoreError) as error:
+        message = error.args[0] if isinstance(error, KeyError) and error.args else error
+        print(f"error: {message}", file=sys.stderr)
+        return 2
+
+
+def _route(args):
+    """The (command, arguments) pair of one parsed invocation."""
+    if args.command == "list":
+        return _command_list, (args.json,)
+    if args.command == "run":
+        return _command_run, (
+            args.experiment,
+            args.quick,
+            args.seed,
+            args.json,
+            args.figure,
+            args.workers,
+            args.cache_dir,
+        )
+    if args.command == "report":
+        return _command_report, (
+            args.quick,
+            args.seed,
+            args.output,
+            args.workers,
+            args.cache_dir,
+            args.from_store,
+        )
+    if args.command == "sweep":
+        if args.sweep_command == "status":
+            return _command_sweep_status, (args,)
+        return (lambda a: _command_sweep_run(a, resume=a.sweep_command == "resume")), (args,)
+    if args.command == "store":
+        if args.store_command == "query":
+            return _command_store_query, (args,)
+        return _command_store_export, (args,)
+    if args.command == "bench":
+        return _command_bench_history, (args,)
+    if args.command == "serve":
+        return _command_serve, (args,)
+    if args.scenario_command == "list":
+        return _command_scenario_list, (args.json,)
+    return _command_scenario_run, (
+        args.scenario,
+        args.rounds,
+        args.replicates,
+        args.quick,
+        args.seed,
+        args.json,
+        args.workers,
+        args.cache_dir,
+    )
+
+
+def _dispatch(args) -> int:
+    """Route one parsed invocation through the uniform error envelope."""
+    command, arguments = _route(args)
+    try:
+        return _guarded(command, *arguments)
     except BrokenPipeError:  # pragma: no cover - depends on the consumer
         # The downstream consumer (e.g. `| head`) closed the pipe; park
         # stdout on /dev/null so the interpreter's exit flush stays quiet.
         os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
         return 0
-    return 2  # pragma: no cover - argparse enforces the choices
+    except KeyboardInterrupt:
+        # ^C is a clean stop, not a stack trace: the conventional
+        # 128+SIGINT code, uniformly for every subcommand.
+        print("interrupted", file=sys.stderr)
+        return 130
 
 
 def _command_label(args) -> str:
     """The full command path of an invocation, e.g. ``sweep run``."""
     parts = [args.command]
-    for attribute in ("sweep_command", "store_command", "scenario_command", "bench_command"):
+    for attribute in (
+        "sweep_command",
+        "store_command",
+        "scenario_command",
+        "bench_command",
+        "serve_command",
+    ):
         sub = getattr(args, attribute, None)
         if sub:
             parts.append(sub)

@@ -33,7 +33,7 @@ Three entry points cover the execution spectrum:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any
+from typing import Any, Callable, Optional
 
 import numpy as np
 
@@ -73,11 +73,23 @@ from repro.utils.validation import require_integer
 #: and therefore every record — is identical for any ``--workers`` value.
 CHUNK_REPLICATES = 4
 
+#: Round-stream listener contract: called once per completed round with the
+#: same JSON-friendly record :meth:`ScenarioRunResult.records` would emit
+#: for that round (averaged over the tracks of the running simulation).
+#: **Observation-only**: listeners receive plain Python data, are invoked
+#: after the round's statistics are recorded, and the driver consumes zero
+#: additional randomness when one is installed — the simulation stream is
+#: bit-identical with and without a listener.
+RoundListener = Callable[[dict], None]
+
 
 class _DynamicsTracker:
     """The per-round hook: noise windows, online estimators, event application."""
 
-    def __init__(self, scenario: Scenario, tracks: int):
+    def __init__(
+        self, scenario: Scenario, tracks: int, on_round: Optional[RoundListener] = None
+    ):
+        self._on_round = on_round
         self.scenario = scenario
         self.tracks = tracks
         self.params = TrackingParameters.resolve(scenario.tracking)
@@ -153,6 +165,31 @@ class _DynamicsTracker:
             self.window.reset(flags)
             self.discounted.reset(flags)
         self.change_flags[t] = flags
+
+        if self._on_round is not None:
+            # Stream this round's record *before* the boundary events fire,
+            # matching :meth:`ScenarioRunResult.records` (which reports the
+            # population the round was simulated with). Pure observation:
+            # plain floats out, nothing mutated, no randomness consumed.
+            ci_low, ci_high = chernoff_interval(
+                self.estimates["window"][t], self.window_mass[t], self.params.delta
+            )
+            self._on_round(
+                {
+                    "round": t + 1,
+                    "population": int(self.population[t]),
+                    "num_nodes": int(self.num_nodes[t]),
+                    "true_density": float(
+                        (self.population[t] - 1.0) / self.num_nodes[t]
+                    ),
+                    "running": float(self.estimates["running"][t].mean()),
+                    "window": float(self.estimates["window"][t].mean()),
+                    "discounted": float(self.estimates["discounted"][t].mean()),
+                    "ci_low": float(np.atleast_1d(ci_low).mean()),
+                    "ci_high": float(np.atleast_1d(ci_high).mean()),
+                    "change_fraction": float(self.change_flags[t].mean()),
+                }
+            )
 
         for event in self.scenario.events.at(t):
             self._apply(event, state)
@@ -300,35 +337,78 @@ def _base_config(scenario: Scenario, tracker: _DynamicsTracker) -> SimulationCon
     )
 
 
-def track_scenario(scenario: Scenario, seed: SeedLike = None) -> ScenarioRunResult:
+def track_scenario(
+    scenario: Scenario,
+    seed: SeedLike = None,
+    *,
+    on_round: Optional[RoundListener] = None,
+) -> ScenarioRunResult:
     """Run one replicate of ``scenario`` on the kernel's serial mode."""
-    tracker = _DynamicsTracker(scenario, tracks=1)
+    tracker = _DynamicsTracker(scenario, tracks=1, on_round=on_round)
     run_kernel(scenario.build_topology(), _base_config(scenario, tracker), None, seed)
     return _result_from_tracker(scenario, tracker)
 
 
 def track_scenario_batch(
-    scenario: Scenario, replicates: int, seed: SeedLike = None
+    scenario: Scenario,
+    replicates: int,
+    seed: SeedLike = None,
+    *,
+    on_round: Optional[RoundListener] = None,
 ) -> ScenarioRunResult:
     """Run ``replicates`` independent copies of ``scenario`` as one matrix simulation.
 
     The whole replicate batch advances through the round loop together —
     churn, shocks, and rewiring included — so dynamic scenarios inherit
-    the batched engine's throughput.
+    the batched engine's throughput. ``on_round`` (see :data:`RoundListener`)
+    streams each completed round's batch-averaged record without touching
+    the simulation stream.
     """
     require_integer(replicates, "replicates", minimum=1)
-    tracker = _DynamicsTracker(scenario, tracks=replicates)
+    tracker = _DynamicsTracker(scenario, tracks=replicates, on_round=on_round)
     run_kernel(
         scenario.build_topology(), _base_config(scenario, tracker), replicates, seed
     )
     return _result_from_tracker(scenario, tracker)
 
 
+class _ChunkRelay:
+    """Forward a chunk's per-round records to a listener with chunk context.
+
+    ``run_scenario`` executes a replicate request as several batched chunks;
+    the relay stamps each streamed record with which chunk (and how many
+    replicates of it) the averages cover, so a consumer can tell the chunks
+    of one run apart without guessing from round numbers resetting.
+    """
+
+    def __init__(
+        self, on_round: RoundListener, chunk: int, chunks: int, chunk_replicates: int
+    ):
+        self.on_round = on_round
+        self.chunk = chunk
+        self.chunks = chunks
+        self.chunk_replicates = chunk_replicates
+
+    def __call__(self, record: dict) -> None:
+        self.on_round(
+            {
+                **record,
+                "chunk": self.chunk,
+                "chunks": self.chunks,
+                "chunk_replicates": self.chunk_replicates,
+            }
+        )
+
+
 def _batched_chunk_task(
-    scenario: Scenario, replicates: int, *, rng: np.random.Generator
+    scenario: Scenario,
+    replicates: int,
+    on_round: Optional[RoundListener] = None,
+    *,
+    rng: np.random.Generator,
 ) -> ScenarioRunResult:
     """Scheduler task: one batched chunk of a scenario run (picklable)."""
-    return track_scenario_batch(scenario, replicates, rng)
+    return track_scenario_batch(scenario, replicates, rng, on_round=on_round)
 
 
 def run_scenario(
@@ -337,6 +417,7 @@ def run_scenario(
     replicates: int = 8,
     engine: ExecutionEngine | None = None,
     seed: SeedLike = 0,
+    on_round: Optional[RoundListener] = None,
 ) -> ScenarioRunResult:
     """Run a scenario's replicates through the execution engine's scheduler.
 
@@ -354,13 +435,27 @@ def run_scenario(
     """
     require_integer(replicates, "replicates", minimum=1)
     engine = engine or ExecutionEngine()
+    if on_round is not None and engine.workers != 1:
+        raise ValueError(
+            "on_round streaming needs an in-process engine (workers=1): a "
+            "round listener cannot cross the scheduler's process boundary"
+        )
 
     chunk = CHUNK_REPLICATES
     sizes = [chunk] * (replicates // chunk)
     if replicates % chunk:
         sizes.append(replicates % chunk)
 
-    settings = [{"scenario": scenario, "replicates": size} for size in sizes]
+    settings: list[dict[str, Any]] = [
+        {"scenario": scenario, "replicates": size} for size in sizes
+    ]
+    if on_round is not None:
+        # Chunk seeds come from the plan index alone, so adding the relay to
+        # the settings changes nothing about any chunk's random stream.
+        for index, setting in enumerate(settings):
+            setting["on_round"] = _ChunkRelay(
+                on_round, index, len(sizes), setting["replicates"]
+            )
     chunks: list[ScenarioRunResult] = engine.map(_batched_chunk_task, settings, seed)
 
     merged = ScenarioRunResult(
@@ -394,6 +489,7 @@ def run_scenario(
 
 __all__ = [
     "CHUNK_REPLICATES",
+    "RoundListener",
     "TrackingParameters",
     "ScenarioRunResult",
     "track_scenario",

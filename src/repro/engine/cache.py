@@ -17,9 +17,10 @@ from __future__ import annotations
 
 import hashlib
 import json
+import threading
 import time
 from pathlib import Path
-from typing import Any, Iterator, Mapping
+from typing import Any, Callable, Iterator, Mapping
 
 from repro.obs.telemetry import get_telemetry
 from repro.utils.atomic import atomic_write_text
@@ -41,6 +42,17 @@ def cache_key(**components: Any) -> str:
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
+class _Flight:
+    """State of one in-flight :meth:`RunCache.get_or_compute` computation."""
+
+    __slots__ = ("done", "payload", "error")
+
+    def __init__(self) -> None:
+        self.done = threading.Event()
+        self.payload: dict[str, Any] | None = None
+        self.error: BaseException | None = None
+
+
 class RunCache:
     """A directory of completed-run payloads addressed by content key.
 
@@ -52,6 +64,18 @@ class RunCache:
 
     def __init__(self, directory: str | Path):
         self.directory = Path(directory)
+        self._flights: dict[str, _Flight] = {}
+        self._flights_lock = threading.Lock()
+
+    def __getstate__(self) -> dict[str, Any]:
+        # Locks and in-flight state are process-local; a pickled copy
+        # (e.g. shipped to a worker) starts with a fresh flight table.
+        return {"directory": self.directory}
+
+    def __setstate__(self, state: dict[str, Any]) -> None:
+        self.directory = state["directory"]
+        self._flights = {}
+        self._flights_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Key handling
@@ -116,6 +140,69 @@ class RunCache:
             tel.counter("cache.stores")
             tel.timer("cache.store_seconds", time.perf_counter() - start)
         return path
+
+    # ------------------------------------------------------------------
+    # Single-flight computation
+    # ------------------------------------------------------------------
+    def get_or_compute(
+        self, key: str, compute: Callable[[], Mapping[str, Any]]
+    ) -> tuple[dict[str, Any], str]:
+        """Load ``key`` or run ``compute`` exactly once across concurrent callers.
+
+        Returns ``(payload, status)`` with status one of:
+
+        * ``"hit"`` — the entry was already on disk;
+        * ``"computed"`` — this caller ran ``compute`` and stored the result;
+        * ``"dedupe"`` — another thread was already computing the same key;
+          this caller blocked until it finished and shares its payload
+          (``cache.dedupe_hits`` telemetry counter).
+
+        The *first* caller for a key becomes the leader: it checks the disk
+        entry, runs ``compute`` on a miss, and stores the result atomically.
+        Every concurrent caller for the same key waits on the leader and
+        receives the identical (JSON-plain) payload — which is what lets a
+        job daemon collapse N identical submissions into one engine
+        execution. A leader failure propagates the same exception to every
+        waiter, and the key is retried by the next fresh caller.
+        """
+        self.path_for(key)  # validate eagerly, before any lock is taken
+        while True:
+            with self._flights_lock:
+                flight = self._flights.get(key)
+                if flight is None:
+                    flight = _Flight()
+                    self._flights[key] = flight
+                    leader = True
+                else:
+                    leader = False
+            if not leader:
+                flight.done.wait()
+                if flight.error is not None:
+                    raise flight.error
+                if flight.payload is None:  # pragma: no cover - defensive
+                    continue  # leader vanished without publishing; retry
+                get_telemetry().counter("cache.dedupe_hits")
+                return flight.payload, "dedupe"
+            try:
+                payload = self.load(key)
+                if payload is not None:
+                    status = "hit"
+                else:
+                    # to_jsonable here (store() repeats it idempotently) so
+                    # leader and waiters share one plain-JSON payload — the
+                    # exact document any later load() would return.
+                    payload = to_jsonable(dict(compute()))
+                    self.store(key, payload)
+                    status = "computed"
+                flight.payload = payload
+                return payload, status
+            except BaseException as error:
+                flight.error = error
+                raise
+            finally:
+                with self._flights_lock:
+                    self._flights.pop(key, None)
+                flight.done.set()
 
     # ------------------------------------------------------------------
     # Introspection

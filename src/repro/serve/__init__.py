@@ -1,0 +1,64 @@
+"""``repro serve``: async job daemon + HTTP API over the engine.
+
+The service layer on top of the batch stack (engine, cache, sweeps, store,
+telemetry). Five pieces, each its own module:
+
+* :mod:`repro.serve.submit` — validated :class:`Submission` objects and the
+  one execution path (shared with the CLI) whose cache keys make identical
+  CLI and HTTP workloads the same content-addressed entry;
+* :mod:`repro.serve.jobs` — bounded async job queue, worker-thread pool,
+  per-client rate limits, persistence, single-flight dedupe via
+  :meth:`RunCache.get_or_compute`;
+* :mod:`repro.serve.stream` — backpressure-safe per-round SSE fan-out fed
+  by the dynamics tracker's ``on_round`` hook (observation-only: the daemon
+  layer never consumes a random draw);
+* :mod:`repro.serve.schema` — listings, JSON schemas, and the OpenAPI
+  document, generated mechanically from the experiment/scenario/sweep
+  registries;
+* :mod:`repro.serve.api` — the stdlib ``http.server`` front-end and the
+  route table the OpenAPI document is rendered from.
+
+Everything is stdlib + the package's existing dependencies; there is no
+web framework.
+"""
+
+from repro.serve.jobs import (
+    Job,
+    JobManager,
+    QueueFullError,
+    RateLimitedError,
+    TokenBucketLimiter,
+    UnknownJobError,
+)
+from repro.serve.schema import (
+    experiment_listing,
+    openapi_document,
+    scenario_listing,
+    submission_schema,
+)
+from repro.serve.stream import RoundBroadcaster, sse_format
+from repro.serve.submit import (
+    CACHE_SCHEMA,
+    Submission,
+    execute_submission,
+    run_submission,
+)
+
+__all__ = [
+    "CACHE_SCHEMA",
+    "Job",
+    "JobManager",
+    "QueueFullError",
+    "RateLimitedError",
+    "RoundBroadcaster",
+    "Submission",
+    "TokenBucketLimiter",
+    "UnknownJobError",
+    "execute_submission",
+    "experiment_listing",
+    "openapi_document",
+    "run_submission",
+    "scenario_listing",
+    "sse_format",
+    "submission_schema",
+]

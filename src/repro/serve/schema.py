@@ -1,0 +1,275 @@
+"""Registry-derived API surface: listings, JSON schemas, OpenAPI document.
+
+Nothing in this module is hand-maintained per workload. Every listing and
+every schema is generated mechanically from the three registries the batch
+stack already owns:
+
+* :data:`repro.experiments.EXPERIMENTS` — experiment ids, their one-line
+  summaries (module docstrings), and their config dataclasses (field names,
+  JSON types, defaults);
+* :data:`repro.dynamics.scenario.SCENARIOS` — the scenario catalog
+  (names, descriptions, default geometry);
+* :class:`repro.sweeps.SweepSpec` / :class:`~repro.sweeps.TargetSpec` —
+  the sweep-spec fields.
+
+Registering a new experiment or scenario therefore *is* the API change:
+``/openapi.json``, ``repro serve schema``, ``repro list --json``, and the
+submission validators all pick it up on the next call with no endpoint
+table to edit.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+from typing import Any, Mapping
+
+from repro import __version__
+from repro.dynamics.scenario import SCENARIOS, build_scenario, scenario_names
+from repro.experiments import EXPERIMENTS
+
+# ----------------------------------------------------------------------
+# Python type hints -> JSON-schema fragments
+# ----------------------------------------------------------------------
+
+
+def json_type(hint: Any) -> dict[str, Any]:
+    """JSON-schema fragment for one Python type hint.
+
+    ``bool`` must be tested before ``int`` (bool subclasses int), and an
+    optional hint (``X | None``) renders as the fragment for ``X`` with
+    ``"nullable": true``. Unrecognised hints degrade to an unconstrained
+    fragment rather than failing — the registry stays the source of truth
+    even for types this mapper has never seen.
+    """
+    origin = typing.get_origin(hint)
+    args = typing.get_args(hint)
+    if origin in (typing.Union, getattr(__import__("types"), "UnionType", ())):
+        non_none = [arg for arg in args if arg is not type(None)]
+        if len(non_none) == 1 and len(args) == 2:
+            fragment = json_type(non_none[0])
+            fragment["nullable"] = True
+            return fragment
+        return {"anyOf": [json_type(arg) for arg in non_none]}
+    if origin in (tuple, list):
+        item = args[0] if args else Any
+        return {"type": "array", "items": json_type(item)}
+    if hint is bool:
+        return {"type": "boolean"}
+    if hint is int:
+        return {"type": "integer"}
+    if hint is float:
+        return {"type": "number"}
+    if hint is str:
+        return {"type": "string"}
+    return {}
+
+
+def dataclass_schema(cls: type, *, description: str | None = None) -> dict[str, Any]:
+    """JSON schema of a (frozen config) dataclass: fields, types, defaults."""
+    hints = typing.get_type_hints(cls)
+    properties: dict[str, Any] = {}
+    for field in dataclasses.fields(cls):
+        fragment = json_type(hints.get(field.name, Any))
+        if field.default is not dataclasses.MISSING:
+            fragment = {**fragment, "default": _plain(field.default)}
+        elif field.default_factory is not dataclasses.MISSING:  # type: ignore[misc]
+            fragment = {**fragment, "default": _plain(field.default_factory())}  # type: ignore[misc]
+        properties[field.name] = fragment
+    schema: dict[str, Any] = {
+        "type": "object",
+        "properties": properties,
+        "additionalProperties": False,
+    }
+    if description:
+        schema["description"] = description
+    return schema
+
+
+def _plain(value: Any) -> Any:
+    """Defaults as plain JSON values (tuples -> lists)."""
+    if isinstance(value, tuple):
+        return [_plain(item) for item in value]
+    return value
+
+
+def _summary(module: Any) -> str:
+    return (module.__doc__ or "").strip().splitlines()[0] if module.__doc__ else ""
+
+
+# ----------------------------------------------------------------------
+# Registry listings (shared by `repro list --json` and the API)
+# ----------------------------------------------------------------------
+
+
+def experiment_listing() -> list[dict[str, Any]]:
+    """Machine-readable experiment registry, one entry per experiment."""
+    listing = []
+    for experiment_id in sorted(EXPERIMENTS):
+        module, config_cls = EXPERIMENTS[experiment_id]
+        listing.append(
+            {
+                "id": experiment_id,
+                "summary": _summary(module),
+                "config": config_cls.__name__,
+                "config_schema": dataclass_schema(config_cls),
+            }
+        )
+    return listing
+
+
+def scenario_listing() -> list[dict[str, Any]]:
+    """Machine-readable scenario catalog, one entry per catalog scenario."""
+    listing = []
+    for name in scenario_names():
+        scenario = build_scenario(name)
+        listing.append(
+            {
+                "name": name,
+                "description": SCENARIOS[name].description,
+                "rounds": scenario.rounds,
+                "num_agents": scenario.num_agents,
+                "topology": dict(scenario.topology),
+                "events": len(scenario.events),
+            }
+        )
+    return listing
+
+
+def sweep_spec_schema() -> dict[str, Any]:
+    """JSON schema of a sweep spec, generated from the spec dataclasses."""
+    from repro.sweeps.spec import SweepSpec, TargetSpec
+
+    target = dataclass_schema(TargetSpec)
+    target["properties"]["kind"] = {"type": "string", "enum": ["experiment", "scenario"]}
+    target["properties"]["axes"] = {
+        "type": "array",
+        "items": {
+            "type": "object",
+            "properties": {"kind": {"type": "string", "enum": ["grid", "zip", "random"]}},
+            "required": ["kind"],
+        },
+    }
+    spec = dataclass_schema(SweepSpec)
+    spec["properties"]["targets"] = {"type": "array", "items": target}
+    spec["required"] = ["name", "targets"]
+    return spec
+
+
+# ----------------------------------------------------------------------
+# Submission schemas
+# ----------------------------------------------------------------------
+
+
+def submission_schema() -> dict[str, Any]:
+    """The schema of a ``POST /jobs`` body: one of the three workload kinds."""
+    experiment_ids = sorted(EXPERIMENTS)
+    experiment = {
+        "type": "object",
+        "description": "Run one registered experiment (optionally with config overrides).",
+        "properties": {
+            "kind": {"type": "string", "enum": ["experiment"]},
+            "name": {"type": "string", "enum": experiment_ids},
+            "seed": {"type": "integer", "default": 0},
+            "quick": {"type": "boolean", "default": False},
+            "overrides": {
+                "type": "object",
+                "description": "config-field overrides; validated per experiment "
+                "(see each entry's config_schema in /experiments)",
+            },
+        },
+        "required": ["kind", "name"],
+        "additionalProperties": False,
+    }
+    scenario = {
+        "type": "object",
+        "description": "Track one catalog scenario with the online estimators "
+        "(streamable per round via /jobs/<id>/stream).",
+        "properties": {
+            "kind": {"type": "string", "enum": ["scenario"]},
+            "name": {"type": "string", "enum": scenario_names()},
+            "seed": {"type": "integer", "default": 0},
+            "quick": {"type": "boolean", "default": False},
+            "replicates": {"type": "integer", "minimum": 1, "default": 8},
+            "rounds": {"type": "integer", "minimum": 2, "nullable": True},
+            "side": {"type": "integer", "minimum": 2, "nullable": True},
+            "num_agents": {"type": "integer", "minimum": 2, "nullable": True},
+        },
+        "required": ["kind", "name"],
+        "additionalProperties": False,
+    }
+    sweep = {
+        "type": "object",
+        "description": "Run a declarative parameter sweep to completion.",
+        "properties": {
+            "kind": {"type": "string", "enum": ["sweep"]},
+            "spec": sweep_spec_schema(),
+        },
+        "required": ["kind", "spec"],
+        "additionalProperties": False,
+    }
+    return {"oneOf": [experiment, scenario, sweep]}
+
+
+# ----------------------------------------------------------------------
+# OpenAPI
+# ----------------------------------------------------------------------
+
+
+def openapi_document(routes: Mapping[str, Mapping[str, str]] | None = None) -> dict[str, Any]:
+    """The daemon's OpenAPI 3 document, generated from the registries.
+
+    ``routes`` maps ``"METHOD /path"`` to ``{"summary": ...}`` and comes
+    from the API layer's route table, so the path list in the document is
+    the same object the dispatcher matches against — it cannot drift.
+    """
+    paths: dict[str, Any] = {}
+    for route, info in (routes or {}).items():
+        method, _, path = route.partition(" ")
+        entry = paths.setdefault(path, {})
+        operation: dict[str, Any] = {"summary": info.get("summary", "")}
+        if route == "POST /jobs":
+            operation["requestBody"] = {
+                "required": True,
+                "content": {"application/json": {"schema": submission_schema()}},
+            }
+        if path == "/jobs/{id}/stream":
+            operation["responses"] = {
+                "200": {
+                    "description": "server-sent events: one `round` event per simulation "
+                    "round (scenario jobs), then one `final` event with the full payload",
+                    "content": {"text/event-stream": {}},
+                }
+            }
+        else:
+            operation["responses"] = {"200": {"description": "JSON response"}}
+        entry[method.lower()] = operation
+    return {
+        "openapi": "3.0.3",
+        "info": {
+            "title": "repro serve",
+            "description": "Async job daemon over the density-estimation engine: "
+            "submit experiments/scenarios/sweeps, poll, and stream per-round estimates.",
+            "version": __version__,
+        },
+        "paths": paths,
+        "components": {
+            "schemas": {
+                "Submission": submission_schema(),
+                "SweepSpec": sweep_spec_schema(),
+            }
+        },
+        "x-experiments": experiment_listing(),
+        "x-scenarios": scenario_listing(),
+    }
+
+
+__all__ = [
+    "dataclass_schema",
+    "experiment_listing",
+    "json_type",
+    "openapi_document",
+    "scenario_listing",
+    "submission_schema",
+    "sweep_spec_schema",
+]

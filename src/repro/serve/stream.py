@@ -1,0 +1,180 @@
+"""Per-round event fan-out for SSE streaming.
+
+A :class:`RoundBroadcaster` sits between a running job's ``on_round`` hook
+(the :data:`~repro.dynamics.driver.RoundListener` the tracker calls once per
+simulation round) and any number of HTTP subscribers. It is strictly
+observation-side — it consumes records the tracker already computed and
+never touches a random draw — so streaming cannot perturb results.
+
+Two properties make it safe to put in front of the engine:
+
+* **Backpressure isolation.** Each subscriber gets its own bounded queue.
+  A slow (or stalled) SSE client fills *its* queue; further events for that
+  subscriber are counted as dropped and a terminal marker tells the client
+  the stream is no longer lossless. The producer — the simulation — never
+  blocks on a consumer.
+* **History replay.** The broadcaster keeps a capped tail of past events,
+  so a client that connects mid-run (or after a short job already finished)
+  still sees the most recent rounds before going live. The cap bounds
+  daemon memory for long horizons.
+"""
+
+from __future__ import annotations
+
+import collections
+import json
+import queue
+import threading
+from typing import Any, Iterator, Mapping
+
+#: Sentinel queued to tell a subscriber the stream is complete.
+_CLOSED = object()
+
+#: Default cap on replayed history (rounds); bounds memory per job.
+DEFAULT_HISTORY = 512
+
+#: Default per-subscriber queue bound; a consumer this far behind drops.
+DEFAULT_BUFFER = 256
+
+
+def sse_format(event: str, data: Mapping[str, Any] | str, *, event_id: int | None = None) -> bytes:
+    """One wire-format server-sent event (``id:``/``event:``/``data:`` lines)."""
+    body = data if isinstance(data, str) else json.dumps(data, separators=(",", ":"))
+    lines = []
+    if event_id is not None:
+        lines.append(f"id: {event_id}")
+    lines.append(f"event: {event}")
+    for chunk in body.splitlines() or [""]:
+        lines.append(f"data: {chunk}")
+    return ("\n".join(lines) + "\n\n").encode("utf-8")
+
+
+class _Subscriber:
+    __slots__ = ("events", "dropped")
+
+    def __init__(self, buffer: int) -> None:
+        self.events: queue.Queue = queue.Queue(maxsize=buffer)
+        self.dropped = 0
+
+
+class RoundBroadcaster:
+    """Fan one job's per-round records out to many bounded subscribers."""
+
+    def __init__(self, *, history: int = DEFAULT_HISTORY, buffer: int = DEFAULT_BUFFER):
+        if history < 0 or buffer < 1:
+            raise ValueError("history must be >= 0 and buffer >= 1")
+        self._history: collections.deque = collections.deque(maxlen=history)
+        self._buffer = buffer
+        self._lock = threading.Lock()
+        self._subscribers: list[_Subscriber] = []
+        self._sequence = 0
+        self._closed = False
+        self._final: dict[str, Any] | None = None
+
+    # ------------------------------------------------------------------
+    # Producer side (the job worker)
+    # ------------------------------------------------------------------
+    def publish(self, record: Mapping[str, Any]) -> None:
+        """Queue one ``round`` event to every live subscriber (never blocks)."""
+        self._emit("round", dict(record))
+
+    def close(self, final: Mapping[str, Any] | None = None) -> None:
+        """Mark the stream complete, optionally with a ``final`` event payload."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._final = dict(final) if final is not None else None
+            subscribers = list(self._subscribers)
+        for subscriber in subscribers:
+            # Best-effort: a full queue is fine — the consumer's live loop
+            # also exits on (queue empty AND closed), so the sentinel being
+            # dropped cannot strand it, and it isn't a lost *event*.
+            try:
+                subscriber.events.put_nowait(_CLOSED)
+            except queue.Full:
+                pass
+
+    def _emit(self, event: str, data: dict[str, Any]) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._sequence += 1
+            item = (self._sequence, event, data)
+            self._history.append(item)
+            subscribers = list(self._subscribers)
+        for subscriber in subscribers:
+            self._deliver(subscriber, item)
+
+    @staticmethod
+    def _deliver(subscriber: _Subscriber, item: Any) -> None:
+        try:
+            subscriber.events.put_nowait(item)
+        except queue.Full:
+            # The consumer is too far behind: count the loss rather than
+            # stall the simulation. The subscriber learns via `dropped`.
+            subscriber.dropped += 1
+
+    # ------------------------------------------------------------------
+    # Consumer side (one HTTP connection)
+    # ------------------------------------------------------------------
+    def subscribe(self, *, replay: bool = True, poll_seconds: float = 0.5) -> Iterator[bytes]:
+        """Yield wire-format SSE frames until the stream closes.
+
+        ``replay=True`` first yields the retained history tail. The iterator
+        then blocks on the subscriber's queue (waking every ``poll_seconds``
+        so a handler can notice a dead socket) and ends with one ``final``
+        event — carrying the job's result payload when the producer supplied
+        one — plus a ``dropped`` count if this consumer lost events.
+        """
+        subscriber = _Subscriber(self._buffer)
+        with self._lock:
+            backlog = list(self._history) if replay else []
+            closed = self._closed
+            if not closed:
+                self._subscribers.append(subscriber)
+        try:
+            for sequence, event, data in backlog:
+                yield sse_format(event, data, event_id=sequence)
+            if not closed:
+                while True:
+                    try:
+                        item = subscriber.events.get(timeout=poll_seconds)
+                    except queue.Empty:
+                        if self._closed:
+                            break  # closed with a full queue: sentinel was dropped
+                        # Comment frame: keeps proxies from timing the
+                        # connection out and surfaces dead sockets to the
+                        # handler as a write error.
+                        yield b": keep-alive\n\n"
+                        continue
+                    if item is _CLOSED:
+                        break
+                    sequence, event, data = item
+                    yield sse_format(event, data, event_id=sequence)
+            if subscriber.dropped:
+                yield sse_format("dropped", {"events": subscriber.dropped})
+            yield sse_format("final", self._final if self._final is not None else {})
+        finally:
+            with self._lock:
+                if subscriber in self._subscribers:
+                    self._subscribers.remove(subscriber)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def subscribers(self) -> int:
+        with self._lock:
+            return len(self._subscribers)
+
+    @property
+    def events_published(self) -> int:
+        return self._sequence
+
+
+__all__ = ["DEFAULT_BUFFER", "DEFAULT_HISTORY", "RoundBroadcaster", "sse_format"]

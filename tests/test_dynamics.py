@@ -435,6 +435,68 @@ class TestDriver:
         assert outcome.estimates["window"].shape == (scenario.rounds, 3)
 
 
+class TestRoundStreamHook:
+    """The serve layer's streaming contract (TESTING.md): an ``on_round``
+    listener observes each completed round's record without consuming any
+    randomness — the simulation stream is bit-identical with and without
+    a listener installed."""
+
+    def test_batch_listener_receives_exactly_the_records(self):
+        scenario = build_scenario("crash", quick=True)
+        seen: list[dict] = []
+        outcome = track_scenario_batch(scenario, 2, seed=0, on_round=seen.append)
+        assert json.dumps(seen) == json.dumps(outcome.records())
+
+    def test_single_replicate_listener_receives_exactly_the_records(self):
+        scenario = build_scenario("oscillating", quick=True)
+        seen: list[dict] = []
+        outcome = track_scenario(scenario, seed=0, on_round=seen.append)
+        assert json.dumps(seen) == json.dumps(outcome.records())
+
+    def test_listener_does_not_perturb_the_simulation_stream(self):
+        for name in scenario_names():
+            scenario = build_scenario(name, quick=True)
+            silent = track_scenario_batch(scenario, 3, seed=0)
+            observed = track_scenario_batch(
+                scenario, 3, seed=0, on_round=lambda record: None
+            )
+            assert json.dumps(to_jsonable(silent.records())) == json.dumps(
+                to_jsonable(observed.records())
+            ), name
+            assert silent.summary() == observed.summary(), name
+
+    def test_run_scenario_streams_chunk_annotated_records(self):
+        scenario = build_scenario("crash", quick=True, rounds=8)
+        seen: list[dict] = []
+        silent = run_scenario(scenario, replicates=6, seed=0)
+        streamed = run_scenario(scenario, replicates=6, seed=0, on_round=seen.append)
+        # Observation only: the merged result is bit-identical either way.
+        assert json.dumps(to_jsonable(silent.records())) == json.dumps(
+            to_jsonable(streamed.records())
+        )
+        # 6 replicates = one chunk of 4 plus a remainder chunk of 2; every
+        # round streams once per chunk, stamped with its chunk context.
+        assert len(seen) == scenario.rounds * 2
+        assert {record["chunk"] for record in seen} == {0, 1}
+        assert all(record["chunks"] == 2 for record in seen)
+        by_chunk = {record["chunk"]: record["chunk_replicates"] for record in seen}
+        assert by_chunk == {0: 4, 1: 2}
+        record_keys = set(silent.records()[0])
+        for record in seen:
+            assert set(record) == record_keys | {"chunk", "chunks", "chunk_replicates"}
+
+    def test_run_scenario_rejects_listener_with_multiprocess_engine(self):
+        scenario = build_scenario("crash", quick=True)
+        with pytest.raises(ValueError, match="in-process engine"):
+            run_scenario(
+                scenario,
+                replicates=2,
+                engine=ExecutionEngine(workers=2),
+                seed=0,
+                on_round=lambda record: None,
+            )
+
+
 class TestReplicateChunkingContract:
     """Regression tests for the ISSUE 3 satellite: `--replicates` values not
     divisible by the driver's fixed 4-replicate chunk must be exact — the
@@ -619,16 +681,19 @@ class TestScenarioCli:
 class TestRunAllFailureCollection:
     @pytest.mark.slow
     def test_run_all_collects_failures_and_exits_nonzero(self, capsys, monkeypatch):
+        # The execution seam lives in the shared CLI/daemon submission path
+        # (repro.serve.submit); run_submission resolves it at call time.
         import repro.cli as cli_module
+        import repro.serve.submit as submit_module
 
-        real = cli_module.run_experiment
+        real = submit_module.execute_submission
 
-        def flaky(experiment_id, **kwargs):
-            if experiment_id in ("E03", "E07"):
-                raise RuntimeError(f"boom in {experiment_id}")
-            return real(experiment_id, **kwargs)
+        def flaky(submission, **kwargs):
+            if submission.name in ("E03", "E07"):
+                raise RuntimeError(f"boom in {submission.name}")
+            return real(submission, **kwargs)
 
-        monkeypatch.setattr(cli_module, "run_experiment", flaky)
+        monkeypatch.setattr(submit_module, "execute_submission", flaky)
         code = cli_module.main(["run", "all", "--quick", "--json"])
         captured = capsys.readouterr()
         assert code == 1
@@ -640,9 +705,10 @@ class TestRunAllFailureCollection:
 
     def test_single_experiment_failure_still_fails_fast(self, monkeypatch, capsys):
         import repro.cli as cli_module
+        import repro.serve.submit as submit_module
 
-        def explode(experiment_id, **kwargs):
+        def explode(submission, **kwargs):
             raise KeyError("nope")
 
-        monkeypatch.setattr(cli_module, "run_experiment", explode)
+        monkeypatch.setattr(submit_module, "execute_submission", explode)
         assert cli_module.main(["run", "E01", "--quick"]) == 2
