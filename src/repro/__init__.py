@@ -62,9 +62,11 @@ Online tracking of a time-varying world:
 
 # Defined before any subpackage import: repro.store and repro.sweeps fold the
 # package version into provenance metadata and cache keys at import time.
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 from repro.core import (
+    AnalyticSolution,
+    AnalyticUnsupportedError,
     IndependentSamplingEstimator,
     QuorumDetector,
     RandomWalkDensityEstimator,
@@ -72,6 +74,7 @@ from repro.core import (
     estimate_density,
     estimate_density_independent,
     estimate_property_frequency,
+    solve_analytic,
 )
 from repro.core.results import AccuracySummary, DensityEstimationRun
 from repro.dynamics import (
@@ -142,6 +145,9 @@ __all__ = [
     "KERNEL_BACKENDS",
     "get_default_backend",
     "set_default_backend",
+    "AnalyticSolution",
+    "AnalyticUnsupportedError",
+    "solve_analytic",
     "ExecutionEngine",
     "BatchSimulationResult",
     "RunCache",

@@ -31,10 +31,15 @@ plan cells, and replicate-heavy cells run the batched simulation kernel —
 and records are bit-identical for every worker count, so the flag only
 changes wall-clock.
 ``--backend`` selects the simulation kernel backend
-(``auto``/``reference``/``fused``; see :mod:`repro.core.fastpath`). All
-backends produce bit-identical records, so like ``--workers`` the flag
-only changes wall-clock and is excluded from cache keys; worker
-*subprocesses* spawned by ``--workers`` always run the default ``auto``.
+(``auto``/``reference``/``fused``/``analytic``; see
+:mod:`repro.core.fastpath` and :mod:`repro.core.analytic`). The simulating
+backends produce bit-identical records, so for them the flag only changes
+wall-clock and is excluded from cache keys. ``analytic`` is different: it
+*solves* the encounter process (exact expectations, O(1) in replicates)
+instead of sampling it, so its records differ from simulation, it is
+folded into cache keys, and it fails with a clean error on workloads
+outside its solvable regime (noise models, dynamic scenarios, irregular
+topologies). The chosen backend is forwarded to ``--workers`` subprocesses.
 ``--cache-dir`` points at a content-addressed run store
 (:class:`repro.engine.RunCache`): a completed (experiment, config, seed)
 setting is loaded from disk instead of re-simulated. Sweeps checkpoint
@@ -419,9 +424,12 @@ def _build_parser() -> argparse.ArgumentParser:
             default=None,
             choices=KERNEL_BACKENDS,
             help=(
-                "simulation kernel backend (default: auto). All backends are "
-                "bit-identical — auto/fused only run faster — so the flag is "
-                "excluded from cache keys; worker subprocesses always use auto"
+                "simulation kernel backend (default: auto). auto/reference/"
+                "fused simulate and are bit-identical — only wall-clock "
+                "changes. analytic solves the process instead (exact "
+                "expectation curves, O(1) in replicates); it changes records, "
+                "joins the cache key, and errors cleanly on unsupported "
+                "workloads (noise, dynamics, irregular topologies)"
             ),
         )
         sub.add_argument(
@@ -985,9 +993,11 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     _configure_logging(args.verbose, args.quiet)
     if getattr(args, "backend", None) is not None:
-        # Results are bit-identical across backends, so this is purely a
-        # performance switch — set it process-wide rather than threading it
-        # through every experiment signature.
+        # Set process-wide rather than threading it through every experiment
+        # signature. For the bit-identical simulating backends this is purely
+        # a performance switch; "analytic" also changes what run_kernel
+        # returns (expectations, not samples), which the cache key accounts
+        # for (see Submission.cache_key).
         set_default_backend(args.backend)
 
     telemetry_dir = getattr(args, "telemetry", None)

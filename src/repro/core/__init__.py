@@ -25,6 +25,12 @@ from repro.core.adaptive import (
     AdaptiveEstimate,
     rounds_for_threshold,
 )
+from repro.core.analytic import (
+    AnalyticSolution,
+    AnalyticUnsupportedError,
+    run_analytic,
+)
+from repro.core.analytic import solve as solve_analytic
 from repro.core.encounter import collision_counts, marked_collision_counts
 from repro.core.estimator import RandomWalkDensityEstimator, estimate_density
 from repro.core.independent import IndependentSamplingEstimator, estimate_density_independent
@@ -43,6 +49,10 @@ __all__ = [
     "AdaptiveDensityEstimator",
     "AdaptiveEstimate",
     "rounds_for_threshold",
+    "AnalyticSolution",
+    "AnalyticUnsupportedError",
+    "run_analytic",
+    "solve_analytic",
     "collision_counts",
     "marked_collision_counts",
     "RandomWalkDensityEstimator",

@@ -56,6 +56,13 @@ Contracts preserved exactly:
   retain state snapshots exactly as they could under the reference loop;
 * chunked RNG switches off whenever a hook or observation model interleaves
   its own draws with the movement draws.
+
+Backend selection order: ``run_kernel`` dispatches ``backend="analytic"``
+to :mod:`repro.core.analytic` *before* reaching this module — the analytic
+engine replaces the round loop wholesale (no simulation), so none of the
+per-feature heuristics here apply to it. Every simulating resolution
+(``auto``/``fused``) lands here and makes its choices per feature as
+described above.
 """
 
 from __future__ import annotations

@@ -50,6 +50,13 @@ The loop body itself exists in two interchangeable **backends**:
   table amortisation test, chunk eligibility) degrade gracefully to
   reference-equivalent behaviour feature by feature, so there is no
   workload where choosing it loses.
+* ``backend="analytic"`` — no simulation at all: :mod:`repro.core.analytic`
+  *solves* the encounter process (sparse transition-matrix convolution /
+  closed forms) and returns deterministic expectation containers, ``O(1)``
+  in the replicate count. Exact but **not bit-identical** to the simulating
+  backends — it returns the law of the process, not a draw — and only
+  valid on the solvable combos; everything else raises
+  :class:`~repro.core.analytic.AnalyticUnsupportedError`.
 
 ``backend=None`` resolves to the process-wide default
 (:func:`get_default_backend`, settable via :func:`set_default_backend` or
@@ -76,7 +83,7 @@ from repro.utils.rng import SeedLike, as_generator
 from repro.utils.validation import require_integer
 
 #: The selectable kernel backends; see the module docstring.
-KERNEL_BACKENDS = ("auto", "reference", "fused")
+KERNEL_BACKENDS = ("auto", "reference", "fused", "analytic")
 
 _default_backend = "auto"
 
@@ -84,10 +91,13 @@ _default_backend = "auto"
 def set_default_backend(backend: str) -> None:
     """Set the process-wide kernel backend used when ``backend=None``.
 
-    Accepts one of :data:`KERNEL_BACKENDS`. Because every backend is
-    bit-identical, switching only changes wall-clock — which is why the
-    run cache and the scheduler deliberately ignore the setting (worker
-    processes run their own default, ``"auto"``).
+    Accepts one of :data:`KERNEL_BACKENDS`. The simulating backends
+    (``auto``/``reference``/``fused``) are bit-identical, so for them the
+    setting only changes wall-clock and the run cache ignores it. The
+    ``analytic`` backend *does* change records (it returns expectations,
+    not samples), so the serve/CLI cache key folds it in when it is the
+    process default, and the scheduler forwards the default into its
+    worker processes so ``--workers N`` stays consistent with serial.
     """
     global _default_backend
     _default_backend = _validated_backend(backend)
@@ -303,9 +313,14 @@ def run_kernel(
         Seed or generator controlling all randomness (placement, walks,
         property assignment, and observation noise).
     backend:
-        ``"reference"``, ``"fused"``, or ``"auto"``; ``None`` (the default)
-        resolves to the process-wide default (normally ``"auto"``). All
-        backends are bit-identical; the choice only affects wall-clock.
+        ``"reference"``, ``"fused"``, ``"auto"``, or ``"analytic"``;
+        ``None`` (the default) resolves to the process-wide default
+        (normally ``"auto"``). The simulating backends are bit-identical —
+        the choice only affects wall-clock. ``"analytic"`` instead *solves*
+        the process (:mod:`repro.core.analytic`): deterministic expectation
+        containers, ``O(1)`` in ``replicates``, equivalent to the
+        simulating backends only in distribution (tolerance-based checks,
+        never ``cmp``).
 
     Returns
     -------
@@ -314,19 +329,28 @@ def run_kernel(
         ``(R, n)`` container.
     """
     serial = replicates is None
+    resolved = _validated_backend(backend if backend is not None else _default_backend)
     if not serial:
         require_integer(replicates, "replicates", minimum=1)
-        if config.movement is not None:
-            require_batch_safe(config.movement, "movement model")
-        if config.collision_model is not None:
-            require_batch_safe(config.collision_model, "collision model")
+        if resolved != "analytic":
+            if config.movement is not None:
+                require_batch_safe(config.movement, "movement model")
+            if config.collision_model is not None:
+                require_batch_safe(config.collision_model, "collision model")
 
-    resolved = _validated_backend(backend if backend is not None else _default_backend)
     tel = get_telemetry()
     if tel.enabled:
         tel.counter(
             "kernel.runs", backend=resolved, mode="serial" if serial else "batched"
         )
+    if resolved == "analytic":
+        # No simulation: solve the process exactly. The analytic module
+        # validates the combo and raises AnalyticUnsupportedError (naming
+        # the offender) outside its solvable regime, so batch-safety checks
+        # are moot here — nothing is batched.
+        from repro.core.analytic import run_analytic  # deferred: analytic imports us
+
+        return run_analytic(topology, config, replicates, seed)
     if resolved != "reference":
         # "auto" and "fused" both run the fast path; its internal
         # heuristics make the per-feature choices (see fastpath docstring).

@@ -32,6 +32,7 @@ from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
 import numpy as np
 
 from repro.engine.batch import BatchSimulationResult, simulate_density_estimation_batch
+from repro.core.kernel import get_default_backend
 from repro.core.simulation import SimulationConfig
 from repro.obs.telemetry import get_telemetry
 from repro.topology.base import Topology
@@ -87,6 +88,7 @@ def _run_chunk(
     settings: Sequence[Mapping[str, Any]],
     seed_sequences: Sequence[np.random.SeedSequence],
     timed: bool = False,
+    backend: str | None = None,
 ) -> tuple[list[Any], list[float] | None]:
     """Execute one contiguous chunk of a plan (runs inside a worker process).
 
@@ -95,7 +97,18 @@ def _run_chunk(
     the worker-measured per-cell durations into its own recorder — which is
     what keeps telemetry parent-side and counters identical across worker
     counts.
+
+    The parent's default kernel backend rides along as ``backend`` and is
+    installed before any cell runs: for the bit-identical simulating
+    backends this is invisible, but ``--backend analytic`` changes records,
+    so a worker falling back to its own default would silently diverge
+    from the serial path (spawn-based start methods don't inherit module
+    state).
     """
+    if backend is not None:
+        from repro.core.kernel import set_default_backend
+
+        set_default_backend(backend)
     if not timed:
         return [
             task(**setting, rng=np.random.default_rng(sequence))
@@ -181,6 +194,7 @@ def iter_execute_plan(
                     plan.settings[lo:hi],
                     plan.seed_sequences[lo:hi],
                     timed,
+                    get_default_backend(),
                 ): (lo, hi)
                 for lo, hi in bounds
             }

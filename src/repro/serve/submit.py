@@ -196,10 +196,19 @@ class Submission:
     def cache_key(self, cache: RunCache) -> str:
         """The submission's content key — the CLI's definitions, verbatim.
 
-        Worker counts, backends, and telemetry are deliberately excluded:
-        they never change records, only wall-clock. The package version is
-        folded in so upgrades whose code changes could alter records miss.
+        Worker counts, telemetry, and the *simulating* backends are
+        deliberately excluded: they never change records, only wall-clock.
+        The one exception is ``analytic`` — it returns expectations instead
+        of samples, so when it is the process default it is folded into the
+        key (``backend="analytic"``); simulating runs keep their historical
+        keys. The package version is folded in so upgrades whose code
+        changes could alter records miss.
         """
+        from repro.core.kernel import get_default_backend
+
+        extra: dict[str, Any] = {}
+        if get_default_backend() == "analytic":
+            extra["backend"] = "analytic"
         if self.kind == "experiment":
             return cache.key(
                 kind="experiment",
@@ -209,6 +218,7 @@ class Submission:
                 quick=self.quick,
                 seed=self.seed,
                 config=repr(self.build_experiment_config()),
+                **extra,
             )
         if self.kind == "scenario":
             return cache.key(
@@ -218,12 +228,14 @@ class Submission:
                 scenario=repr(self.build_scenario()),
                 replicates=self.replicates,
                 seed=self.seed,
+                **extra,
             )
         return cache.key(
             kind="sweep_job",
             schema=CACHE_SCHEMA,
             version=__version__,
             spec=dict(self.spec or {}),
+            **extra,
         )
 
 

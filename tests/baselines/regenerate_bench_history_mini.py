@@ -1,14 +1,18 @@
 """Regenerate tests/baselines/bench_history_mini/ — the committed bench history.
 
-Eight deterministic ``BENCH_*.json`` artifacts shaped exactly like
-``benchmarks/bench_fastpath.py`` output: a stable speedup trajectory for
-every (workload, backend) series, with ~3% seeded jitter. The CI
-benchmarks job feeds these plus a freshly measured ``BENCH_kernel.json``
-through ``repro bench history --metric speedup`` — eight committed points
-arm the two-window detector (window 4), the fresh point extends each
-series, and the run must exit 0: a single honest CI measurement cannot
-shift a 4-point window mean past the 25% material threshold, so any
-nonzero exit means the observatory plumbing itself broke.
+Eight deterministic builds, each with two ``BENCH_*.json`` artifacts shaped
+exactly like the ``benchmarks/bench_fastpath.py`` and
+``benchmarks/bench_analytic.py`` outputs: a stable speedup trajectory for
+every (benchmark, workload, backend) series, with seeded jitter (~3% for
+the simulating backends, ~15% for the analytic speedups — wall-clock
+ratios against millisecond solves are noisier). The CI benchmarks job
+feeds these plus freshly measured ``BENCH_kernel.json`` +
+``BENCH_analytic.json`` through ``repro bench history --metric speedup`` —
+eight committed points arm the two-window detector (window 4), the fresh
+points extend each series, and the run must exit 0: a single honest CI
+measurement cannot shift a 4-point window mean past the 25% material
+threshold, so any nonzero exit means the observatory plumbing itself
+broke.
 
 The first two artifacts deliberately predate provenance stamping (no
 ``provenance`` block, no ``version``) so the legacy-tolerance path is
@@ -46,6 +50,27 @@ GATES = {
     "min_macro_hits": 2,
     "min_macro_floor": 0.9,
     "min_micro_ratio": 0.9,
+}
+
+#: (workload label, replicates, nominal analytic speedup over fused, nominal
+#: fused seconds) — matching benchmarks/bench_analytic.py records. Nominal
+#: speedups sit below the container measurements (~168x/~284x/~2600x) so a
+#: slower CI runner's honest fresh point lands inside the window tolerance.
+ANALYTIC_WORKLOADS = (
+    ("E01-class torus R=10", 10, 140.0, 0.25),
+    ("E01-class torus R=1000", 1000, 150.0, 0.25),
+    ("E05-class torus R=1000", 1000, 250.0, 0.55),
+    ("E05-class torus R=10", 10, 240.0, 0.55),
+    ("well-mixed complete graph R=10", 10, 1800.0, 0.30),
+    ("well-mixed complete graph R=1000", 1000, 2000.0, 0.30),
+)
+
+ANALYTIC_GATES = {
+    "min_speedup": 100.0,
+    "max_replicate_ratio": 3.0,
+    "oracle_safety": 6.0,
+    "small_replicates": 10,
+    "large_replicates": 1000,
 }
 
 FIXTURE_PROVENANCE = {
@@ -89,6 +114,43 @@ def main() -> None:
             payload["provenance"] = FIXTURE_PROVENANCE
         path = OUTPUT_DIR / f"BENCH_mini_{index:03d}.json"
         path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+        print(f"wrote {path}")
+
+        analytic_records = []
+        for workload, replicates, speedup, fused_seconds in ANALYTIC_WORKLOADS:
+            jittered_fused = fused_seconds * (1 + rng.normal(0, 0.03))
+            # Analytic speedups divide an ~0.3s simulation by a ~2ms solve,
+            # so the trajectory carries more honest jitter than the
+            # simulating series (still far inside the 25% window tolerance).
+            jittered_speedup = speedup * (1 + rng.normal(0, 0.10))
+            analytic_records.append(
+                {
+                    "workload": workload,
+                    "backend": "analytic",
+                    "replicates": replicates,
+                    "median_seconds": round(jittered_fused / jittered_speedup, 8),
+                    "speedup": round(jittered_speedup, 4),
+                }
+            )
+            if replicates == 1000:
+                analytic_records.append(
+                    {
+                        "workload": workload,
+                        "backend": "fused",
+                        "replicates": replicates,
+                        "median_seconds": round(jittered_fused, 6),
+                        "speedup": 1.0,
+                    }
+                )
+        analytic_payload = {
+            "benchmark": "bench_analytic",
+            "records": analytic_records,
+            "gates": ANALYTIC_GATES,
+            "version": FIXTURE_PROVENANCE["package_version"],
+            "provenance": FIXTURE_PROVENANCE,
+        }
+        path = OUTPUT_DIR / f"BENCH_mini_analytic_{index:03d}.json"
+        path.write_text(json.dumps(analytic_payload, indent=2) + "\n", encoding="utf-8")
         print(f"wrote {path}")
 
 

@@ -1,0 +1,217 @@
+"""Property-based tests of the analytic backend (hypothesis).
+
+The analytic engine claims *exact* moments, so its properties are sharp:
+transition matrices are doubly stochastic and symmetric, the re-collision
+series is a probability bounded below by the uniform mass, expectations are
+monotone in the agent density, the solution is invariant in the replicate
+count, the torus series mixes to the well-mixed value, and — the strongest
+check — the variance matches a brute-force dense enumeration of the joint
+multi-walk Markov chain on tiny state spaces, to relative 1e-9.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.analytic import (
+    meeting_probabilities,
+    run_analytic,
+    solve,
+    transition_matrix,
+)
+from repro.core.simulation import SimulationConfig
+from repro.topology.complete import CompleteGraph
+from repro.topology.hypercube import Hypercube
+from repro.topology.ring import Ring
+from repro.topology.torus import Torus2D
+from repro.topology.torus_kd import TorusKD
+
+#: Topologies small enough for the brute-force joint-chain enumeration:
+#: with up to 3 agents the joint state space is at most 9**3 = 729.
+TINY_TOPOLOGIES = (
+    Ring(3),
+    Ring(5),
+    Ring(6),
+    Torus2D(2),
+    Torus2D(3),
+    CompleteGraph(3),
+    CompleteGraph(5),
+    Hypercube(2),
+    Hypercube(3),
+)
+
+#: Wider pool for the algebraic invariants (still fast to solve).
+SOLVABLE_TOPOLOGIES = TINY_TOPOLOGIES + (
+    Torus2D(7),
+    TorusKD(4, 3),
+    Ring(16),
+    Hypercube(5),
+    CompleteGraph(30),
+)
+
+tiny_topologies = st.sampled_from(TINY_TOPOLOGIES)
+solvable_topologies = st.sampled_from(SOLVABLE_TOPOLOGIES)
+
+
+def _brute_force_collision_variance(topology, num_agents: int, rounds: int) -> float:
+    """Exact ``Var(C_u)`` by dense enumeration of the joint walk chain.
+
+    Builds the full joint transition matrix ``P ⊗ ... ⊗ P`` over all
+    ``A**num_agents`` states, takes ``f(state)`` = collisions agent 0
+    observes in that state, and sums ``E[f_r f_s]`` over every round pair
+    using stationarity of the uniform joint placement. No ingredient of the
+    analytic derivation (pair decomposition, vanishing three-walk
+    covariances, vertex transitivity) is reused — this is the independent
+    ground truth the shortcut formulas must reproduce.
+    """
+    single = transition_matrix(topology).toarray()
+    num_nodes = topology.num_nodes
+    joint = single
+    for _ in range(num_agents - 1):
+        joint = np.kron(joint, single)
+    states = num_nodes**num_agents
+    index = np.arange(states)
+    digits = []
+    for _ in range(num_agents):
+        digits.append(index % num_nodes)
+        index = index // num_nodes
+    digits = digits[::-1]  # kron order: agent 0 is the most significant digit
+    observed = np.zeros(states)
+    for other in range(1, num_agents):
+        observed += (digits[0] == digits[other]).astype(np.float64)
+    uniform = np.full(states, 1.0 / states)
+    lagged = np.empty(rounds)  # lagged[m] = E[f_r · f_{r+m}] (stationary)
+    weighted = uniform * observed
+    lagged[0] = float(weighted @ observed)
+    for lag in range(1, rounds):
+        weighted = weighted @ joint
+        lagged[lag] = float(weighted @ observed)
+    mean_total = rounds * float(uniform @ observed)
+    second_moment = rounds * lagged[0]
+    for lag in range(1, rounds):
+        second_moment += 2.0 * (rounds - lag) * lagged[lag]
+    return second_moment - mean_total**2
+
+
+class TestTransitionStructure:
+    @given(topology=solvable_topologies)
+    @settings(max_examples=30, deadline=None)
+    def test_matrix_is_symmetric_doubly_stochastic(self, topology):
+        matrix = transition_matrix(topology).toarray()
+        assert np.all(matrix >= 0.0)
+        assert np.allclose(matrix.sum(axis=1), 1.0, atol=1e-12)
+        # Every supported walk has an equally likely inverse step.
+        assert np.allclose(matrix, matrix.T, atol=1e-12)
+
+    @given(topology=solvable_topologies, max_lag=st.integers(min_value=0, max_value=30))
+    @settings(max_examples=40, deadline=None)
+    def test_recollision_series_is_a_probability(self, topology, max_lag):
+        series = meeting_probabilities(topology, max_lag)
+        assert series.shape == (max_lag + 1,)
+        assert series[0] == 1.0
+        assert np.all(series <= 1.0 + 1e-12)
+        # Cauchy-Schwarz: ||rho||^2 >= 1/A for any distribution rho.
+        assert np.all(series >= 1.0 / topology.num_nodes - 1e-12)
+
+
+class TestBruteForceEquivalence:
+    @given(
+        topology=tiny_topologies,
+        num_agents=st.integers(min_value=2, max_value=3),
+        rounds=st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_variance_matches_joint_chain_enumeration(self, topology, num_agents, rounds):
+        solution = solve(topology, SimulationConfig(num_agents=num_agents, rounds=rounds))
+        enumerated = _brute_force_collision_variance(topology, num_agents, rounds)
+        shortcut = (num_agents - 1) * solution.pair_variance
+        assert shortcut == pytest.approx(enumerated, rel=1e-9, abs=1e-12)
+
+    @given(topology=tiny_topologies, rounds=st.integers(min_value=1, max_value=4))
+    @settings(max_examples=20, deadline=None)
+    def test_mean_matches_joint_chain_enumeration(self, topology, rounds):
+        # E[C_u] from the uniform joint law, no pair shortcut.
+        num_nodes = topology.num_nodes
+        solution = solve(topology, SimulationConfig(num_agents=2, rounds=rounds))
+        assert solution.expected_collision_total == pytest.approx(
+            rounds / num_nodes, rel=1e-12
+        )
+
+
+class TestMonotonicity:
+    @given(
+        topology=solvable_topologies,
+        num_agents=st.integers(min_value=2, max_value=40),
+        rounds=st.integers(min_value=1, max_value=60),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_expectations_grow_with_density(self, topology, num_agents, rounds):
+        config = SimulationConfig(num_agents=num_agents, rounds=rounds)
+        denser = SimulationConfig(num_agents=num_agents + 1, rounds=rounds)
+        lower = solve(topology, config)
+        higher = solve(topology, denser)
+        assert higher.density > lower.density
+        assert higher.expected_collision_total > lower.expected_collision_total
+        assert higher.estimate_variance > lower.estimate_variance
+
+
+class TestReplicateInvariance:
+    @given(
+        topology=solvable_topologies,
+        num_agents=st.integers(min_value=2, max_value=20),
+        rounds=st.integers(min_value=1, max_value=30),
+        replicates=st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_law_does_not_depend_on_replicates(self, topology, num_agents, rounds, replicates):
+        config = SimulationConfig(num_agents=num_agents, rounds=rounds)
+        batch = run_analytic(topology, config, replicates=replicates)
+        serial = run_analytic(topology, config)
+        # Every replicate row is the same expectation comb as the serial run.
+        for row in np.asarray(batch.collision_totals):
+            assert np.array_equal(row, serial.collision_totals)
+        # Independent replicates divide the grand-mean variance exactly.
+        solution = batch.solution
+        assert solution.grand_mean_variance(replicates) * replicates == pytest.approx(
+            solution.grand_mean_variance(1), rel=1e-12
+        )
+
+
+class TestMixingLimit:
+    @given(side=st.sampled_from([3, 5, 7, 9]))
+    @settings(max_examples=4, deadline=None)
+    def test_odd_torus_mixes_to_the_well_mixed_value(self, side):
+        # An odd-sided torus is aperiodic, so p_m -> 1/A; the complete graph
+        # is the well-mixed reference with the same limit. Far past the
+        # O(side^2) mixing time the two are indistinguishable.
+        num_nodes = side * side
+        horizon = 40 * side * side
+        torus = meeting_probabilities(Torus2D(side), horizon)[-1]
+        well_mixed = meeting_probabilities(CompleteGraph(num_nodes), horizon)[-1]
+        assert torus == pytest.approx(1.0 / num_nodes, abs=1e-9)
+        assert torus == pytest.approx(well_mixed, abs=1e-9)
+
+
+class TestExactMoments:
+    @given(
+        topology=solvable_topologies,
+        num_agents=st.integers(min_value=2, max_value=50),
+        rounds=st.integers(min_value=1, max_value=40),
+        replicates=st.integers(min_value=1, max_value=6),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_batch_estimates_carry_the_exact_law(
+        self, topology, num_agents, rounds, replicates
+    ):
+        config = SimulationConfig(num_agents=num_agents, rounds=rounds)
+        batch = run_analytic(topology, config, replicates=replicates)
+        estimates = batch.estimates()
+        solution = batch.solution
+        assert float(estimates.mean()) == pytest.approx(solution.density, abs=1e-12)
+        if num_agents > 1:
+            assert float(estimates.var()) == pytest.approx(
+                solution.estimate_variance, rel=1e-9, abs=1e-15
+            )

@@ -27,22 +27,45 @@ baselines and commit the diff::
 
 The regeneration script reuses :func:`compute_metrics` below, so the tested
 quantities and the stored quantities can never drift apart. See TESTING.md.
+
+Theory oracle bands
+-------------------
+Alongside the 8-seed empirical bands, every metric with an analytic
+counterpart is also checked against a **theory-derived** band: the exact
+analytic mean (:func:`repro.core.analytic.solve`) ± a CLT/Chernoff-scale
+width computed from the exact variance — bands from mathematics, not from
+calibration seeds (:class:`TestAnalyticOracle`). Simulation must land
+inside *both* families of bands; the metrics without analytic counterparts
+(the E23 dynamics metrics — hooks have no closed-form law — and the E05
+ratio, whose denominator is Algorithm 4's stationary/mobile split, a
+process the analytic engine does not model) keep empirical bands only.
 """
 
 from __future__ import annotations
 
 import json
+import math
 from pathlib import Path
 
 import numpy as np
 import pytest
+from scipy.special import ndtri
 
+from repro.core.analytic import solve
+from repro.core.kernel import run_kernel
 from repro.core.simulation import SimulationConfig
 from repro.dynamics.driver import run_scenario
 from repro.dynamics.scenario import build_scenario
 from repro.engine import ExecutionEngine
 from repro.experiments import run_experiment
+from repro.experiments.e01_accuracy_vs_rounds import AccuracyVsRoundsConfig
+from repro.experiments.e05_rw_vs_independent import RandomWalkVsIndependentConfig
+from repro.experiments.e17_unbiasedness import UnbiasednessConfig
+from repro.topology.complete import CompleteGraph
+from repro.topology.hypercube import Hypercube
+from repro.topology.ring import Ring
 from repro.topology.torus import Torus2D
+from repro.topology.torus_kd import TorusKD
 from repro.utils.rng import spawn_seed_sequences
 
 BASELINE_PATH = Path(__file__).parent / "baselines" / "statistical_baselines.json"
@@ -162,3 +185,198 @@ class TestPhysicalSanity:
     def test_batch_mean_near_true_density(self, measured):
         true_density = 103 / 1024  # (104 - 1) agents on the 32x32 torus
         assert measured["batch_mean_estimate"] == pytest.approx(true_density, rel=0.15)
+
+
+# ----------------------------------------------------------------------
+# Theory oracle bands: analytic mean ± CLT/Chernoff-scale width
+# ----------------------------------------------------------------------
+
+#: Same safety multiplier the empirical bands use (6 sigma).
+ORACLE_SAFETY = 6.0
+
+#: The batched-replicate workload pinned by compute_metrics above.
+_BATCH_TOPOLOGY_SIDE = 32
+_BATCH_AGENTS = 104
+_BATCH_ROUNDS = 100
+_BATCH_REPLICATES = 6
+
+
+def _epsilon_oracle(solution, delta: float, trials: int) -> tuple[float, float]:
+    """CLT center and band for an ``empirical_epsilon`` metric.
+
+    ``empirical_epsilon`` is the ``(1-δ)`` sample quantile of ``|d̃-d|/d``
+    over ``n`` agents, so its center is the analytic CLT quantile
+    ``z_{1-δ/2}·σ/d`` and its sampling noise is the asymptotic quantile
+    standard error ``sqrt(δ(1-δ)/n) / f(ξ)`` with ``f = 2φ(z)·d/σ`` the
+    density of the statistic at the quantile. Estimates are quantized to
+    multiples of ``1/t`` (collision counts are integers), so one
+    quantization step ``1/(t·d)`` of relative error is added to the band.
+    """
+    center = solution.clt_epsilon(delta)
+    z = float(ndtri(1.0 - delta / 2.0))
+    pdf = math.exp(-z * z / 2.0) / math.sqrt(2.0 * math.pi)
+    quantile_sd = (
+        math.sqrt(delta * (1.0 - delta) / solution.num_agents)
+        / (2.0 * pdf)
+        * solution.estimate_std
+        / solution.density
+    )
+    quantization = 1.0 / (solution.rounds * solution.density)
+    return center, ORACLE_SAFETY * quantile_sd / math.sqrt(trials) + quantization
+
+
+def compute_oracle_bands() -> dict[str, tuple[float, float, str]]:
+    """``metric -> (center, band, description)`` for every metric with an
+    analytic counterpart, derived from the experiments' own quick configs
+    (no duplicated magic numbers)."""
+    bands: dict[str, tuple[float, float, str]] = {}
+
+    e01 = AccuracyVsRoundsConfig.quick()
+    e01_topology = Torus2D(e01.side)
+    final = solve(
+        e01_topology,
+        SimulationConfig(num_agents=e01.num_agents, rounds=e01.rounds_grid[-1]),
+    )
+    first = solve(
+        e01_topology,
+        SimulationConfig(num_agents=e01.num_agents, rounds=e01.rounds_grid[0]),
+    )
+    center, band = _epsilon_oracle(final, e01.delta, e01.trials)
+    bands["e01_empirical_epsilon_final"] = (
+        center,
+        band,
+        "CLT quantile z_{1-d/2} * sigma/d at the final E01 grid point",
+    )
+    first_center, first_band = _epsilon_oracle(first, e01.delta, e01.trials)
+    ratio = center / first_center
+    bands["e01_epsilon_decay_ratio"] = (
+        ratio,
+        ratio
+        * math.sqrt((band / center) ** 2 + (first_band / first_center) ** 2),
+        "ratio of the CLT epsilon predictions at the last and first grid points",
+    )
+    bands["e01_mean_estimate_final"] = (
+        final.density,
+        ORACLE_SAFETY * math.sqrt(final.grand_mean_variance(e01.trials)),
+        "exact unbiasedness: d +/- 6 * sd of the grand mean",
+    )
+
+    batch = solve(
+        Torus2D(_BATCH_TOPOLOGY_SIDE),
+        SimulationConfig(num_agents=_BATCH_AGENTS, rounds=_BATCH_ROUNDS),
+    )
+    bands["batch_mean_estimate"] = (
+        batch.density,
+        ORACLE_SAFETY * math.sqrt(batch.grand_mean_variance(_BATCH_REPLICATES)),
+        "exact unbiasedness of the pooled batched-replicate mean",
+    )
+    pooled = _BATCH_REPLICATES * batch.num_agents
+    bands["batch_estimate_variance"] = (
+        # compute_metrics uses np.var (ddof=0); rescale the exact ddof=1 law.
+        batch.expected_sample_variance(_BATCH_REPLICATES) * (pooled - 1) / pooled,
+        ORACLE_SAFETY
+        * batch.estimate_variance
+        * math.sqrt(2.0 / (pooled - 1))
+        * math.sqrt(batch.variance_inflation),
+        "exact E[sample variance] +/- 6 * CLT sd of a variance estimate "
+        "(correlation-inflated)",
+    )
+
+    e05 = RandomWalkVsIndependentConfig.quick()
+    rw = solve(
+        Torus2D(e05.side),
+        SimulationConfig(num_agents=e05.num_agents, rounds=e05.rounds_grid[-1]),
+    )
+    center, band = _epsilon_oracle(rw, e05.delta, e05.trials)
+    bands["e05_random_walk_epsilon_final"] = (
+        center,
+        band,
+        "CLT quantile for the random-walk arm of E05's final grid point",
+    )
+
+    e17 = UnbiasednessConfig.quick()
+    relative_sds = []
+    for topology in (
+        Torus2D(e17.torus_side),
+        Ring(e17.ring_size),
+        TorusKD(e17.torus3d_side, 3),
+        Hypercube(e17.hypercube_dims),
+        CompleteGraph(e17.torus_side**2),
+    ):
+        num_agents = max(2, int(round(e17.target_density * topology.num_nodes)) + 1)
+        solution = solve(
+            topology, SimulationConfig(num_agents=num_agents, rounds=e17.rounds)
+        )
+        relative_sds.append(
+            math.sqrt(solution.grand_mean_variance(e17.trials)) / solution.density
+        )
+    bands["e17_mean_relative_bias"] = (
+        0.0,
+        ORACLE_SAFETY * math.sqrt(sum(sd * sd for sd in relative_sds)) / len(relative_sds),
+        "exact zero bias +/- 6 * sd of the across-topology mean relative bias",
+    )
+    bands["e17_max_abs_relative_bias"] = (
+        0.0,
+        ORACLE_SAFETY * max(relative_sds),
+        "worst per-topology |relative bias| stays below 6 * its own sd",
+    )
+    return bands
+
+
+ORACLE_BANDS = compute_oracle_bands()
+
+
+class TestAnalyticOracle:
+    """Theory-vs-simulation cross-validation (ROADMAP item 1).
+
+    The centers and widths here come from the analytic engine's exact
+    moments, not from calibration runs: a metric must land inside its
+    theory band *and* (via :class:`TestGoldenMetrics`) its 8-seed empirical
+    band. ``reference`` and ``fused`` are bit-identical (pinned by the
+    equivalence suite), so the experiment-level metrics — computed once
+    under the default backend — cover both; the batched-replicate workload
+    is additionally run under each backend explicitly below.
+    """
+
+    def test_oracle_metrics_are_a_subset_of_golden_metrics(self):
+        assert set(ORACLE_BANDS) <= set(BASELINES["metrics"])
+
+    @pytest.mark.parametrize("name", sorted(ORACLE_BANDS))
+    def test_metric_inside_oracle_band(self, measured, name):
+        center, band, description = ORACLE_BANDS[name]
+        assert abs(measured[name] - center) <= band, (
+            f"{name} = {measured[name]:.6g} left its THEORY band {center:.6g} +/- "
+            f"{band:.6g} ({description}). Unlike the golden bands this one cannot "
+            "be regenerated away: either the simulation or the analytic "
+            "derivation is wrong."
+        )
+
+    @pytest.mark.parametrize("backend", ["reference", "fused"])
+    def test_each_simulating_backend_inside_oracle_bands(self, backend):
+        batch = run_kernel(
+            Torus2D(_BATCH_TOPOLOGY_SIDE),
+            SimulationConfig(num_agents=_BATCH_AGENTS, rounds=_BATCH_ROUNDS),
+            _BATCH_REPLICATES,
+            BASELINES["pinned_seed"],
+            backend=backend,
+        )
+        estimates = batch.estimates()
+        center, band, _ = ORACLE_BANDS["batch_mean_estimate"]
+        assert abs(float(estimates.mean()) - center) <= band, backend
+        center, band, _ = ORACLE_BANDS["batch_estimate_variance"]
+        assert abs(float(estimates.var()) - center) <= band, backend
+
+    def test_analytic_backend_reproduces_its_own_oracle_exactly(self):
+        batch = run_kernel(
+            Torus2D(_BATCH_TOPOLOGY_SIDE),
+            SimulationConfig(num_agents=_BATCH_AGENTS, rounds=_BATCH_ROUNDS),
+            _BATCH_REPLICATES,
+            BASELINES["pinned_seed"],
+            backend="analytic",
+        )
+        estimates = batch.estimates()
+        solution = batch.solution
+        assert float(estimates.mean()) == pytest.approx(solution.density, abs=1e-12)
+        assert float(estimates.var()) == pytest.approx(
+            solution.estimate_variance, rel=1e-9
+        )
