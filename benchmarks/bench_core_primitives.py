@@ -80,7 +80,9 @@ class TestCountingCrossover:
     """
 
     #: (replicates, agents, nodes): dense suite regimes, the crossover
-    #: neighbourhood, and clearly sort-favoured sparse grids.
+    #: neighbourhood, clearly sort-favoured sparse grids, and the large-n
+    #: frontier (million-agent rows) where the linear path's count buffer
+    #: approaches the memory cap and the blocked variant takes over.
     GRID = (
         (32, 200, 1_024),
         (32, 200, 2_304),
@@ -90,6 +92,9 @@ class TestCountingCrossover:
         (32, 200, 100_000),
         (32, 50, 262_144),
         (1, 16, 1_000_000),
+        (8, 1_000_000, 65_536),
+        (4, 1_000_000, 1_048_576),
+        (1, 1_000_000, 1_000_000),
     )
 
     @staticmethod
@@ -107,11 +112,14 @@ class TestCountingCrossover:
         rows = []
         for replicates, agents, nodes in self.GRID:
             positions = rng.integers(0, nodes, size=(replicates, agents))
+            # Million-agent points would take minutes at the default inner
+            # count; scale it down so each point costs roughly the same.
+            inner = max(1, min(20, 2_000_000 // max(replicates * agents, 1)))
             sort_seconds = self._median_seconds(
-                lambda: batched_collision_counts(positions, nodes)
+                lambda: batched_collision_counts(positions, nodes), inner=inner
             )
             linear_seconds = self._median_seconds(
-                lambda: batched_collision_counts_linear(positions, nodes)
+                lambda: batched_collision_counts_linear(positions, nodes), inner=inner
             )
             ratio = sort_seconds / linear_seconds  # > 1 means linear wins
             predicted = linear_counting_is_faster(replicates, agents, nodes)

@@ -62,7 +62,7 @@ Online tracking of a time-varying world:
 
 # Defined before any subpackage import: repro.store and repro.sweeps fold the
 # package version into provenance metadata and cache keys at import time.
-__version__ = "1.8.0"
+__version__ = "1.9.0"
 
 from repro.core import (
     AnalyticSolution,
@@ -91,9 +91,11 @@ from repro.engine import (
     ExecutionEngine,
     RunCache,
     get_default_backend,
+    get_default_shard_workers,
     require_batch_safe,
     run_kernel,
     set_default_backend,
+    set_default_shard_workers,
 )
 from repro.obs import (
     Telemetry,
@@ -145,6 +147,8 @@ __all__ = [
     "KERNEL_BACKENDS",
     "get_default_backend",
     "set_default_backend",
+    "get_default_shard_workers",
+    "set_default_shard_workers",
     "AnalyticSolution",
     "AnalyticUnsupportedError",
     "solve_analytic",

@@ -40,6 +40,13 @@ instead of sampling it, so its records differ from simulation, it is
 folded into cache keys, and it fails with a clean error on workloads
 outside its solvable regime (noise models, dynamic scenarios, irregular
 topologies). The chosen backend is forwarded to ``--workers`` subprocesses.
+``--shard-workers K`` turns on intra-kernel sharding: each batched
+``(R, n)`` kernel call splits into ``K`` contiguous replicate-row shards
+on a thread pool (:mod:`repro.core.shardpath`). Results are bit-identical
+for every ``K`` — rows are seeded from per-replicate SeedSequence
+children — but differ from unsharded runs (a different RNG discipline),
+so the *sharded* discipline joins the cache key while ``K`` itself does
+not. Forwarded to ``--workers`` subprocesses like the backend.
 ``--cache-dir`` points at a content-addressed run store
 (:class:`repro.engine.RunCache`): a completed (experiment, config, seed)
 setting is loaded from disk instead of re-simulated. Sweeps checkpoint
@@ -67,7 +74,13 @@ from typing import Sequence
 from repro import __version__
 from repro.analysis.aggregate import aggregate_records, parse_metric
 from repro.dynamics.scenario import SCENARIOS, scenario_names
-from repro.engine import KERNEL_BACKENDS, ExecutionEngine, RunCache, set_default_backend
+from repro.engine import (
+    KERNEL_BACKENDS,
+    ExecutionEngine,
+    RunCache,
+    set_default_backend,
+    set_default_shard_workers,
+)
 from repro.experiments import EXPERIMENTS
 from repro.experiments.base import ExperimentResult
 from repro.experiments.report import generate_report
@@ -440,6 +453,21 @@ def _build_parser() -> argparse.ArgumentParser:
                 "record structured telemetry (counters, timers, spans) into DIR: "
                 "events.jsonl + summary.json. Observation-only — results are "
                 "bit-identical with or without it"
+            ),
+        )
+        sub.add_argument(
+            "--shard-workers",
+            type=_positive_int,
+            default=None,
+            metavar="K",
+            help=(
+                "intra-kernel sharding: split each batched (R, n) kernel call "
+                "into K contiguous replicate-row shards on a thread pool "
+                "(default: off). Results are bit-identical for every K — each "
+                "replicate row is seeded from its own SeedSequence child — "
+                "but differ from unsharded runs (different RNG discipline), "
+                "so the flag joins the cache key. Requires a fused backend; "
+                "round-hook scenarios fall back to the unsharded loop"
             ),
         )
     return parser
@@ -999,6 +1027,12 @@ def main(argv: Sequence[str] | None = None) -> int:
         # returns (expectations, not samples), which the cache key accounts
         # for (see Submission.cache_key).
         set_default_backend(args.backend)
+    if getattr(args, "shard_workers", None) is not None:
+        # Same process-wide pattern. Sharding changes the RNG discipline
+        # (per-replicate SeedSequence children; identical for every K), so
+        # the cache key folds the discipline in — not the K, which cannot
+        # change records.
+        set_default_shard_workers(args.shard_workers)
 
     telemetry_dir = getattr(args, "telemetry", None)
     if telemetry_dir is None:

@@ -1,0 +1,193 @@
+"""Array-API namespace registry: one seam, many array libraries.
+
+The fused kernel's hot loop is a handful of array operations — gather,
+scatter-count, elementwise arithmetic — none of which is NumPy-specific.
+This module is the seam that lets the *same* loop body run on any library
+implementing the `array API standard <https://data-apis.org/array-api/>`_:
+
+* ``numpy`` — always available; NumPy ≥ 2.0's main namespace *is* an
+  array-API namespace (``unique_all``, ``cumulative_sum``, ``astype``,
+  ``concat``, ...), so the portable code path is exercised on every
+  machine, not just ones with exotic accelerators installed.
+* ``array-api-strict`` — the reference implementation of the standard with
+  everything non-portable removed. CI runs the portable suite against it;
+  code that passes there cannot be quietly leaning on NumPy extensions.
+* ``cupy`` / ``jax`` — GPU namespaces, resolved only when importable.
+  Setting ``REPRO_NO_CUDA=1`` refuses CuPy with a loud
+  :class:`ArrayBackendUnavailableError` (the Parasitoids exemplar's
+  ``NO_CUDA`` gate) so CPU-only environments fail fast instead of
+  surfacing a driver error three stack frames deep.
+
+Resolution is **loud by design**: an unknown name raises
+:class:`ArrayBackendError` listing the registry; a known-but-missing
+library raises :class:`ArrayBackendUnavailableError` naming what to
+install (or which gate refused it). Nothing silently falls back to NumPy —
+a caller that asked for a device namespace either gets it or gets told why
+not.
+
+Equivalence contract: integer pipelines (positions, collision counts) are
+exact on every namespace, so ``array_namespace="numpy"`` is bit-identical
+to the default fused path and cross-library integer results must match
+exactly. Floating-point accumulations may legally differ by reduction
+order on device backends — those comparisons are tolerance-based (see
+TESTING.md, "cross-backend tolerance equivalence").
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any
+
+import numpy as np
+
+#: Registered namespace names, in resolution-preference order.
+ARRAY_NAMESPACES = ("numpy", "array-api-strict", "cupy", "jax")
+
+#: Environment gate refusing the CUDA-backed namespaces. Any value other
+#: than empty/``0`` counts as set.
+NO_CUDA_ENV = "REPRO_NO_CUDA"
+
+
+class ArrayBackendError(RuntimeError):
+    """A request the array-namespace seam cannot express.
+
+    Raised for unknown namespace names and for kernel features with no
+    portable implementation (the capability errors are loud, never a
+    silent NumPy fallback).
+    """
+
+
+class ArrayBackendUnavailableError(ArrayBackendError):
+    """A *known* namespace that cannot be resolved on this machine.
+
+    The message always says why: the library is not installed, or an
+    environment gate (``REPRO_NO_CUDA``) refused it.
+    """
+
+
+def cuda_disabled() -> bool:
+    """Whether the ``REPRO_NO_CUDA`` gate refuses CUDA namespaces."""
+    return os.environ.get(NO_CUDA_ENV, "").strip() not in ("", "0")
+
+
+def get_namespace(name: str | None) -> Any:
+    """Resolve a registered namespace name to its module.
+
+    ``None`` and ``"numpy"`` resolve to :mod:`numpy` (NumPy ≥ 2.0 is
+    array-API compatible). Other names import on demand and raise
+    :class:`ArrayBackendUnavailableError` with an actionable message when
+    the library is missing or gated off.
+    """
+    if name is None or name == "numpy":
+        return np
+    if name == "array-api-strict":
+        try:
+            import array_api_strict
+        except ImportError as error:
+            raise ArrayBackendUnavailableError(
+                "array namespace 'array-api-strict' is not installed; "
+                "`pip install array-api-strict` to run the portable kernel "
+                "suite against the standard's reference implementation"
+            ) from error
+        return array_api_strict
+    if name == "cupy":
+        if cuda_disabled():
+            raise ArrayBackendUnavailableError(
+                f"array namespace 'cupy' refused: {NO_CUDA_ENV}="
+                f"{os.environ.get(NO_CUDA_ENV)!r} disables CUDA namespaces "
+                "on this host; unset it to use the GPU path"
+            )
+        try:
+            import cupy
+        except ImportError as error:
+            raise ArrayBackendUnavailableError(
+                "array namespace 'cupy' is not installed; `pip install cupy` "
+                "(with a matching CUDA toolkit) enables the GPU kernel path"
+            ) from error
+        return cupy
+    if name == "jax":
+        try:
+            import jax.numpy as jnp
+        except ImportError as error:
+            raise ArrayBackendUnavailableError(
+                "array namespace 'jax' is not installed; `pip install jax` "
+                "enables the jax.numpy kernel path"
+            ) from error
+        return jnp
+    raise ArrayBackendError(
+        f"unknown array namespace {name!r}; registered namespaces: {ARRAY_NAMESPACES}"
+    )
+
+
+def available_namespaces() -> tuple[str, ...]:
+    """The registered namespaces that actually resolve on this machine."""
+    found = []
+    for name in ARRAY_NAMESPACES:
+        try:
+            get_namespace(name)
+        except ArrayBackendUnavailableError:
+            continue
+        found.append(name)
+    return tuple(found)
+
+
+def array_namespace(*arrays: Any) -> Any:
+    """The namespace the given arrays belong to (NumPy when unannotated).
+
+    Uses the standard's ``__array_namespace__`` protocol; arrays that do
+    not implement it (plain :class:`numpy.ndarray` on NumPy < 2.1, Python
+    scalars) count as NumPy. Mixing namespaces raises
+    :class:`ArrayBackendError` — implicit cross-device transfers are
+    exactly the kind of silent fallback this seam forbids.
+    """
+    spaces = []
+    for array in arrays:
+        probe = getattr(array, "__array_namespace__", None)
+        space = probe() if callable(probe) else np
+        if isinstance(array, np.ndarray):
+            space = np
+        if all(space is not seen for seen in spaces):
+            spaces.append(space)
+    if not spaces:
+        return np
+    if len(spaces) > 1:
+        names = sorted(getattr(space, "__name__", repr(space)) for space in spaces)
+        raise ArrayBackendError(
+            f"arrays from mixed namespaces {names}: move everything to one "
+            "namespace explicitly before calling the portable primitives"
+        )
+    return spaces[0]
+
+
+def is_numpy_namespace(xp: Any) -> bool:
+    """Whether ``xp`` is (a wrapper over) the NumPy namespace."""
+    return xp is np or getattr(xp, "__name__", "") == "numpy"
+
+
+def to_numpy(array: Any) -> np.ndarray:
+    """Materialise any namespace's array on the host as ``np.ndarray``.
+
+    CuPy exposes explicit device-to-host copies via ``.get()``; everything
+    else (NumPy, array-api-strict, JAX on CPU) round-trips through
+    ``np.asarray``.
+    """
+    if isinstance(array, np.ndarray):
+        return array
+    getter = getattr(array, "get", None)
+    if callable(getter):
+        return np.asarray(getter())
+    return np.asarray(array)
+
+
+__all__ = [
+    "ARRAY_NAMESPACES",
+    "NO_CUDA_ENV",
+    "ArrayBackendError",
+    "ArrayBackendUnavailableError",
+    "array_namespace",
+    "available_namespaces",
+    "cuda_disabled",
+    "get_namespace",
+    "is_numpy_namespace",
+    "to_numpy",
+]

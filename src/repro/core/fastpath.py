@@ -72,10 +72,11 @@ from typing import Optional
 
 import numpy as np
 
+from repro.core import encounter
 from repro.core.encounter import (
     batched_collision_counts,
     batched_collision_profiles,
-    linear_counting_is_faster,
+    linear_counting_block_rows,
 )
 from repro.core.simulation import (
     RoundState,
@@ -173,8 +174,21 @@ class _ArmedLoop:
                 self.table = build_step_table(topology)
         self.index_buf = np.empty(shape, dtype=np.int64) if self.table is not None else None
 
-        # Counting path: the measured unique-vs-bincount crossover.
-        self.linear = linear_counting_is_faster(rows, agents, self.num_nodes)
+        # Counting path: the measured unique-vs-bincount crossover, with
+        # the memory cap expressed as a *block plan* — when the full R·A
+        # scatter buffer would blow the budget but the asymptotics still
+        # favour the linear path, the scatter chunks over contiguous row
+        # blocks instead of reverting to the O(R·n log R·n) sort. The
+        # budget is read through the module attribute so tests can shrink
+        # it and exercise the chunked branch on small workloads.
+        block = linear_counting_block_rows(
+            rows,
+            agents,
+            self.num_nodes,
+            memory_budget_bytes=encounter.LINEAR_COUNTING_MEMORY_BUDGET_BYTES,
+        )
+        self.linear = block >= rows and block > 0
+        self.block_rows = block if (0 < block < rows and len(shape) == 2) else None
         if self.linear and len(shape) == 2:
             self.offsets = (
                 np.arange(rows, dtype=np.int64) * np.int64(self.num_nodes)
@@ -183,7 +197,19 @@ class _ArmedLoop:
         else:
             self.offsets = None
             self.label_buf = None
-        self.count_buf = np.empty(shape, dtype=np.int64) if self.linear else None
+        if self.block_rows is not None:
+            self.block_offsets = (
+                np.arange(self.block_rows, dtype=np.int64) * np.int64(self.num_nodes)
+            )[:, None]
+            self.block_label_buf = np.empty((self.block_rows, agents), dtype=np.int64)
+        else:
+            self.block_offsets = None
+            self.block_label_buf = None
+        self.count_buf = (
+            np.empty(shape, dtype=np.int64)
+            if (self.linear or self.block_rows is not None)
+            else None
+        )
         self.space = rows * self.num_nodes
         #: Hooks may replace or mutate ``marked`` between rounds, so the
         #: float view used by the weighted scatter-add is cached only for
@@ -234,6 +260,9 @@ class _ArmedLoop:
         pins this in-loop form against the reference backend, so the two
         cannot drift apart silently.
         """
+        if self.block_rows is not None:
+            out = np.empty(positions.shape, dtype=np.int64) if fresh else self.count_buf
+            return self._count_blocks(positions, out)
         if not self.linear:
             matrix = positions.reshape(-1, positions.shape[-1])
             return batched_collision_counts(
@@ -247,10 +276,34 @@ class _ArmedLoop:
         np.subtract(self.count_buf, 1, out=self.count_buf)
         return self.count_buf
 
+    def _count_blocks(self, positions: np.ndarray, out: np.ndarray) -> np.ndarray:
+        """Cap-respecting linear counting: one scatter pass per row block.
+
+        Bit-identical to the single-pass bincount (labels never cross
+        blocks, so each block's ``rows·A`` scatter space sees exactly the
+        elements the full ``R·A`` space would), but the per-node buffer
+        peaks at ``block_rows·A`` slots — the memory cap — instead of
+        ``R·A``.
+        """
+        block = self.block_rows
+        for lo in range(0, positions.shape[0], block):
+            hi = min(lo + block, positions.shape[0])
+            labels = self.block_label_buf[: hi - lo]
+            np.add(positions[lo:hi], self.block_offsets[: hi - lo], out=labels)
+            per_node = np.bincount(
+                labels.reshape(-1), minlength=(hi - lo) * self.num_nodes
+            )
+            np.take(per_node, labels, out=out[lo:hi])
+        np.subtract(out, 1, out=out)
+        return out
+
     def count_profiles(
         self, positions: np.ndarray, marked: np.ndarray, fresh: bool
     ) -> tuple[np.ndarray, np.ndarray]:
         """Plain and marked per-agent counts sharing one label pass."""
+        if self.block_rows is not None:
+            out = np.empty(positions.shape, dtype=np.int64) if fresh else self.count_buf
+            return self._profile_blocks(positions, marked, out)
         if not self.linear:
             matrix = positions.reshape(-1, positions.shape[-1])
             counts, marked_counts = batched_collision_profiles(
@@ -279,6 +332,28 @@ class _ArmedLoop:
         np.subtract(self.count_buf, 1, out=self.count_buf)
         return self.count_buf, marked_counts
 
+    def _profile_blocks(
+        self, positions: np.ndarray, marked: np.ndarray, out: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Block-chunked form of :meth:`count_profiles` (see :meth:`_count_blocks`)."""
+        block = self.block_rows
+        marked_counts = np.empty(positions.shape, dtype=np.int64)
+        for lo in range(0, positions.shape[0], block):
+            hi = min(lo + block, positions.shape[0])
+            labels = self.block_label_buf[: hi - lo]
+            np.add(positions[lo:hi], self.block_offsets[: hi - lo], out=labels)
+            flat = labels.reshape(-1)
+            space = (hi - lo) * self.num_nodes
+            per_node = np.bincount(flat, minlength=space)
+            marked_float = marked[lo:hi].astype(np.float64)
+            marked_per_node = np.bincount(
+                flat, weights=marked_float.reshape(-1), minlength=space
+            )
+            marked_counts[lo:hi] = (marked_per_node[labels] - marked_float).astype(np.int64)
+            np.take(per_node, labels, out=out[lo:hi])
+        np.subtract(out, 1, out=out)
+        return out, marked_counts
+
 
 def _report_armed(tel: Telemetry, armed: _ArmedLoop, reason: str, chunkable: bool) -> None:
     """Telemetry snapshot of one arming: counting path, crossover inputs, features.
@@ -287,7 +362,12 @@ def _report_armed(tel: Telemetry, armed: _ArmedLoop, reason: str, chunkable: boo
     nothing but already-computed invariants.
     """
     rows = armed.shape[0] if len(armed.shape) == 2 else 1
-    path = "bincount" if armed.linear else "unique"
+    if armed.linear:
+        path = "bincount"
+    elif armed.block_rows is not None:
+        path = "bincount-blocked"
+    else:
+        path = "unique"
     tel.counter("fastpath.counting_path", path=path)
     tel.event(
         "fastpath.armed",
@@ -296,9 +376,153 @@ def _report_armed(tel: Telemetry, armed: _ArmedLoop, reason: str, chunkable: boo
         rows=rows,
         agents=int(armed.shape[-1]),
         num_nodes=int(armed.num_nodes),
+        counting_block_rows=armed.block_rows,
         steps_precomputable=armed.steps_precomputable,
         displacement_table=armed.table is not None,
         chunked_rng=chunkable,
+    )
+
+
+def _run_portable(
+    topology: Topology,
+    config: SimulationConfig,
+    replicates: Optional[int],
+    seed: SeedLike,
+    namespace: str,
+):
+    """The fused loop body in pure array-API operations on ``namespace``.
+
+    Randomness stays on the host: placement, marking, and per-round step
+    draws come from the same NumPy generator in the same order as the
+    unchunked fused loop, then transfer into the namespace (the
+    Parasitoids pattern — host RNG, device arithmetic). Stepping goes
+    through the precomputed displacement table (one flat gather per
+    round); counting through the portable encounter primitives. Integer
+    state is therefore **bit-identical** to the default fused path on any
+    namespace with exact int64 — ``array_namespace="numpy"`` is pinned
+    against the default path by the equivalence suite, and
+    ``array-api-strict`` re-runs that battery in CI.
+
+    Loud capability errors, never silent fallbacks: movement models,
+    observation noise, and round hooks interleave host randomness with
+    namespace state in ways the portable loop cannot reproduce, and
+    topologies without a budget-sized displacement table have no portable
+    step. Both raise :class:`~repro.core.array_backend.ArrayBackendError`.
+    """
+    from repro.core.array_backend import ArrayBackendError, get_namespace, to_numpy
+    from repro.core.encounter import (
+        batched_collision_counts_portable,
+        batched_collision_profiles_portable,
+    )
+    from repro.core.kernel import _build_result, _place_agents
+
+    unsupported = [
+        label
+        for label, present in (
+            ("movement models", config.movement is not None),
+            ("observation-noise models", config.collision_model is not None),
+            ("round hooks", config.round_hook is not None),
+        )
+        if present
+    ]
+    if unsupported:
+        raise ArrayBackendError(
+            f"array namespace {namespace!r} runs do not support "
+            f"{', '.join(unsupported)}: the portable loop covers the plain "
+            "topology walk (host RNG, namespace arithmetic); run this "
+            "workload on the default NumPy path instead"
+        )
+    xp = get_namespace(namespace)
+    table_np = build_step_table(topology)
+    if table_np is None:
+        raise ArrayBackendError(
+            f"array namespace {namespace!r} runs require a precomputed "
+            f"displacement table, but topology {topology.name!r} either "
+            "does not declare precomputed_steps or its table exceeds "
+            f"TABLE_BUDGET_ELEMENTS ({TABLE_BUDGET_ELEMENTS})"
+        )
+
+    serial = replicates is None
+    rng = as_generator(seed)
+    positions_np = _place_agents(topology, config, replicates, rng)
+    shape = positions_np.shape
+    initial_positions = positions_np.copy()
+    if config.marked_fraction > 0.0:
+        marked_np = rng.random(shape) < config.marked_fraction
+    else:
+        marked_np = np.zeros(shape, dtype=bool)
+    track_marked = bool(marked_np.any())
+
+    matrix_shape = shape if len(shape) == 2 else (1, *shape)
+    rounds = config.rounds
+    choices = topology.num_step_choices
+    num_nodes = topology.num_nodes
+
+    table = xp.asarray(table_np)
+    positions = xp.asarray(positions_np.reshape(matrix_shape))
+    marked = xp.asarray(marked_np.reshape(matrix_shape))
+    totals = xp.zeros(matrix_shape, dtype=xp.float64)
+    marked_totals = xp.zeros(matrix_shape, dtype=xp.float64)
+    # Trajectories accumulate as per-round snapshots and stack at the end:
+    # in-place row assignment is not portable (JAX arrays are immutable).
+    trajectory_frames = [] if config.record_trajectory else None
+    marked_trajectory_frames = (
+        [] if (config.record_trajectory and track_marked) else None
+    )
+
+    tel = get_telemetry()
+    timing = tel.enabled
+    start = time.perf_counter() if timing else 0.0
+
+    for round_index in range(rounds):
+        draws_np = topology.draw_steps(shape, rng)
+        draws = xp.asarray(draws_np.reshape(matrix_shape))
+        flat_index = xp.reshape(positions * choices + draws, (-1,))
+        positions = xp.reshape(xp.take(table, flat_index), matrix_shape)
+        if track_marked:
+            counts, marked_counts = batched_collision_profiles_portable(
+                positions, marked, num_nodes, xp=xp
+            )
+            marked_totals += xp.astype(marked_counts, xp.float64)
+            if marked_trajectory_frames is not None:
+                marked_trajectory_frames.append(xp.asarray(marked_totals, copy=True))
+        else:
+            counts = batched_collision_counts_portable(positions, num_nodes, xp=xp)
+        totals += xp.astype(counts, xp.float64)
+        if trajectory_frames is not None:
+            trajectory_frames.append(xp.asarray(totals, copy=True))
+
+    if timing:
+        tel.counter("fastpath.portable_runs", namespace=namespace)
+        tel.timer("fastpath.portable_seconds", time.perf_counter() - start)
+        tel.event(
+            "fastpath.portable_run",
+            namespace=namespace,
+            rows=int(matrix_shape[0]),
+            agents=int(matrix_shape[-1]),
+            rounds=rounds,
+        )
+
+    return _build_result(
+        serial,
+        replicates,
+        topology,
+        config,
+        to_numpy(totals).reshape(shape).astype(np.float64),
+        to_numpy(marked_totals).reshape(shape).astype(np.float64),
+        marked_np,
+        initial_positions,
+        to_numpy(positions).reshape(shape).astype(np.int64),
+        (
+            None
+            if trajectory_frames is None
+            else to_numpy(xp.stack(trajectory_frames)).reshape(rounds, *shape)
+        ),
+        (
+            None
+            if marked_trajectory_frames is None
+            else to_numpy(xp.stack(marked_trajectory_frames)).reshape(rounds, *shape)
+        ),
     )
 
 
@@ -307,6 +531,7 @@ def run_fused(
     config: SimulationConfig,
     replicates: Optional[int],
     seed: SeedLike,
+    array_namespace: Optional[str] = None,
 ):
     """The fused round loop — bit-identical to the reference loop, faster.
 
@@ -315,7 +540,14 @@ def run_fused(
     argument validation happen there. Returns the same
     :class:`~repro.core.simulation.SimulationResult` /
     :class:`~repro.core.kernel.BatchSimulationResult` containers.
+
+    ``array_namespace`` routes the run through the portable array-API loop
+    (:func:`_run_portable`) on the named namespace instead of the
+    NumPy-specialised body below; ``None`` (the default) keeps the
+    existing path byte-for-byte.
     """
+    if array_namespace is not None:
+        return _run_portable(topology, config, replicates, seed, array_namespace)
     # Deferred: kernel imports this module lazily from inside run_kernel.
     from repro.core.kernel import _build_result, _place_agents
 

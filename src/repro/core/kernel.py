@@ -116,6 +116,31 @@ def _validated_backend(backend: str) -> str:
     return backend
 
 
+_default_shard_workers: Optional[int] = None
+
+
+def set_default_shard_workers(shard_workers: Optional[int]) -> None:
+    """Set the process-wide ``shard_workers`` used when the argument is ``None``.
+
+    ``None`` (the initial default) disables intra-kernel sharding.
+    Sharding changes the RNG discipline from one shared stream to
+    per-replicate SeedSequence children (see :mod:`repro.core.shardpath`),
+    so results are invariant to the *count* but differ from unsharded
+    runs — the serve/CLI cache key folds the sharded discipline in when
+    this default is set, and the scheduler forwards it into worker
+    processes so ``--workers N`` stays consistent with serial.
+    """
+    global _default_shard_workers
+    if shard_workers is not None:
+        require_integer(shard_workers, "shard_workers", minimum=1)
+    _default_shard_workers = shard_workers
+
+
+def get_default_shard_workers() -> Optional[int]:
+    """The process-wide ``shard_workers`` used when the argument is ``None``."""
+    return _default_shard_workers
+
+
 def require_batch_safe(model: Any, role: str = "model") -> None:
     """Raise unless ``model`` declares itself safe for ``(R, n)`` batching.
 
@@ -291,6 +316,8 @@ def run_kernel(
     replicates: Optional[int] = None,
     seed: SeedLike = None,
     backend: Optional[str] = None,
+    shard_workers: Optional[int] = None,
+    array_namespace: Optional[str] = None,
 ) -> SimulationResult | BatchSimulationResult:
     """Run Algorithm 1 for every agent — serially or for ``R`` replicates at once.
 
@@ -321,6 +348,25 @@ def run_kernel(
         containers, ``O(1)`` in ``replicates``, equivalent to the
         simulating backends only in distribution (tolerance-based checks,
         never ``cmp``).
+    shard_workers:
+        ``None`` (default; falls back to the process-wide default, see
+        :func:`set_default_shard_workers`) keeps the single-threaded
+        kernel. An integer ``K >= 1`` runs batched fused calls as
+        ``min(K, R)`` contiguous replicate-row shards on a pool
+        (:mod:`repro.core.shardpath`): results are **bit-identical for
+        every K** — each replicate row is seeded from its own
+        SeedSequence child, so they differ from the unsharded
+        shared-stream results. Requires a simulating, non-reference
+        backend; serial mode and ``round_hook`` configs fall back to the
+        unsharded fused loop for every ``K``.
+    array_namespace:
+        ``None`` (default) runs NumPy. A registered namespace name
+        (``"numpy"``/``"array-api-strict"``/``"cupy"``/``"jax"``, see
+        :mod:`repro.core.array_backend`) routes the fused loop's array
+        ops through that namespace — identical portable code on every
+        library, host RNG, loud capability errors for features with no
+        portable form. Only the fused/auto backends support it, and it
+        cannot combine with ``shard_workers``.
 
     Returns
     -------
@@ -330,6 +376,28 @@ def run_kernel(
     """
     serial = replicates is None
     resolved = _validated_backend(backend if backend is not None else _default_backend)
+    shards = shard_workers if shard_workers is not None else _default_shard_workers
+    if shards is not None:
+        require_integer(shards, "shard_workers", minimum=1)
+        if resolved == "reference":
+            raise ValueError(
+                "shard_workers requires a fused backend: the reference loop "
+                "is the deliberately simple semantic baseline and stays "
+                "single-threaded. Use backend='fused' (or 'auto') for "
+                "sharded runs."
+            )
+        if array_namespace not in (None, "numpy"):
+            raise ValueError(
+                "shard_workers cannot combine with a non-NumPy "
+                f"array_namespace ({array_namespace!r}): device namespaces "
+                "manage their own intra-kernel parallelism"
+            )
+    if array_namespace is not None and resolved in ("reference", "analytic"):
+        raise ValueError(
+            f"array_namespace={array_namespace!r} requires a fused backend "
+            f"(got backend={resolved!r}): the portable loop is the fused "
+            "body routed through the namespace seam"
+        )
     if not serial:
         require_integer(replicates, "replicates", minimum=1)
         if resolved != "analytic":
@@ -347,16 +415,21 @@ def run_kernel(
         # No simulation: solve the process exactly. The analytic module
         # validates the combo and raises AnalyticUnsupportedError (naming
         # the offender) outside its solvable regime, so batch-safety checks
-        # are moot here — nothing is batched.
+        # are moot here — nothing is batched. shard_workers is ignored:
+        # the solver is O(1) in replicates, there is nothing to shard.
         from repro.core.analytic import run_analytic  # deferred: analytic imports us
 
         return run_analytic(topology, config, replicates, seed)
     if resolved != "reference":
         # "auto" and "fused" both run the fast path; its internal
         # heuristics make the per-feature choices (see fastpath docstring).
+        if shards is not None:
+            from repro.core.shardpath import run_sharded  # deferred: shardpath imports us
+
+            return run_sharded(topology, config, replicates, seed, shards)
         from repro.core.fastpath import run_fused  # deferred: fastpath imports us
 
-        return run_fused(topology, config, replicates, seed)
+        return run_fused(topology, config, replicates, seed, array_namespace=array_namespace)
 
     if tel.enabled:
         # The reference loop has no counting crossover: it is always the
@@ -495,7 +568,9 @@ __all__ = [
     "BatchSimulationResult",
     "KERNEL_BACKENDS",
     "get_default_backend",
+    "get_default_shard_workers",
     "require_batch_safe",
     "run_kernel",
     "set_default_backend",
+    "set_default_shard_workers",
 ]

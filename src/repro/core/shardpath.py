@@ -1,0 +1,351 @@
+"""Intra-kernel sharding: one batched kernel call across many cores.
+
+The scheduler parallelises at *plan-cell* granularity — whole experiments
+fan out over processes — but a single batched :func:`~repro.core.kernel.run_kernel`
+call still runs its entire ``(R, n)`` replicate matrix on one NumPy
+thread. Every replicate row evolves independently, so the matrix splits
+cleanly into contiguous row shards; this module runs the existing fused
+loop per shard on a pool and merges the results.
+
+**Determinism contract — bit-identical for every shard count.** The
+repo's worker-count contract (``--workers N`` ≡ serial) extends one level
+down: ``shard_workers=K`` produces byte-identical results for every ``K``,
+including ``K=1``. The unsharded batched path cannot provide this anchor —
+it draws all replicates from *one* shared stream, and rejection-based
+samplers consume a data-dependent number of draws, so no partition of that
+stream is layout-independent. Sharded runs therefore seed **each
+replicate row from its own child** of the root seed
+(:func:`~repro.utils.rng.spawn_seed_sequences` — the exact discipline the
+scheduler uses for plan cells): every row's placement, marking, step
+draws, and observation noise are a pure function of its row index, never
+of which shard executed it. Shards then merge by writing disjoint row
+slices — no reduction, no order sensitivity.
+
+Consequences, stated loudly rather than discovered:
+
+* ``shard_workers=K`` ≡ ``shard_workers=1`` for every ``K`` (pinned by the
+  hypothesis invariance suite), but sharded results are **not** the
+  unsharded single-stream results — the flag changes the RNG discipline,
+  which is why the serve cache key folds it in when set.
+* ``round_hook`` configs **fall back to the unsharded fused loop** for
+  every ``K`` (telemetry counts the fallback): a hook observes and mutates
+  the whole live matrix each round, which is inherently cross-shard.
+  Falling back for all ``K`` keeps the K-invariance contract — hooked runs
+  never silently diverge between shard counts.
+* Serial mode (``replicates=None``) has one row and nothing to shard; it
+  also falls back.
+
+Executors: ``"thread"`` (default) — the hot path is NumPy ``bincount``/
+gather/scatter which releases the GIL, so threads scale without pickling
+or page-duplication costs; ``"process"`` — a ``ProcessPoolExecutor``
+fallback for workloads whose Python-level per-round overhead (foreign
+movement models, per-row noise) measurably serialises on the GIL. Select
+per call or via ``REPRO_SHARD_EXECUTOR``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.simulation import SimulationConfig
+from repro.obs.telemetry import get_telemetry
+from repro.topology.base import Topology
+from repro.utils.rng import SeedLike, spawn_seed_sequences
+from repro.utils.validation import require_integer
+
+#: Recognised shard executors; ``None``/unset resolves to ``"thread"``.
+SHARD_EXECUTORS = ("thread", "process")
+
+#: Environment override for the shard executor (same values).
+SHARD_EXECUTOR_ENV = "REPRO_SHARD_EXECUTOR"
+
+
+def _resolve_executor(executor: Optional[str]) -> str:
+    resolved = executor if executor is not None else os.environ.get(SHARD_EXECUTOR_ENV)
+    resolved = resolved or "thread"
+    if resolved not in SHARD_EXECUTORS:
+        source = "shard executor" if executor is not None else SHARD_EXECUTOR_ENV
+        raise ValueError(
+            f"unknown {source} {resolved!r}; expected one of {SHARD_EXECUTORS}"
+        )
+    return resolved
+
+
+def shard_bounds(replicates: int, shards: int) -> list[tuple[int, int]]:
+    """Contiguous, near-even ``[lo, hi)`` row ranges covering ``replicates``.
+
+    The first ``replicates % shards`` shards take one extra row. Purely a
+    work partition — per-row seeding makes results independent of it.
+    """
+    require_integer(replicates, "replicates", minimum=1)
+    require_integer(shards, "shards", minimum=1)
+    shards = min(shards, replicates)
+    base, extra = divmod(replicates, shards)
+    bounds = []
+    lo = 0
+    for index in range(shards):
+        hi = lo + base + (1 if index < extra else 0)
+        bounds.append((lo, hi))
+        lo = hi
+    return bounds
+
+
+@dataclass
+class _ShardResult:
+    """One shard's slice of the batch state (plus its wall-clock)."""
+
+    initial_positions: np.ndarray
+    final_positions: np.ndarray
+    marked: np.ndarray
+    totals: np.ndarray
+    marked_totals: np.ndarray
+    trajectory: Optional[np.ndarray]
+    marked_trajectory: Optional[np.ndarray]
+    seconds: float
+
+
+def _simulate_shard(
+    topology: Topology,
+    config: SimulationConfig,
+    row_seeds: list[np.random.SeedSequence],
+) -> _ShardResult:
+    """Run the fused round loop for one contiguous block of replicate rows.
+
+    Every row draws placement, marking, movement, and observation noise
+    from its **own** generator (``default_rng(row_seeds[i])``), so the
+    result depends only on which rows are here — not on how the batch was
+    partitioned. Counting and stepping reuse the fused loop's armed
+    invariants (:class:`~repro.core.fastpath._ArmedLoop`) on the shard's
+    ``(rows, n)`` sub-matrix. Module-level so the process executor can
+    pickle it.
+    """
+    # Deferred: fastpath imports kernel which is imported by this module's
+    # callers; keeping the import local avoids a cycle at import time.
+    from repro.core.fastpath import _ArmedLoop
+
+    start = time.perf_counter()
+    rows = len(row_seeds)
+    n = config.num_agents
+    rngs = [np.random.default_rng(seed) for seed in row_seeds]
+
+    if config.placement is None:
+        positions = np.stack(
+            [np.asarray(topology.uniform_nodes(n, rng), dtype=np.int64) for rng in rngs]
+        )
+    else:
+        placed = []
+        for rng in rngs:
+            row = np.asarray(config.placement(topology, n, rng), dtype=np.int64)
+            if row.shape != (n,):
+                raise ValueError(f"placement must return shape ({n},), got {row.shape}")
+            placed.append(row)
+        positions = np.stack(placed)
+    topology.validate_nodes(positions)
+    initial_positions = positions.copy()
+
+    if config.marked_fraction > 0.0:
+        marked = np.stack([rng.random(n) < config.marked_fraction for rng in rngs])
+    else:
+        marked = np.zeros((rows, n), dtype=bool)
+    track_marked = bool(marked.any())
+
+    totals = np.zeros((rows, n), dtype=np.float64)
+    marked_totals = np.zeros((rows, n), dtype=np.float64)
+    rounds = config.rounds
+    trajectory = (
+        np.zeros((rounds, rows, n), dtype=np.float64) if config.record_trajectory else None
+    )
+    marked_trajectory = (
+        np.zeros((rounds, rows, n), dtype=np.float64)
+        if (config.record_trajectory and track_marked)
+        else None
+    )
+
+    movement = config.movement
+    noise = config.collision_model
+    armed = _ArmedLoop(topology, positions.shape, config, rounds)
+    draws_buf = (
+        np.empty((rows, n), dtype=np.int64) if armed.steps_precomputable else None
+    )
+
+    for round_index in range(rounds):
+        # ---- movement: one draw per row, from that row's stream --------
+        if armed.steps_precomputable:
+            for i, rng in enumerate(rngs):
+                draws_buf[i] = topology.draw_steps((n,), rng)
+            positions = armed.step_precomputed(positions, draws_buf, in_place=True)
+        elif movement is not None:
+            for i, rng in enumerate(rngs):
+                positions[i] = np.asarray(
+                    movement.step(topology, positions[i], rng), dtype=np.int64
+                )
+            if armed.validate_each_round:
+                topology.validate_nodes(positions)
+        else:
+            for i, rng in enumerate(rngs):
+                positions[i] = topology.step_many(positions[i], rng)
+
+        # ---- counting: the shard sub-matrix in one fused pass ----------
+        if track_marked:
+            counts, marked_counts = armed.count_profiles(
+                positions, marked, fresh=noise is not None
+            )
+            np.add(marked_totals, marked_counts, out=marked_totals)
+            if marked_trajectory is not None:
+                marked_trajectory[round_index] = marked_totals
+        else:
+            counts = armed.count(positions, fresh=noise is not None)
+
+        # ---- observation: per-row noise from per-row streams -----------
+        if noise is not None:
+            for i, rng in enumerate(rngs):
+                observed = np.asarray(noise.observe(counts[i], rng), dtype=np.float64)
+                if observed.shape != counts[i].shape:
+                    raise ValueError(
+                        "collision_model.observe must preserve the shape of its input"
+                    )
+                totals[i] += observed
+        else:
+            np.add(totals, counts, out=totals)
+        if trajectory is not None:
+            trajectory[round_index] = totals
+
+    return _ShardResult(
+        initial_positions=initial_positions,
+        final_positions=positions,
+        marked=marked,
+        totals=totals,
+        marked_totals=marked_totals,
+        trajectory=trajectory,
+        marked_trajectory=marked_trajectory,
+        seconds=time.perf_counter() - start,
+    )
+
+
+def run_sharded(
+    topology: Topology,
+    config: SimulationConfig,
+    replicates: Optional[int],
+    seed: SeedLike,
+    shard_workers: int,
+    executor: Optional[str] = None,
+):
+    """Run a batched kernel call as ``min(shard_workers, R)`` row shards.
+
+    Entry point behind ``run_kernel(..., shard_workers=K)``; see the
+    module docstring for the determinism contract. Serial mode and
+    ``round_hook`` configs fall back to the unsharded fused loop for
+    every ``K`` (counted in telemetry), so the K-invariance contract
+    holds unconditionally.
+    """
+    from repro.core.fastpath import run_fused
+    from repro.core.kernel import _build_result
+
+    require_integer(shard_workers, "shard_workers", minimum=1)
+    tel = get_telemetry()
+    if replicates is None or config.round_hook is not None:
+        reason = "serial" if replicates is None else "round_hook"
+        if tel.enabled:
+            tel.counter("shardpath.fallbacks", reason=reason)
+            tel.event("shardpath.fallback", reason=reason, shard_workers=shard_workers)
+        return run_fused(topology, config, replicates, seed)
+
+    require_integer(replicates, "replicates", minimum=1)
+    mode = _resolve_executor(executor)
+    bounds = shard_bounds(replicates, shard_workers)
+    children = spawn_seed_sequences(seed, replicates)
+
+    with tel.span(
+        "shardpath", shards=len(bounds), executor=mode, replicates=replicates
+    ):
+        if len(bounds) == 1:
+            results = [_simulate_shard(topology, config, list(children))]
+        elif mode == "thread":
+            with ThreadPoolExecutor(max_workers=len(bounds)) as pool:
+                futures = [
+                    pool.submit(_simulate_shard, topology, config, list(children[lo:hi]))
+                    for lo, hi in bounds
+                ]
+                results = [future.result() for future in futures]
+        else:
+            with ProcessPoolExecutor(max_workers=len(bounds)) as pool:
+                futures = [
+                    pool.submit(_simulate_shard, topology, config, list(children[lo:hi]))
+                    for lo, hi in bounds
+                ]
+                results = [future.result() for future in futures]
+
+    n = config.num_agents
+    shape = (replicates, n)
+    rounds = config.rounds
+    totals = np.empty(shape, dtype=np.float64)
+    marked_totals = np.empty(shape, dtype=np.float64)
+    marked = np.empty(shape, dtype=bool)
+    initial_positions = np.empty(shape, dtype=np.int64)
+    final_positions = np.empty(shape, dtype=np.int64)
+    trajectory = (
+        np.zeros((rounds, *shape), dtype=np.float64) if config.record_trajectory else None
+    )
+    track_marked = any(bool(result.marked.any()) for result in results)
+    marked_trajectory = (
+        np.zeros((rounds, *shape), dtype=np.float64)
+        if (config.record_trajectory and track_marked)
+        else None
+    )
+
+    # Merge = disjoint row-slice assignment, in plan order. A shard that
+    # tracked no marked rows contributes exact zeros, matching what its
+    # rows would have produced in any other partition.
+    for (lo, hi), result in zip(bounds, results):
+        totals[lo:hi] = result.totals
+        marked_totals[lo:hi] = result.marked_totals
+        marked[lo:hi] = result.marked
+        initial_positions[lo:hi] = result.initial_positions
+        final_positions[lo:hi] = result.final_positions
+        if trajectory is not None:
+            trajectory[:, lo:hi, :] = result.trajectory
+        if marked_trajectory is not None and result.marked_trajectory is not None:
+            marked_trajectory[:, lo:hi, :] = result.marked_trajectory
+
+    if tel.enabled:
+        tel.counter("shardpath.runs")
+        tel.counter("shardpath.shards", len(bounds))
+        tel.counter("shardpath.merged_rows", replicates)
+        for result in results:
+            tel.timer("shardpath.shard_seconds", result.seconds)
+        tel.event(
+            "shardpath.merged",
+            shards=len(bounds),
+            executor=mode,
+            replicates=replicates,
+            agents=n,
+            shard_seconds=[round(result.seconds, 6) for result in results],
+        )
+
+    return _build_result(
+        False,
+        replicates,
+        topology,
+        config,
+        totals,
+        marked_totals,
+        marked,
+        initial_positions,
+        final_positions,
+        trajectory,
+        marked_trajectory,
+    )
+
+
+__all__ = [
+    "SHARD_EXECUTORS",
+    "SHARD_EXECUTOR_ENV",
+    "run_sharded",
+    "shard_bounds",
+]

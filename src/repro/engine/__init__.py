@@ -28,9 +28,11 @@ and reproducibly:
 from repro.core.kernel import (
     KERNEL_BACKENDS,
     get_default_backend,
+    get_default_shard_workers,
     require_batch_safe,
     run_kernel,
     set_default_backend,
+    set_default_shard_workers,
 )
 from repro.engine.batch import BatchSimulationResult, simulate_density_estimation_batch
 from repro.engine.cache import RunCache, cache_key
@@ -52,9 +54,11 @@ __all__ = [
     "cache_key",
     "execute_plan",
     "get_default_backend",
+    "get_default_shard_workers",
     "iter_execute_plan",
     "require_batch_safe",
     "run_kernel",
     "set_default_backend",
+    "set_default_shard_workers",
     "simulate_density_estimation_batch",
 ]

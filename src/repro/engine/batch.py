@@ -46,6 +46,7 @@ def simulate_density_estimation_batch(
     replicates: int,
     seed: SeedLike = None,
     backend: str | None = None,
+    shard_workers: int | None = None,
 ) -> BatchSimulationResult:
     """Run ``replicates`` independent copies of Algorithm 1 as one matrix simulation.
 
@@ -76,13 +77,21 @@ def simulate_density_estimation_batch(
         Kernel backend (``"auto"``/``"reference"``/``"fused"``); ``None``
         uses the process-wide default. All backends are bit-identical —
         the flag only changes wall-clock (see :mod:`repro.core.fastpath`).
+    shard_workers:
+        ``None`` uses the process-wide default (normally off). ``K >= 1``
+        splits the ``(R, n)`` matrix into contiguous replicate-row shards
+        run on a pool (:mod:`repro.core.shardpath`): bit-identical for
+        every ``K`` (per-replicate SeedSequence children), but a
+        different RNG discipline from the unsharded shared stream.
 
     Returns
     -------
     BatchSimulationResult
         Per-replicate, per-agent collision totals (shape ``(R, n)``).
     """
-    return run_kernel(topology, config, replicates, seed, backend=backend)
+    return run_kernel(
+        topology, config, replicates, seed, backend=backend, shard_workers=shard_workers
+    )
 
 
 __all__ = ["BatchSimulationResult", "simulate_density_estimation_batch"]

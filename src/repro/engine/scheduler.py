@@ -32,7 +32,7 @@ from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
 import numpy as np
 
 from repro.engine.batch import BatchSimulationResult, simulate_density_estimation_batch
-from repro.core.kernel import get_default_backend
+from repro.core.kernel import get_default_backend, get_default_shard_workers
 from repro.core.simulation import SimulationConfig
 from repro.obs.telemetry import get_telemetry
 from repro.topology.base import Topology
@@ -59,11 +59,19 @@ class ExecutionPlan:
         One ``SeedSequence`` per invocation; each worker builds
         ``np.random.default_rng(seed_sequences[i])`` so the stream of task
         ``i`` is a pure function of the plan, not of the execution layout.
+    cost_hints:
+        Optional relative cost per invocation (any positive scale). When
+        present, the default chunking balances chunks by *advertised cost*
+        instead of cell count, so one huge cell (a million-agent
+        simulation) gets its own chunk instead of serialising a pile of
+        trivial cells behind it. Purely a scheduling hint: results are
+        reassembled by index, so hints can never change them.
     """
 
     task: TaskFn
     settings: tuple[Mapping[str, Any], ...]
     seed_sequences: tuple[np.random.SeedSequence, ...]
+    cost_hints: tuple[float, ...] | None = None
 
     def __post_init__(self) -> None:
         if len(self.settings) != len(self.seed_sequences):
@@ -71,16 +79,42 @@ class ExecutionPlan:
                 f"plan has {len(self.settings)} settings but "
                 f"{len(self.seed_sequences)} seed sequences"
             )
+        if self.cost_hints is not None:
+            if len(self.cost_hints) != len(self.settings):
+                raise ValueError(
+                    f"plan has {len(self.settings)} settings but "
+                    f"{len(self.cost_hints)} cost hints"
+                )
+            if any(not (cost > 0.0) for cost in self.cost_hints):
+                raise ValueError("cost_hints must be positive and finite")
 
     def __len__(self) -> int:
         return len(self.settings)
 
 
-def build_plan(task: TaskFn, settings: Iterable[Mapping[str, Any]], seed: SeedLike = None) -> ExecutionPlan:
-    """Pin down an :class:`ExecutionPlan`: freeze the settings, spawn the seeds."""
+def build_plan(
+    task: TaskFn,
+    settings: Iterable[Mapping[str, Any]],
+    seed: SeedLike = None,
+    cost_hints: Iterable[float] | None = None,
+) -> ExecutionPlan:
+    """Pin down an :class:`ExecutionPlan`: freeze the settings, spawn the seeds.
+
+    ``cost_hints`` may be passed explicitly; when omitted, a task that
+    advertises its own per-cell cost via a ``cost_hint(**setting)``
+    callable has it evaluated per setting — cells carry their cost to the
+    scheduler without every call site having to know about it.
+    """
     frozen = tuple(dict(setting) for setting in settings)
     children = tuple(spawn_seed_sequences(seed, len(frozen)))
-    return ExecutionPlan(task=task, settings=frozen, seed_sequences=children)
+    if cost_hints is None:
+        advertise = getattr(task, "cost_hint", None)
+        if callable(advertise):
+            cost_hints = [float(advertise(**setting)) for setting in frozen]
+    hints = None if cost_hints is None else tuple(float(cost) for cost in cost_hints)
+    return ExecutionPlan(
+        task=task, settings=frozen, seed_sequences=children, cost_hints=hints
+    )
 
 
 def _run_chunk(
@@ -89,6 +123,7 @@ def _run_chunk(
     seed_sequences: Sequence[np.random.SeedSequence],
     timed: bool = False,
     backend: str | None = None,
+    shard_workers: int | None = None,
 ) -> tuple[list[Any], list[float] | None]:
     """Execute one contiguous chunk of a plan (runs inside a worker process).
 
@@ -103,12 +138,18 @@ def _run_chunk(
     backends this is invisible, but ``--backend analytic`` changes records,
     so a worker falling back to its own default would silently diverge
     from the serial path (spawn-based start methods don't inherit module
-    state).
+    state). The default ``shard_workers`` rides along for the same reason:
+    sharded runs use the per-replicate RNG discipline, so a worker
+    ignoring the parent's setting would change records.
     """
     if backend is not None:
         from repro.core.kernel import set_default_backend
 
         set_default_backend(backend)
+    if shard_workers is not None:
+        from repro.core.kernel import set_default_shard_workers
+
+        set_default_shard_workers(shard_workers)
     if not timed:
         return [
             task(**setting, rng=np.random.default_rng(sequence))
@@ -125,6 +166,35 @@ def _run_chunk(
 
 def _chunk_bounds(total: int, chunk_size: int) -> list[tuple[int, int]]:
     return [(start, min(start + chunk_size, total)) for start in range(0, total, chunk_size)]
+
+
+def _cost_chunk_bounds(costs: Sequence[float], workers: int) -> list[tuple[int, int]]:
+    """Contiguous chunk bounds balanced by advertised cost.
+
+    The count-based default (``ceil(total / (workers * 4))`` cells per
+    chunk) starves the pool when a plan has a few huge cells: a chunk that
+    happens to hold two million-agent cells runs them back to back on one
+    worker while the rest of the pool idles. Here chunks close once their
+    accumulated cost reaches ``total_cost / (workers * 4)`` — so any cell
+    at or above that target is its own chunk, and trivia packs together.
+    Bounds remain contiguous and results are reassembled by index, so
+    this changes scheduling only, never results.
+    """
+    total_cost = float(sum(costs))
+    if not total_cost > 0.0:
+        return _chunk_bounds(len(costs), max(1, math.ceil(len(costs) / (workers * 4))))
+    target = total_cost / (workers * 4)
+    bounds: list[tuple[int, int]] = []
+    start = 0
+    accumulated = 0.0
+    for index, cost in enumerate(costs):
+        if index > start and accumulated + cost > target:
+            bounds.append((start, index))
+            start = index
+            accumulated = 0.0
+        accumulated += cost
+    bounds.append((start, len(costs)))
+    return bounds
 
 
 def iter_execute_plan(
@@ -176,11 +246,13 @@ def iter_execute_plan(
                 )
         return
 
-    if chunk_size is None:
-        chunk_size = max(1, math.ceil(total / (workers * 4)))
-    require_integer(chunk_size, "chunk_size", minimum=1)
-
-    bounds = _chunk_bounds(total, chunk_size)
+    if chunk_size is None and plan.cost_hints is not None:
+        bounds = _cost_chunk_bounds(plan.cost_hints, workers)
+    else:
+        if chunk_size is None:
+            chunk_size = max(1, math.ceil(total / (workers * 4)))
+        require_integer(chunk_size, "chunk_size", minimum=1)
+        bounds = _chunk_bounds(total, chunk_size)
     pool_workers = min(workers, len(bounds))
     pool = ProcessPoolExecutor(max_workers=pool_workers)
     with tel.span("plan", tasks=total, workers=pool_workers, chunks=len(bounds)):
@@ -195,6 +267,7 @@ def iter_execute_plan(
                     plan.seed_sequences[lo:hi],
                     timed,
                     get_default_backend(),
+                    get_default_shard_workers(),
                 ): (lo, hi)
                 for lo, hi in bounds
             }
@@ -315,9 +388,15 @@ class ExecutionEngine:
         task: TaskFn,
         settings: Iterable[Mapping[str, Any]],
         seed: SeedLike = None,
+        cost_hints: Iterable[float] | None = None,
     ) -> list[Any]:
-        """Run ``task(**setting, rng=...)`` for every setting, in order."""
-        plan = build_plan(task, settings, seed)
+        """Run ``task(**setting, rng=...)`` for every setting, in order.
+
+        ``cost_hints`` (or a ``task.cost_hint(**setting)`` advertisement)
+        lets heterogeneous grids balance chunks by cost instead of count;
+        see :class:`ExecutionPlan`. Results never depend on it.
+        """
+        plan = build_plan(task, settings, seed, cost_hints=cost_hints)
         return execute_plan(plan, workers=self.workers, chunk_size=self.chunk_size)
 
     def repeat(

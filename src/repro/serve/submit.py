@@ -198,17 +198,24 @@ class Submission:
 
         Worker counts, telemetry, and the *simulating* backends are
         deliberately excluded: they never change records, only wall-clock.
-        The one exception is ``analytic`` — it returns expectations instead
-        of samples, so when it is the process default it is folded into the
-        key (``backend="analytic"``); simulating runs keep their historical
-        keys. The package version is folded in so upgrades whose code
-        changes could alter records miss.
+        Two exceptions fold in: ``analytic`` — it returns expectations
+        instead of samples, so when it is the process default it joins the
+        key (``backend="analytic"``); and intra-kernel sharding — a
+        sharded run seeds each replicate row from its own SeedSequence
+        child instead of one shared stream, so its records differ from
+        unsharded ones. The shard *count* is deliberately not in the key:
+        results are bit-identical for every ``shard_workers=K``, so only
+        the discipline switch matters. Simulating unsharded runs keep
+        their historical keys. The package version is folded in so
+        upgrades whose code changes could alter records miss.
         """
-        from repro.core.kernel import get_default_backend
+        from repro.core.kernel import get_default_backend, get_default_shard_workers
 
         extra: dict[str, Any] = {}
         if get_default_backend() == "analytic":
             extra["backend"] = "analytic"
+        if get_default_shard_workers() is not None:
+            extra["rng_discipline"] = "sharded"
         if self.kind == "experiment":
             return cache.key(
                 kind="experiment",

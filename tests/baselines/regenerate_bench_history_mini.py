@@ -73,6 +73,33 @@ ANALYTIC_GATES = {
     "large_replicates": 1000,
 }
 
+#: (workload, kind, shard_workers, nominal speedup, nominal seconds) —
+#: matching benchmarks/bench_scaling.py records. Scaling speedups are
+#: over the same workload at shard_workers=1 on a 4-core CI runner;
+#: frontier speedups are the extrapolated-reference advantage, and the
+#: frontier cells are pinned at the k=4 the CI runner resolves to.
+SCALING_WORKLOADS = (
+    ("agents=20k R=32", "scaling", 1, 1.0, 0.55),
+    ("agents=20k R=32", "scaling", 2, 1.5, 0.37),
+    ("agents=20k R=32", "scaling", 4, 2.4, 0.23),
+    ("agents=100k R=16", "scaling", 1, 1.0, 0.95),
+    ("agents=100k R=16", "scaling", 2, 1.4, 0.68),
+    ("agents=100k R=16", "scaling", 4, 2.0, 0.48),
+    ("agents=4k R=256", "scaling", 1, 1.0, 0.90),
+    ("agents=4k R=256", "scaling", 2, 1.3, 0.69),
+    ("agents=4k R=256", "scaling", 4, 1.8, 0.50),
+    ("frontier agents=1M R=4", "frontier", 4, 1.5, 20.0),
+    ("frontier R=1000 n=2000", "frontier", 4, 2.0, 18.0),
+)
+
+SCALING_GATES = {
+    "min_speedup_at_4": 1.8,
+    "min_gate_cpus": 4,
+    "frontier_budget_seconds": 180.0,
+    "min_frontier_advantage": 1.0,
+    "cpu_count": 4,
+}
+
 FIXTURE_PROVENANCE = {
     "package_version": "1.5.0",
     "python": "3.12",
@@ -151,6 +178,37 @@ def main() -> None:
         }
         path = OUTPUT_DIR / f"BENCH_mini_analytic_{index:03d}.json"
         path.write_text(json.dumps(analytic_payload, indent=2) + "\n", encoding="utf-8")
+        print(f"wrote {path}")
+
+    # The scaling family draws from its own stream so adding it (ISSUE 9)
+    # leaves the committed fastpath/analytic artifacts byte-identical.
+    scaling_rng = np.random.default_rng(20169)
+    for index in range(8):
+        records = []
+        for workload, kind, shard_workers, speedup, seconds in SCALING_WORKLOADS:
+            jittered_speedup = (
+                1.0 if speedup == 1.0 else speedup * (1 + scaling_rng.normal(0, 0.05))
+            )
+            jittered_seconds = seconds * (1 + scaling_rng.normal(0, 0.05))
+            records.append(
+                {
+                    "workload": workload,
+                    "kind": kind,
+                    "backend": f"fused-k{shard_workers}",
+                    "shard_workers": shard_workers,
+                    "median_seconds": round(jittered_seconds, 6),
+                    "speedup": round(jittered_speedup, 4),
+                }
+            )
+        payload = {
+            "benchmark": "bench_scaling",
+            "records": records,
+            "gates": SCALING_GATES,
+            "version": FIXTURE_PROVENANCE["package_version"],
+            "provenance": FIXTURE_PROVENANCE,
+        }
+        path = OUTPUT_DIR / f"BENCH_mini_scaling_{index:03d}.json"
+        path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
         print(f"wrote {path}")
 
 

@@ -1,0 +1,335 @@
+"""Array-API portability suite: the namespace registry and the portable loop.
+
+Three contracts are pinned here (ISSUE 9):
+
+1. **Registry behaviour** — :mod:`repro.core.array_backend` resolves
+   namespace names loudly: unknown names and missing libraries raise
+   typed errors naming what to install, and ``REPRO_NO_CUDA=1`` refuses
+   CuPy before any import is attempted.
+2. **Portable primitives** — the array-API counting primitives
+   (``unique_all`` + stable-argsort segment sums) are value-identical to
+   the classic NumPy primitives, property-tested across random
+   ``(R, n, A)`` regimes including marked profiles.
+3. **Portable kernel** — ``run_kernel(..., array_namespace="numpy")``
+   routes the fused loop through pure array-API operations and is
+   **bit-identical** to the default fused path (the integer pipeline is
+   exact; NumPy >= 2.0's main namespace is array-API compatible, so this
+   exercises the portable code path with no extra dependency).
+   Unsupported capabilities (movement models, observation noise, round
+   hooks, table-less topologies) raise
+   :class:`~repro.core.array_backend.ArrayBackendError` — loud, never a
+   silent fallback.
+
+When ``array-api-strict`` is installed (the CI ``array-api`` job), the
+same kernel battery re-runs on the strict namespace, which rejects any
+accidental NumPy-ism; results transfer back via ``to_numpy`` and must
+match the default path exactly (integer state) or to float tolerance
+(collision totals accumulate in float64 in namespace-defined order — see
+TESTING.md on cross-backend tolerance equivalence).
+"""
+
+from __future__ import annotations
+
+import importlib.util
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.array_backend import (
+    ARRAY_NAMESPACES,
+    NO_CUDA_ENV,
+    ArrayBackendError,
+    ArrayBackendUnavailableError,
+    array_namespace,
+    available_namespaces,
+    cuda_disabled,
+    get_namespace,
+    is_numpy_namespace,
+    to_numpy,
+)
+from repro.core.encounter import (
+    batched_collision_counts,
+    batched_collision_counts_portable,
+    batched_collision_profiles,
+    batched_collision_profiles_portable,
+)
+from repro.core.kernel import run_kernel
+from repro.core.simulation import SimulationConfig
+from repro.swarm.noise import NoisyCollisionModel
+from repro.topology.torus import Torus2D
+from repro.walks.movement import UniformRandomWalk
+
+HAVE_STRICT = importlib.util.find_spec("array_api_strict") is not None
+
+
+def _result_fields(outcome):
+    return (
+        outcome.collision_totals,
+        outcome.marked_collision_totals,
+        outcome.marked,
+        outcome.initial_positions,
+        outcome.final_positions,
+    )
+
+
+def assert_outcomes_equal(a, b, context=""):
+    for left, right in zip(_result_fields(a), _result_fields(b)):
+        assert np.array_equal(left, right), context
+    for field in ("trajectory", "marked_trajectory"):
+        left, right = getattr(a, field), getattr(b, field)
+        if left is None:
+            assert right is None, context
+        else:
+            assert np.array_equal(left, right), context
+
+
+# ----------------------------------------------------------------------
+# 1. Registry behaviour
+# ----------------------------------------------------------------------
+
+
+class TestRegistry:
+    def test_none_and_numpy_resolve_to_numpy(self):
+        assert get_namespace(None) is np
+        assert get_namespace("numpy") is np
+
+    def test_unknown_namespace_rejected(self):
+        with pytest.raises(ArrayBackendError, match="unknown array namespace"):
+            get_namespace("torch")
+
+    def test_missing_libraries_raise_unavailable(self):
+        for name, module in (("array-api-strict", "array_api_strict"), ("jax", "jax")):
+            if importlib.util.find_spec(module) is not None:
+                continue
+            with pytest.raises(ArrayBackendUnavailableError, match="not installed"):
+                get_namespace(name)
+
+    def test_no_cuda_env_refuses_cupy(self, monkeypatch):
+        monkeypatch.setenv(NO_CUDA_ENV, "1")
+        assert cuda_disabled()
+        with pytest.raises(ArrayBackendUnavailableError, match=NO_CUDA_ENV):
+            get_namespace("cupy")
+
+    def test_cuda_disabled_semantics(self, monkeypatch):
+        monkeypatch.delenv(NO_CUDA_ENV, raising=False)
+        assert not cuda_disabled()
+        monkeypatch.setenv(NO_CUDA_ENV, "0")
+        assert not cuda_disabled()
+        monkeypatch.setenv(NO_CUDA_ENV, "1")
+        assert cuda_disabled()
+
+    def test_available_namespaces_contains_numpy(self):
+        names = available_namespaces()
+        assert "numpy" in names
+        assert set(names) <= set(ARRAY_NAMESPACES)
+
+    def test_array_namespace_of_numpy_arrays(self):
+        assert is_numpy_namespace(array_namespace(np.zeros(3), np.arange(2)))
+
+    def test_to_numpy_roundtrip(self):
+        data = np.arange(6).reshape(2, 3)
+        out = to_numpy(data)
+        assert isinstance(out, np.ndarray)
+        assert np.array_equal(out, data)
+
+
+# ----------------------------------------------------------------------
+# 2. Portable primitives == classic primitives
+# ----------------------------------------------------------------------
+
+
+class TestPortablePrimitives:
+    @given(
+        replicates=st.integers(min_value=1, max_value=12),
+        agents=st.integers(min_value=1, max_value=40),
+        nodes=st.integers(min_value=1, max_value=300),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_counts_match_classic(self, replicates, agents, nodes, seed):
+        rng = np.random.default_rng(seed)
+        positions = rng.integers(0, nodes, size=(replicates, agents))
+        classic = batched_collision_counts(positions, nodes)
+        portable = to_numpy(batched_collision_counts_portable(positions, nodes))
+        assert np.array_equal(classic, portable)
+
+    @given(
+        replicates=st.integers(min_value=1, max_value=12),
+        agents=st.integers(min_value=1, max_value=40),
+        nodes=st.integers(min_value=1, max_value=300),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_profiles_match_classic(self, replicates, agents, nodes, seed):
+        rng = np.random.default_rng(seed)
+        positions = rng.integers(0, nodes, size=(replicates, agents))
+        marked = rng.random((replicates, agents)) < 0.4
+        classic_all, classic_marked = batched_collision_profiles(positions, marked, nodes)
+        portable_all, portable_marked = batched_collision_profiles_portable(
+            positions, marked, nodes
+        )
+        assert np.array_equal(classic_all, to_numpy(portable_all))
+        assert np.array_equal(classic_marked, to_numpy(portable_marked))
+
+
+# ----------------------------------------------------------------------
+# 3. Portable kernel on the NumPy namespace
+# ----------------------------------------------------------------------
+
+
+class TestPortableKernel:
+    @pytest.mark.parametrize("replicates", [None, 1, 7])
+    def test_bit_identical_to_default_fused(self, regular_topology, replicates):
+        config = SimulationConfig(num_agents=12, rounds=20, marked_fraction=0.3)
+        default = run_kernel(regular_topology, config, replicates, seed=5)
+        portable = run_kernel(
+            regular_topology, config, replicates, seed=5, array_namespace="numpy"
+        )
+        assert_outcomes_equal(default, portable, type(regular_topology).__name__)
+
+    def test_trajectory_recording_matches(self):
+        config = SimulationConfig(num_agents=10, rounds=15, record_trajectory=True)
+        default = run_kernel(Torus2D(8), config, 5, seed=2)
+        portable = run_kernel(Torus2D(8), config, 5, seed=2, array_namespace="numpy")
+        assert_outcomes_equal(default, portable)
+
+    @pytest.mark.parametrize(
+        "config, match",
+        [
+            (
+                SimulationConfig(num_agents=8, rounds=5, movement=UniformRandomWalk()),
+                "movement models",
+            ),
+            (
+                SimulationConfig(
+                    num_agents=8,
+                    rounds=5,
+                    collision_model=NoisyCollisionModel(
+                        miss_probability=0.2, spurious_rate=0.1
+                    ),
+                ),
+                "observation-noise models",
+            ),
+            (
+                SimulationConfig(
+                    num_agents=8, rounds=5, round_hook=lambda state: None
+                ),
+                "round hooks",
+            ),
+        ],
+        ids=["movement", "noise", "hook"],
+    )
+    def test_unsupported_capabilities_fail_loudly(self, config, match):
+        with pytest.raises(ArrayBackendError, match=match):
+            run_kernel(Torus2D(8), config, 4, seed=0, array_namespace="numpy")
+
+    def test_tableless_topology_fails_loudly(self):
+        import networkx as nx
+
+        from repro.topology.graph import NetworkXTopology
+
+        topology = NetworkXTopology(nx.cycle_graph(10))
+        config = SimulationConfig(num_agents=6, rounds=5)
+        with pytest.raises(ArrayBackendError, match="displacement table"):
+            run_kernel(topology, config, 4, seed=0, array_namespace="numpy")
+
+    def test_non_fused_backends_refuse_namespace(self):
+        config = SimulationConfig(num_agents=8, rounds=5)
+        with pytest.raises(ValueError, match="array_namespace"):
+            run_kernel(
+                Torus2D(8), config, 4, seed=0, backend="reference", array_namespace="numpy"
+            )
+
+
+# ----------------------------------------------------------------------
+# 4. The strict namespace (CI array-api job; skipped when not installed)
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.skipif(not HAVE_STRICT, reason="array-api-strict not installed")
+class TestArrayApiStrict:
+    """The same battery on a namespace that rejects NumPy-isms."""
+
+    def test_namespace_resolves(self):
+        xp = get_namespace("array-api-strict")
+        assert not is_numpy_namespace(xp)
+        assert "array-api-strict" in available_namespaces()
+
+    def test_portable_primitives_match_classic(self):
+        rng = np.random.default_rng(0)
+        xp = get_namespace("array-api-strict")
+        for replicates, agents, nodes in ((1, 16, 64), (7, 30, 100), (12, 5, 9)):
+            positions = rng.integers(0, nodes, size=(replicates, agents))
+            marked = rng.random((replicates, agents)) < 0.4
+            strict_counts = batched_collision_counts_portable(
+                xp.asarray(positions), nodes, xp=xp
+            )
+            assert np.array_equal(
+                batched_collision_counts(positions, nodes), to_numpy(strict_counts)
+            )
+            strict_all, strict_marked = batched_collision_profiles_portable(
+                xp.asarray(positions), xp.asarray(marked), nodes, xp=xp
+            )
+            classic_all, classic_marked = batched_collision_profiles(
+                positions, marked, nodes
+            )
+            assert np.array_equal(classic_all, to_numpy(strict_all))
+            assert np.array_equal(classic_marked, to_numpy(strict_marked))
+
+    @pytest.mark.parametrize("replicates", [None, 1, 7])
+    def test_kernel_matches_default_fused(self, regular_topology, replicates):
+        config = SimulationConfig(num_agents=12, rounds=20, marked_fraction=0.3)
+        default = run_kernel(regular_topology, config, replicates, seed=5)
+        strict = run_kernel(
+            regular_topology,
+            config,
+            replicates,
+            seed=5,
+            array_namespace="array-api-strict",
+        )
+        # Integer state is exact on any conforming namespace; float totals
+        # accumulate in namespace-defined order, so they get a tolerance
+        # band (see TESTING.md).
+        for field in ("initial_positions", "final_positions", "marked"):
+            assert np.array_equal(getattr(default, field), getattr(strict, field))
+        np.testing.assert_allclose(
+            strict.collision_totals, default.collision_totals, rtol=1e-12, atol=0.0
+        )
+        np.testing.assert_allclose(
+            strict.marked_collision_totals,
+            default.marked_collision_totals,
+            rtol=1e-12,
+            atol=0.0,
+        )
+
+
+# ----------------------------------------------------------------------
+# 5. Accelerator namespaces (smoke only; skipped without the libraries)
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.skipif(
+    importlib.util.find_spec("jax") is None, reason="jax not installed"
+)
+class TestJaxSmoke:
+    def test_kernel_matches_default_to_tolerance(self):
+        config = SimulationConfig(num_agents=10, rounds=10)
+        default = run_kernel(Torus2D(8), config, 4, seed=1)
+        jax_result = run_kernel(Torus2D(8), config, 4, seed=1, array_namespace="jax")
+        np.testing.assert_allclose(
+            jax_result.collision_totals, default.collision_totals, rtol=1e-6
+        )
+
+
+@pytest.mark.skipif(
+    importlib.util.find_spec("cupy") is None or cuda_disabled(),
+    reason="cupy not installed or CUDA disabled",
+)
+class TestCupySmoke:
+    def test_kernel_matches_default(self):
+        config = SimulationConfig(num_agents=10, rounds=10)
+        default = run_kernel(Torus2D(8), config, 4, seed=1)
+        cupy_result = run_kernel(Torus2D(8), config, 4, seed=1, array_namespace="cupy")
+        assert np.array_equal(cupy_result.collision_totals, default.collision_totals)

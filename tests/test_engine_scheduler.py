@@ -231,3 +231,78 @@ class TestExperimentDeterminism:
                 experiment_id, quick=True, seed=3, engine=ExecutionEngine(workers=4)
             )
             assert serial.records == parallel.records
+
+
+def costed_task(label, scale, rng):
+    """Module-level task advertising its own per-cell cost."""
+    return {"label": label, "value": float(scale * rng.normal())}
+
+
+# build_plan calls cost_hint in the parent process only, so a plain
+# attribute is enough (workers pickle the function by reference).
+costed_task.cost_hint = lambda label, scale: float(scale)
+
+
+class TestCostHints:
+    """Cost-balanced chunking: scheduling changes, results never do."""
+
+    def test_huge_cell_gets_its_own_chunk(self):
+        from repro.engine.scheduler import _cost_chunk_bounds
+
+        bounds = _cost_chunk_bounds([1, 1, 1, 1000, 1, 1, 1, 1], workers=2)
+        assert (3, 4) in bounds, f"the 1000-cost cell was not isolated: {bounds}"
+        assert bounds[0][0] == 0 and bounds[-1][1] == 8
+        for (_, hi), (lo, _) in zip(bounds, bounds[1:]):
+            assert hi == lo
+
+    def test_uniform_costs_cover_contiguously(self):
+        from repro.engine.scheduler import _cost_chunk_bounds
+
+        bounds = _cost_chunk_bounds([1.0] * 20, workers=2)
+        assert bounds[0][0] == 0 and bounds[-1][1] == 20
+        for (_, hi), (lo, _) in zip(bounds, bounds[1:]):
+            assert hi == lo
+
+    def test_degenerate_costs_fall_back_to_count_chunking(self):
+        from repro.engine.scheduler import _cost_chunk_bounds
+
+        bounds = _cost_chunk_bounds([0.0] * 8, workers=2)
+        assert bounds[0][0] == 0 and bounds[-1][1] == 8
+
+    def test_plan_validates_cost_hints(self):
+        with pytest.raises(ValueError, match="cost hints"):
+            build_plan(sample_task, SETTINGS, seed=1, cost_hints=[1.0])
+        with pytest.raises(ValueError, match="positive"):
+            build_plan(sample_task, SETTINGS, seed=1, cost_hints=[-1.0] * len(SETTINGS))
+
+    def test_build_plan_auto_detects_task_cost_hint(self):
+        plan = build_plan(costed_task, SETTINGS, seed=1)
+        assert plan.cost_hints == tuple(float(s["scale"]) for s in SETTINGS)
+
+    def test_explicit_hints_override_task_advertisement(self):
+        hints = [2.0] * len(SETTINGS)
+        plan = build_plan(costed_task, SETTINGS, seed=1, cost_hints=hints)
+        assert plan.cost_hints == tuple(hints)
+
+    def test_cost_hints_never_change_results(self):
+        baseline = execute_plan(build_plan(sample_task, SETTINGS, seed=7), workers=1)
+        skewed = [1.0] * len(SETTINGS)
+        skewed[4] = 10_000.0
+        for workers in (1, 3):
+            hinted = execute_plan(
+                build_plan(sample_task, SETTINGS, seed=7, cost_hints=skewed),
+                workers=workers,
+            )
+            assert hinted == baseline
+
+    def test_explicit_chunk_size_wins_over_hints(self):
+        plan = build_plan(sample_task, SETTINGS, seed=7, cost_hints=[5.0] * len(SETTINGS))
+        assert execute_plan(plan, workers=2, chunk_size=4) == execute_plan(plan, workers=1)
+
+    def test_engine_map_accepts_cost_hints(self):
+        engine = ExecutionEngine(workers=2)
+        baseline = engine.map(sample_task, SETTINGS, seed=9)
+        hinted = engine.map(
+            sample_task, SETTINGS, seed=9, cost_hints=[float(i + 1) for i in range(len(SETTINGS))]
+        )
+        assert hinted == baseline

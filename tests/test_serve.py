@@ -134,6 +134,26 @@ class TestSubmission:
         )
         assert submission.cache_key(cache) == legacy
 
+    def test_shard_discipline_folds_into_key_but_count_does_not(self, tmp_path):
+        """Sharded runs reseed per replicate row, so records differ from the
+        unsharded stream — the discipline joins the key. The shard *count*
+        stays out: results are bit-identical for every K."""
+        from repro.core.kernel import get_default_shard_workers, set_default_shard_workers
+
+        cache = RunCache(tmp_path)
+        submission = Submission(kind="experiment", name="E01", quick=True)
+        previous = get_default_shard_workers()
+        try:
+            set_default_shard_workers(None)
+            unsharded_key = submission.cache_key(cache)
+            set_default_shard_workers(2)
+            sharded_key = submission.cache_key(cache)
+            assert sharded_key != unsharded_key
+            set_default_shard_workers(7)
+            assert submission.cache_key(cache) == sharded_key
+        finally:
+            set_default_shard_workers(previous)
+
     def test_overrides_change_the_key(self, tmp_path):
         cache = RunCache(tmp_path)
         base = Submission(kind="experiment", name="E01", quick=True)
