@@ -62,7 +62,7 @@ Online tracking of a time-varying world:
 
 # Defined before any subpackage import: repro.store and repro.sweeps fold the
 # package version into provenance metadata and cache keys at import time.
-__version__ = "1.9.0"
+__version__ = "1.10.0"
 
 from repro.core import (
     AnalyticSolution,

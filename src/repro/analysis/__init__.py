@@ -15,7 +15,13 @@
   simulations.
 """
 
-from repro.analysis.aggregate import aggregate_records, parse_metric, statistic_names
+from repro.analysis.aggregate import (
+    StreamStats,
+    aggregate_records,
+    aggregate_stream,
+    parse_metric,
+    statistic_names,
+)
 
 from repro.analysis.concentration import (
     chebyshev_deviation,
@@ -64,7 +70,9 @@ __all__ = [
     "fit_power_law",
     "cartesian_grid",
     "run_sweep",
+    "StreamStats",
     "aggregate_records",
+    "aggregate_stream",
     "parse_metric",
     "statistic_names",
 ]

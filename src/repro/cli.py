@@ -19,6 +19,10 @@ Usage (after installing the package)::
     python -m repro sweep resume --spec sweep.json --store results/
                                               # finish an interrupted sweep (no recompute)
     python -m repro sweep status --spec sweep.json --store results/
+    python -m repro sweep run --spec sweep.json --store shard0/ --shard 0/2
+                                              # run only shard 0's cell slice (machine 1 of 2)
+    python -m repro store merge shard0/ shard1/ --into results/
+                                              # union shard stores, byte-identical to unsharded
     python -m repro store query --store results/ --where target=E02 \
         --aggregate mean:empirical_epsilon --by target_density
     python -m repro store export --store results/ --output rows.csv
@@ -72,7 +76,7 @@ from pathlib import Path
 from typing import Sequence
 
 from repro import __version__
-from repro.analysis.aggregate import aggregate_records, parse_metric
+from repro.analysis.aggregate import aggregate_stream, parse_metric
 from repro.dynamics.scenario import SCENARIOS, scenario_names
 from repro.engine import (
     KERNEL_BACKENDS,
@@ -86,8 +90,8 @@ from repro.experiments.base import ExperimentResult
 from repro.experiments.report import generate_report
 from repro.obs.telemetry import TelemetryRecorder, set_telemetry
 from repro.serve.submit import Submission, result_from_payload, run_submission
-from repro.store import ResultStore, StoreError
-from repro.sweeps import load_spec, run_sweep_spec, sweep_status
+from repro.store import ResultStore, StoreError, merge_stores
+from repro.sweeps import load_spec, parse_shard, run_sweep_spec, sweep_status
 from repro.utils.serialization import dumps, rows_to_csv
 from repro.utils.tables import format_records
 
@@ -224,6 +228,15 @@ def _build_parser() -> argparse.ArgumentParser:
             metavar="N",
             help="compute at most N new cells, then stop (deterministic interruption for tests/CI)",
         )
+        sub.add_argument(
+            "--shard",
+            default=None,
+            metavar="I/N",
+            help=(
+                "run only shard I's contiguous cell slice of the same flat plan (cell seeds "
+                "untouched); merge the N shard stores with 'repro store merge'"
+            ),
+        )
 
     store_parser = subparsers.add_parser("store", help="query and export a persistent result store")
     store_sub = store_parser.add_subparsers(dest="store_command", required=True)
@@ -255,6 +268,22 @@ def _build_parser() -> argparse.ArgumentParser:
     query_format = query_parser.add_mutually_exclusive_group()
     query_format.add_argument("--json", action="store_true", help="emit rows as a JSON array")
     query_format.add_argument("--csv", action="store_true", help="emit rows as CSV")
+    merge_parser = store_sub.add_parser(
+        "merge",
+        help=(
+            "union the segments of several stores (e.g. sweep shards) into one — "
+            "idempotent, and byte-identical to the unsharded run"
+        ),
+    )
+    merge_parser.add_argument(
+        "sources", nargs="+", metavar="SRC", help="source store directories to merge"
+    )
+    merge_parser.add_argument(
+        "--into", required=True, metavar="DIR", help="destination store directory"
+    )
+    merge_parser.add_argument(
+        "--json", action="store_true", help="emit the merge summary as JSON"
+    )
     export_parser = store_sub.add_parser("export", help="dump every store row to CSV or NDJSON")
     export_parser.add_argument("--store", required=True, metavar="DIR", help="result store directory")
     export_parser.add_argument("--output", required=True, metavar="FILE", help="output file")
@@ -690,6 +719,7 @@ def _sweep_pieces(args) -> tuple:
 
 def _command_sweep_run(args, *, resume: bool) -> int:
     spec, store, cache = _sweep_pieces(args)
+    shard = parse_shard(args.shard) if args.shard is not None else None
     if resume and cache is not None and not Path(cache.directory).is_dir():
         raise ValueError(
             f"nothing to resume: checkpoint cache {str(cache.directory)!r} does not exist "
@@ -706,6 +736,7 @@ def _command_sweep_run(args, *, resume: bool) -> int:
         store=store,
         max_cells=args.max_cells,
         progress=progress,
+        shard=shard,
     )
     summary = outcome.summary()
     summary["store"] = str(store.directory)
@@ -713,13 +744,17 @@ def _command_sweep_run(args, *, resume: bool) -> int:
     if args.json:
         print(dumps(summary))
     else:
+        shard_note = f" (shard {summary['shard']}: {summary['shard_cells']} owned)" if shard else ""
         print(
-            f"[{spec.name}] {summary['cells']} cells: {summary['computed']} computed, "
+            f"[{spec.name}] {summary['cells']} cells{shard_note}: {summary['computed']} computed, "
             f"{summary['cached']} cached, {summary['pending']} pending"
         )
         print(f"store: {store.directory} ({summary['rows']} rows in {len(store.segments())} segments)")
         if summary["pending"]:
-            print(f"resume with: repro sweep resume --spec {args.spec} --store {args.store}")
+            shard_flag = f" --shard {args.shard}" if args.shard is not None else ""
+            print(
+                f"resume with: repro sweep resume --spec {args.spec} --store {args.store}{shard_flag}"
+            )
     return 0 if outcome.complete else 3
 
 
@@ -779,7 +814,9 @@ def _command_store_query(args) -> int:
     if metrics:
         # Aggregation needs the full-width rows (grouping and metric columns
         # may fall outside any --columns projection, which applies after).
-        rows = aggregate_records(store.select(where=where), by=args.by, metrics=metrics)
+        # One streaming pass: the row set is never materialised, so the
+        # aggregate query runs out-of-core on stores larger than memory.
+        rows = aggregate_stream(store.iter_select(where=where), by=args.by, metrics=metrics)
         if args.limit is not None:
             rows = rows[: args.limit]
         shown_columns = list(args.by) + ["n"] + [f"{stat}_{column}" for stat, column in metrics]
@@ -811,6 +848,19 @@ def _command_store_export(args) -> int:
     store = _open_store(args.store)
     count = store.export(args.output, fmt=args.format, columns=_split_columns(args.columns))
     print(f"wrote {count} rows to {args.output}")
+    return 0
+
+
+def _command_store_merge(args) -> int:
+    summary = merge_stores(args.sources, args.into)
+    if args.json:
+        print(dumps(summary))
+    else:
+        print(
+            f"merged {summary['sources']} store(s) into {summary['into']}: "
+            f"{summary['segments_copied']} segment(s) copied, "
+            f"{summary['segments_skipped']} already present, {summary['rows']} rows total"
+        )
     return 0
 
 
@@ -964,6 +1014,8 @@ def _route(args):
     if args.command == "store":
         if args.store_command == "query":
             return _command_store_query, (args,)
+        if args.store_command == "merge":
+            return _command_store_merge, (args,)
         return _command_store_export, (args,)
     if args.command == "bench":
         return _command_bench_history, (args,)

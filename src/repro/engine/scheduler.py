@@ -91,6 +91,36 @@ class ExecutionPlan:
     def __len__(self) -> int:
         return len(self.settings)
 
+    def subset(self, indices: Sequence[int]) -> "ExecutionPlan":
+        """A sub-plan of the invocations at ``indices``, seeds pinned.
+
+        Each retained invocation keeps the seed sequence it had in the full
+        plan, so running a subset (a shard's cell range, a resumed
+        remainder) produces bit-identical results to the same invocations
+        inside a full run — the property sweep sharding and resume both
+        rest on. ``indices`` may select any subset in any order; duplicates
+        are rejected because one plan must never run an invocation twice.
+        """
+        total = len(self.settings)
+        seen: set[int] = set()
+        for index in indices:
+            require_integer(index, "subset index", minimum=0)
+            if index >= total:
+                raise ValueError(f"subset index {index} is out of range for a plan of {total}")
+            if index in seen:
+                raise ValueError(f"subset repeats index {index}")
+            seen.add(index)
+        return ExecutionPlan(
+            task=self.task,
+            settings=tuple(self.settings[index] for index in indices),
+            seed_sequences=tuple(self.seed_sequences[index] for index in indices),
+            cost_hints=(
+                None
+                if self.cost_hints is None
+                else tuple(self.cost_hints[index] for index in indices)
+            ),
+        )
+
 
 def build_plan(
     task: TaskFn,

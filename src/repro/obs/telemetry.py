@@ -30,6 +30,16 @@ Span hierarchy (see README "Observability")::
          └─ cell         # one plan task / sweep cell
              └─ round_chunk   # one chunked multi-round RNG draw (fastpath)
 
+The result store's streaming read path
+(:meth:`~repro.store.ResultStore.iter_select`) flushes one counter batch
+per completed query: ``store.segments_opened`` / ``store.segments_skipped``
+(part files actually read vs. rejected wholesale by pushdown),
+``store.rows_scanned`` vs. ``store.rows_returned`` (filter selectivity —
+how much I/O the query paid per row it kept), and ``store.pushdown_hits``
+(equality clauses the Parquet reader evaluated instead of Python). A
+``limit`` short-circuit shows up as ``segments_opened`` below the store's
+segment count.
+
 Worker *processes* spawned by the scheduler inherit the default no-op
 recorder: cross-process telemetry is deliberately parent-side (the parent
 records per-cell latency from worker-measured durations), which is what

@@ -10,10 +10,16 @@ simulation:
   per store at creation), so concurrent writers and killed processes never
   leave a half-written segment, and re-appending an existing segment is a
   no-op (idempotent resume).
-* a small query API — :meth:`ResultStore.select` with equality filters and
-  column projection, :meth:`ResultStore.export` to CSV/NDJSON — plus
+* a small query API — :meth:`ResultStore.iter_select` streams matching rows
+  segment by segment (NDJSON line-by-line; Parquet with column projection
+  and equality-filter pushdown) so queries run out-of-core,
+  :meth:`ResultStore.select` is its materialised form, and
+  :meth:`ResultStore.export` streams CSV/NDJSON to disk — plus
   run-provenance metadata (package version, seed root, git SHA) recorded in
   the store's schema document.
+* :func:`merge_stores` — union the segments of several stores (the shards
+  of a distributed sweep) into one, idempotently and byte-identically to
+  the equivalent unsharded run.
 
 The sweep orchestrator (:mod:`repro.sweeps`) writes one segment per
 completed sweep cell; ``repro store query`` and
@@ -25,6 +31,7 @@ from repro.store.store import (
     ResultStore,
     StoreError,
     default_store_format,
+    merge_stores,
 )
 
 __all__ = [
@@ -32,4 +39,5 @@ __all__ = [
     "ResultStore",
     "StoreError",
     "default_store_format",
+    "merge_stores",
 ]

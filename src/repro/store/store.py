@@ -28,16 +28,20 @@ Design constraints, in order:
 
 from __future__ import annotations
 
+import filecmp
 import json
 import sys
 from pathlib import Path
 from typing import Any, Callable, Iterator, Mapping, Sequence
 
 from repro import __version__
+from repro.obs.telemetry import get_telemetry
+from repro.utils.atomic import atomic_copy_file as _atomic_copy_file
+from repro.utils.atomic import atomic_text_writer as _atomic_text_writer
 from repro.utils.atomic import atomic_write_bytes as _atomic_write_bytes
 from repro.utils.atomic import atomic_write_text as _atomic_write_text
 from repro.utils.provenance import git_sha as _git_sha
-from repro.utils.serialization import rows_to_csv, to_jsonable
+from repro.utils.serialization import csv_line, to_jsonable
 
 #: Bump when the on-disk layout or row conventions change incompatibly.
 STORE_SCHEMA_VERSION = 1
@@ -63,11 +67,13 @@ def default_store_format() -> str:
     return "parquet" if _HAVE_PYARROW else "ndjson"
 
 
+def _encode_row_ndjson(row: Mapping[str, Any]) -> str:
+    """One row in the store's canonical NDJSON form (no trailing newline)."""
+    return json.dumps(to_jsonable(row), sort_keys=True, separators=(",", ":"), ensure_ascii=True)
+
+
 def _encode_rows_ndjson(rows: Sequence[Mapping[str, Any]]) -> str:
-    lines = [
-        json.dumps(to_jsonable(row), sort_keys=True, separators=(",", ":"), ensure_ascii=True)
-        for row in rows
-    ]
+    lines = [_encode_row_ndjson(row) for row in rows]
     return "\n".join(lines) + ("\n" if lines else "")
 
 
@@ -89,6 +95,53 @@ def _matches(row: Mapping[str, Any], where: Mapping[str, Any]) -> bool:
             pass
         return False
     return True
+
+
+def _parquet_pushdown(arrow_schema: Any, where: Mapping[str, Any]) -> tuple[list | None, int]:  # pragma: no cover
+    """The ``where`` clauses that can safely push into the Parquet reader.
+
+    Returns ``(filters, pushed)`` where ``filters`` is a pyarrow
+    ``read_table`` DNF filter list (or ``None``) and ``pushed`` counts the
+    clauses it covers. A clause is pushed only when reader-side equality
+    provably implies :func:`_matches` equality — numeric expected value
+    against a numeric (non-bool) column, bool against bool, or a
+    non-numeric string against a string column. Everything else (numeric
+    strings against string columns, cross-type comparisons) stays
+    reader-side: :func:`_matches` is re-applied to every returned row, so a
+    skipped clause costs I/O, never correctness.
+    """
+    filters: list[tuple[str, str, Any]] = []
+    pushed = 0
+    names = set(arrow_schema.names)
+    for key, expected in where.items():
+        if key not in names:
+            continue
+        column_type = arrow_schema.field(key).type
+        numeric_column = (
+            _pa.types.is_integer(column_type) or _pa.types.is_floating(column_type)
+        )
+        if isinstance(expected, bool):
+            if _pa.types.is_boolean(column_type):
+                filters.append((key, "==", expected))
+                pushed += 1
+            continue
+        if isinstance(expected, (int, float)):
+            if numeric_column:
+                filters.append((key, "==", expected))
+                pushed += 1
+            continue
+        if isinstance(expected, str):
+            try:
+                number = float(expected)
+            except ValueError:
+                if _pa.types.is_string(column_type) or _pa.types.is_large_string(column_type):
+                    filters.append((key, "==", expected))
+                    pushed += 1
+                continue
+            if numeric_column:
+                filters.append((key, "==", number))
+                pushed += 1
+    return (filters or None), pushed
 
 
 class ResultStore:
@@ -308,10 +361,14 @@ class ResultStore:
         return self._read_segment(segment)
 
     def _read_segment(self, segment: str) -> list[dict[str, Any]]:
-        path = self._segment_path(segment)
         if self.format() == "parquet":  # pragma: no cover - needs pyarrow
+            path = self._segment_path(segment)
             return _pq.read_table(path).to_pylist()
-        rows = []
+        return list(self._iter_segment_ndjson(segment))
+
+    def _iter_segment_ndjson(self, segment: str) -> Iterator[dict[str, Any]]:
+        """Decode one NDJSON segment lazily, line by line."""
+        path = self._segment_path(segment)
         try:
             with open(path, "r", encoding="utf-8") as handle:
                 for line_number, line in enumerate(handle, start=1):
@@ -319,22 +376,170 @@ class ResultStore:
                     if not line:
                         continue
                     try:
-                        rows.append(json.loads(line))
+                        yield json.loads(line)
                     except ValueError as error:
                         raise StoreError(
                             f"corrupt row in segment {segment!r} line {line_number}: {error}"
                         ) from error
         except FileNotFoundError as error:
             raise StoreError(f"segment {segment!r} does not exist") from error
-        return rows
+        except OSError as error:
+            raise StoreError(f"unreadable segment {segment!r}: {error}") from error
+
+    def _iter_segment_parquet(  # pragma: no cover - needs pyarrow
+        self,
+        segment: str,
+        *,
+        where: Mapping[str, Any] | None,
+        predicate: Callable[[Mapping[str, Any]], bool] | None,
+        columns: Sequence[str] | None,
+        stats: dict[str, int],
+    ) -> Iterator[dict[str, Any]]:
+        """Read one Parquet segment with column projection and filter pushdown.
+
+        Projection never drops a column a later stage needs: the ``where``
+        keys ride along so :func:`_matches` can re-check every row, and an
+        arbitrary ``predicate`` disables projection entirely. Pushdown only
+        narrows I/O (see :func:`_parquet_pushdown`); a ``where`` key missing
+        from the segment's schema rejects the whole segment unopened, since
+        ``_matches`` maps a missing key to ``False`` for every row.
+        """
+        path = self._segment_path(segment)
+        try:
+            parquet_file = _pq.ParquetFile(path)
+        except FileNotFoundError as error:
+            raise StoreError(f"segment {segment!r} does not exist") from error
+        except OSError as error:
+            raise StoreError(f"unreadable segment {segment!r}: {error}") from error
+        arrow_schema = parquet_file.schema_arrow
+        names = set(arrow_schema.names)
+        if where:
+            missing = [key for key in where if key not in names]
+            if missing:
+                stats["skipped"] += 1
+                stats["pushdown"] += 1
+                return
+        filters, pushed = _parquet_pushdown(arrow_schema, where or {})
+        read_columns: list[str] | None = None
+        if columns is not None and predicate is None:
+            wanted = set(columns) | set(where or {})
+            read_columns = sorted(wanted & names)
+        stats["opened"] += 1
+        stats["pushdown"] += pushed
+        table = _pq.read_table(path, columns=read_columns, filters=filters)
+        for row in table.to_pylist():
+            # Projected-away requested columns come back as None via the
+            # common projection step, matching the NDJSON path.
+            yield row
+
+    def _segment_row_stream(
+        self,
+        segment: str,
+        *,
+        where: Mapping[str, Any] | None,
+        predicate: Callable[[Mapping[str, Any]], bool] | None,
+        columns: Sequence[str] | None,
+        stats: dict[str, int],
+    ) -> Iterator[dict[str, Any]]:
+        if self.format() == "parquet":  # pragma: no cover - needs pyarrow
+            yield from self._iter_segment_parquet(
+                segment, where=where, predicate=predicate, columns=columns, stats=stats
+            )
+            return
+        stats["opened"] += 1
+        yield from self._iter_segment_ndjson(segment)
 
     def rows(self) -> Iterator[dict[str, Any]]:
         """All rows of the store, in (segment name, row) order."""
         for segment in self.segments():
-            yield from self._read_segment(segment)
+            if self.format() == "parquet":  # pragma: no cover - needs pyarrow
+                yield from self._read_segment(segment)
+            else:
+                yield from self._iter_segment_ndjson(segment)
+
+    def _segment_row_count(self, segment: str) -> int:
+        """Row count of one segment without decoding any row.
+
+        NDJSON counts non-blank lines; Parquet reads the footer's
+        ``num_rows``. Unreadable part files still surface as
+        :class:`StoreError` — only *decoding* is skipped, not validation of
+        the file's existence and readability.
+        """
+        path = self._segment_path(segment)
+        if self.format() == "parquet":  # pragma: no cover - needs pyarrow
+            try:
+                return int(_pq.ParquetFile(path).metadata.num_rows)
+            except FileNotFoundError as error:
+                raise StoreError(f"segment {segment!r} does not exist") from error
+            except (OSError, _pa.ArrowInvalid) as error:
+                raise StoreError(f"unreadable segment {segment!r}: {error}") from error
+        total = 0
+        try:
+            with open(path, "rb") as handle:
+                for line in handle:
+                    if line.strip():
+                        total += 1
+        except FileNotFoundError as error:
+            raise StoreError(f"segment {segment!r} does not exist") from error
+        except OSError as error:
+            raise StoreError(f"unreadable segment {segment!r}: {error}") from error
+        return total
 
     def count(self) -> int:
-        return sum(1 for _ in self.rows())
+        """Total row count, from line counts / Parquet footers — no row decoding."""
+        return sum(self._segment_row_count(segment) for segment in self.segments())
+
+    def iter_select(
+        self,
+        *,
+        where: Mapping[str, Any] | None = None,
+        predicate: Callable[[Mapping[str, Any]], bool] | None = None,
+        columns: Sequence[str] | None = None,
+        limit: int | None = None,
+    ) -> Iterator[dict[str, Any]]:
+        """Stream rows matching the given filters, one segment at a time.
+
+        The out-of-core form of :meth:`select`: segment part files are
+        opened lazily and never materialised whole (NDJSON decodes line by
+        line; Parquet reads with column projection and equality-filter
+        pushdown), so peak memory is one row — independent of store size.
+        ``limit`` short-circuits *before* later segments are opened. Rows
+        come back in the same deterministic (segment, row) order as
+        :meth:`select`.
+
+        When telemetry is enabled the read path's counters are flushed on
+        completion (including early exits): ``store.segments_opened``,
+        ``store.segments_skipped``, ``store.rows_scanned``,
+        ``store.rows_returned``, and ``store.pushdown_hits``.
+        """
+        tel = get_telemetry()
+        stats = {"opened": 0, "skipped": 0, "scanned": 0, "returned": 0, "pushdown": 0}
+        column_list = list(columns) if columns is not None else None
+        try:
+            if limit is not None and limit <= 0:
+                return
+            for segment in self.segments():
+                for row in self._segment_row_stream(
+                    segment, where=where, predicate=predicate, columns=column_list, stats=stats
+                ):
+                    stats["scanned"] += 1
+                    if where and not _matches(row, where):
+                        continue
+                    if predicate is not None and not predicate(row):
+                        continue
+                    if column_list is not None:
+                        row = {column: row.get(column) for column in column_list}
+                    stats["returned"] += 1
+                    yield row
+                    if limit is not None and stats["returned"] >= limit:
+                        return
+        finally:
+            if tel.enabled:
+                tel.counter("store.segments_opened", stats["opened"])
+                tel.counter("store.segments_skipped", stats["skipped"])
+                tel.counter("store.rows_scanned", stats["scanned"])
+                tel.counter("store.rows_returned", stats["returned"])
+                tel.counter("store.pushdown_hits", stats["pushdown"])
 
     def select(
         self,
@@ -349,44 +554,135 @@ class ResultStore:
         ``where`` applies per-column equality filters (numeric strings match
         their numeric values, so CLI-sourced filters work); ``predicate`` is
         an arbitrary row test applied after ``where``. Rows come back in
-        deterministic (segment, row) order.
+        deterministic (segment, row) order. This is the materialised form of
+        :meth:`iter_select` — prefer the iterator when the result set may be
+        large.
         """
-        out: list[dict[str, Any]] = []
-        for row in self.rows():
-            if where and not _matches(row, where):
-                continue
-            if predicate is not None and not predicate(row):
-                continue
-            if columns is not None:
-                row = {column: row.get(column) for column in columns}
-            out.append(row)
-            if limit is not None and len(out) >= limit:
-                break
-        return out
+        return list(
+            self.iter_select(where=where, predicate=predicate, columns=columns, limit=limit)
+        )
 
     # ------------------------------------------------------------------
     # Export
     # ------------------------------------------------------------------
     def export(self, output: str | Path, *, fmt: str = "csv", columns: Sequence[str] | None = None) -> int:
-        """Write every row to ``output`` as CSV or NDJSON; returns the row count."""
-        rows = self.select(columns=list(columns) if columns is not None else None)
-        if fmt == "csv":
-            # Column union from the rows already in hand — no second scan.
-            cols = (
-                list(columns)
-                if columns is not None
-                else sorted({key for row in rows for key in row})
-            )
-            text = rows_to_csv(rows, columns=cols)
-        elif fmt == "ndjson":
-            text = _encode_rows_ndjson(rows)
-        else:
+        """Write every row to ``output`` as CSV or NDJSON; returns the row count.
+
+        Rows stream straight from :meth:`iter_select` into a temp file that
+        is atomically renamed into place, so exporting a store larger than
+        memory works and a killed export never leaves a torn output file.
+        The CSV header is written lazily on the first row, so an empty store
+        exports an empty file (matching :func:`rows_to_csv` of no records).
+        """
+        if fmt not in ("csv", "ndjson"):
             raise StoreError(f"unknown export format {fmt!r}; expected 'csv' or 'ndjson'")
-        _atomic_write_text(Path(output), text)
-        return len(rows)
+        column_list = list(columns) if columns is not None else None
+        written = 0
+        with _atomic_text_writer(Path(output)) as handle:
+            if fmt == "csv":
+                # Explicit columns avoid any pre-scan; otherwise one cheap
+                # metadata pass derives the sorted column union up front.
+                header = column_list if column_list is not None else self.columns()
+                header_written = False
+                for row in self.iter_select(columns=column_list):
+                    if not header_written:
+                        handle.write(",".join(header) + "\n")
+                        header_written = True
+                    handle.write(csv_line(row, header) + "\n")
+                    written += 1
+            else:
+                for row in self.iter_select(columns=column_list):
+                    handle.write(_encode_row_ndjson(row) + "\n")
+                    written += 1
+        return written
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"ResultStore(directory={str(self.directory)!r})"
 
 
-__all__ = ["ResultStore", "StoreError", "STORE_SCHEMA_VERSION", "default_store_format"]
+def merge_stores(sources: Sequence[str | Path], into: str | Path) -> dict[str, Any]:
+    """Union the segments of ``sources`` into the store at ``into``.
+
+    The distributed-sweep join: each shard of a sharded sweep writes its own
+    store, and merging them reproduces the unsharded store **byte for
+    byte** — segment part files and meta sidecars are copied verbatim, and a
+    fresh destination takes the first source's ``_schema.json`` bytes as-is
+    (shards of one sweep pin identical provenance, since no timestamps or
+    host state enter the document).
+
+    The merge is idempotent: a segment already present with identical bytes
+    is skipped, so re-running a merge (or merging overlapping shards, e.g.
+    an interrupted shard resumed on another machine) is safe. A segment
+    name carrying *different* bytes raises :class:`StoreError` — that is
+    never a legal state for shards of one deterministic sweep.
+
+    Returns a summary dict: source count, segments copied/skipped, and the
+    merged store's total row count.
+    """
+    if not sources:
+        raise StoreError("merge needs at least one source store")
+    stores = []
+    for source in sources:
+        store = ResultStore(source)
+        if not store.exists():
+            raise StoreError(f"no store exists at {store.directory} (no _schema.json)")
+        stores.append(store)
+    formats = sorted({store.format() for store in stores})
+    if len(formats) != 1:
+        raise StoreError(f"cannot merge stores of mixed formats {formats}")
+    fmt = formats[0]
+    dest = ResultStore(into)
+    if dest.exists():
+        if dest.format() != fmt:
+            raise StoreError(
+                f"destination store at {dest.directory} is pinned to format "
+                f"{dest.format()!r}, but the sources are {fmt!r}"
+            )
+    else:
+        _atomic_copy_file(stores[0].schema_path, dest.schema_path)
+    copied = 0
+    skipped = 0
+    for store in stores:
+        for segment in store.segments():
+            source_part = store._segment_path(segment)
+            dest_part = dest._segment_path(segment)
+            source_meta = store.segments_dir / f"{segment}.meta.json"
+            dest_meta = dest.segments_dir / f"{segment}.meta.json"
+            # Sidecar before part file, mirroring append's commit ordering:
+            # once the part file exists the segment is complete.
+            if source_meta.is_file():
+                if dest_meta.is_file():
+                    if not filecmp.cmp(source_meta, dest_meta, shallow=False):
+                        raise StoreError(
+                            f"segment {segment!r} metadata differs between "
+                            f"{store.directory} and {dest.directory}"
+                        )
+                else:
+                    _atomic_copy_file(source_meta, dest_meta)
+            if dest_part.exists():
+                if not filecmp.cmp(source_part, dest_part, shallow=False):
+                    raise StoreError(
+                        f"segment {segment!r} conflicts: {source_part} and "
+                        f"{dest_part} hold different bytes"
+                    )
+                skipped += 1
+                continue
+            _atomic_copy_file(source_part, dest_part)
+            copied += 1
+    return {
+        "into": str(dest.directory),
+        "format": fmt,
+        "sources": len(stores),
+        "segments_copied": copied,
+        "segments_skipped": skipped,
+        "rows": dest.count(),
+    }
+
+
+__all__ = [
+    "ResultStore",
+    "StoreError",
+    "STORE_SCHEMA_VERSION",
+    "default_store_format",
+    "merge_stores",
+]

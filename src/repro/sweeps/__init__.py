@@ -13,9 +13,13 @@ scripts into one declarative, durable pipeline:
   once per sweep, not once per cell), checkpoints every completed cell
   through :class:`~repro.engine.cache.RunCache`, streams finished rows into
   a :class:`~repro.store.ResultStore`, and resumes an interrupted sweep
-  with zero recomputation.
+  with zero recomputation. ``run_sweep_spec(..., shard=(i, N))`` runs only
+  shard ``i``'s contiguous cell slice of the same plan (cell seeds
+  untouched), so N machines can split a sweep and
+  :func:`repro.store.merge_stores` joins their stores byte-identically.
 
-The CLI front end is ``repro sweep run/resume/status``.
+The CLI front end is ``repro sweep run/resume/status`` (``run --shard i/N``
+for distributed shards) plus ``repro store merge``.
 """
 
 from repro.sweeps.spec import (
@@ -28,7 +32,9 @@ from repro.sweeps.spec import (
     axis_from_dict,
     expand_axes,
     load_spec,
+    parse_shard,
     save_spec,
+    shard_cell_indices,
 )
 from repro.sweeps.runner import (
     SweepCell,
@@ -50,7 +56,9 @@ __all__ = [
     "axis_from_dict",
     "expand_axes",
     "load_spec",
+    "parse_shard",
     "save_spec",
+    "shard_cell_indices",
     "compile_cells",
     "run_sweep_spec",
     "sweep_status",

@@ -17,6 +17,11 @@ The execution contract, which the tests pin down:
   process loses at most the cells in flight; ``run_sweep_spec`` on the same
   cache then recomputes only the missing cells — cache-hit accounting in
   :class:`SweepOutcome` makes "zero recomputation" checkable.
+* **Shards partition, never perturb.** ``run_sweep_spec(..., shard=(i, N))``
+  compiles the *same* flat plan and executes only the contiguous cell-range
+  slice owned by shard ``i`` (:func:`repro.sweeps.spec.shard_cell_indices`),
+  with cell seeds untouched — so N shard stores merged with
+  :func:`repro.store.merge_stores` are byte-identical to one unsharded run.
 """
 
 from __future__ import annotations
@@ -24,7 +29,7 @@ from __future__ import annotations
 import dataclasses
 import time
 from dataclasses import dataclass
-from typing import Any, Callable, Mapping
+from typing import Any, Callable, Mapping, Sequence
 
 import numpy as np
 
@@ -33,7 +38,7 @@ from repro.engine.cache import RunCache, cache_key
 from repro.engine.scheduler import ExecutionPlan, iter_execute_plan
 from repro.obs.telemetry import get_telemetry
 from repro.store import ResultStore
-from repro.sweeps.spec import SweepSpec, axis_seed, expand_axes
+from repro.sweeps.spec import SweepSpec, axis_seed, expand_axes, shard_cell_indices
 from repro.utils.rng import spawn_seed_sequences
 from repro.utils.serialization import to_jsonable
 from repro.utils.validation import require_integer
@@ -285,6 +290,11 @@ class SweepOutcome:
     nor executed this invocation (an interrupted / ``max_cells``-limited
     run); ``cached[i]`` / ``executed[i]`` say how each payload was obtained,
     which is the cache-hit accounting resumability tests assert on.
+
+    ``shard`` records the ``(index, count)`` slice a sharded invocation
+    owned (``None`` for an unsharded run): ``pending`` / ``complete`` then
+    judge only the owned cells, so every shard of a sweep can report
+    ``complete`` while holding payloads for just its slice.
     """
 
     spec: SweepSpec
@@ -292,6 +302,7 @@ class SweepOutcome:
     payloads: list[dict[str, Any] | None]
     cached: list[bool]
     executed: list[bool]
+    shard: tuple[int, int] | None = None
 
     @property
     def total(self) -> int:
@@ -306,8 +317,16 @@ class SweepOutcome:
         return sum(self.executed)
 
     @property
+    def shard_indices(self) -> list[int]:
+        """The cell indices this invocation owned (all of them unsharded)."""
+        if self.shard is None:
+            return list(range(len(self.cells)))
+        index, count = self.shard
+        return list(shard_cell_indices(len(self.cells), index, count))
+
+    @property
     def pending(self) -> list[int]:
-        return [index for index, payload in enumerate(self.payloads) if payload is None]
+        return [index for index in self.shard_indices if self.payloads[index] is None]
 
     @property
     def complete(self) -> bool:
@@ -322,7 +341,7 @@ class SweepOutcome:
         return rows
 
     def summary(self) -> dict[str, Any]:
-        return {
+        out = {
             "sweep": self.spec.name,
             "cells": self.total,
             "cached": self.hits,
@@ -330,6 +349,10 @@ class SweepOutcome:
             "pending": len(self.pending),
             "complete": self.complete,
         }
+        if self.shard is not None:
+            out["shard"] = f"{self.shard[0]}/{self.shard[1]}"
+            out["shard_cells"] = len(self.shard_indices)
+        return out
 
 
 def run_sweep_spec(
@@ -340,6 +363,7 @@ def run_sweep_spec(
     store: ResultStore | None = None,
     max_cells: int | None = None,
     progress: ProgressFn | None = None,
+    shard: tuple[int, int] | None = None,
 ) -> SweepOutcome:
     """Run (or resume) every cell of ``spec``; see the module docstring.
 
@@ -364,20 +388,38 @@ def run_sweep_spec(
     progress:
         Optional callback invoked as ``progress(cell, status)`` with status
         ``"cached"`` or ``"computed"`` as each cell's payload materialises.
+    shard:
+        ``(index, count)`` to run only the contiguous cell-range slice
+        owned by shard ``index`` of ``count``
+        (:func:`repro.sweeps.spec.shard_cell_indices`). The full plan is
+        still compiled — every cell keeps the seed it has in the unsharded
+        run — but cache loads, execution, and store appends are restricted
+        to the owned slice, so a shard's store holds *exactly* its own
+        segments and ``merge_stores`` over all shards reproduces the
+        unsharded store byte for byte.
     """
     require_integer(workers, "workers", minimum=1)
     if max_cells is not None:
         require_integer(max_cells, "max_cells", minimum=0)
     tel = get_telemetry()
     cells = compile_cells(spec)
+    if shard is None:
+        owned: Sequence[int] = range(len(cells))
+    else:
+        shard_index, shard_count = shard
+        owned = shard_cell_indices(len(cells), shard_index, shard_count)
     seeds = spawn_seed_sequences(spec.seed, len(cells))
     payloads: list[dict[str, Any] | None] = [None] * len(cells)
     cached = [False] * len(cells)
     executed = [False] * len(cells)
 
-    with tel.span("sweep", sweep=spec.name, cells=len(cells), workers=workers):
+    span_fields: dict[str, Any] = {"sweep": spec.name, "cells": len(cells), "workers": workers}
+    if shard is not None:
+        span_fields["shard"] = f"{shard[0]}/{shard[1]}"
+    with tel.span("sweep", **span_fields):
         if cache is not None:
-            for cell in cells:
+            for index in owned:
+                cell = cells[index]
                 payload = cache.load(cell.key)
                 if payload is not None:
                     payloads[cell.index] = payload
@@ -390,21 +432,26 @@ def run_sweep_spec(
                     if progress is not None:
                         progress(cell, "cached")
 
-        pending = [index for index in range(len(cells)) if payloads[index] is None]
+        pending = [index for index in owned if payloads[index] is None]
         to_run = pending if max_cells is None else pending[:max_cells]
         if to_run:
-            plan = ExecutionPlan(
+            # One flat plan over *every* cell, then the slice to execute:
+            # the sub-plan keeps each cell's full-plan seed, which is what
+            # makes shards (and resumed remainders) bit-identical to the
+            # cells' runs inside an unsharded, uninterrupted sweep.
+            full_plan = ExecutionPlan(
                 task=run_cell,
                 settings=tuple(
                     {
-                        "target_kind": cells[index].target_kind,
-                        "target_name": cells[index].target_name,
-                        "params": dict(cells[index].params),
+                        "target_kind": cell.target_kind,
+                        "target_name": cell.target_name,
+                        "params": dict(cell.params),
                     }
-                    for index in to_run
+                    for cell in cells
                 ),
-                seed_sequences=tuple(seeds[index] for index in to_run),
+                seed_sequences=tuple(seeds),
             )
+            plan = full_plan.subset(to_run)
             # chunk_size=1: cells are whole experiments, so per-cell round trips
             # are cheap relative to the work, and every completed cell is
             # checkpointed before the next one is awaited.
@@ -426,7 +473,9 @@ def run_sweep_spec(
                 if progress is not None:
                     progress(cells[index], "computed")
 
-    return SweepOutcome(spec=spec, cells=cells, payloads=payloads, cached=cached, executed=executed)
+    return SweepOutcome(
+        spec=spec, cells=cells, payloads=payloads, cached=cached, executed=executed, shard=shard
+    )
 
 
 def sweep_status(

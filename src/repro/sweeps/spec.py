@@ -369,6 +369,48 @@ class SweepSpec:
         )
 
 
+def parse_shard(text: str) -> tuple[int, int]:
+    """Parse a CLI shard request ``"i/N"`` into ``(index, count)``.
+
+    ``index`` is zero-based and must satisfy ``0 <= index < count``; shards
+    of one sweep use the same ``N`` and together cover every cell exactly
+    once (see :func:`shard_cell_indices`).
+    """
+    index_text, separator, count_text = text.partition("/")
+    try:
+        if not separator:
+            raise ValueError(text)
+        index = int(index_text)
+        count = int(count_text)
+    except ValueError:
+        raise ValueError(
+            f"shards look like 'i/N' with integers 0 <= i < N, got {text!r}"
+        ) from None
+    require_integer(count, "shard count", minimum=1)
+    require_integer(index, "shard index", minimum=0)
+    if index >= count:
+        raise ValueError(f"shard index {index} is out of range for {count} shard(s)")
+    return index, count
+
+
+def shard_cell_indices(total: int, index: int, count: int) -> range:
+    """The contiguous cell-index slice owned by shard ``index`` of ``count``.
+
+    Balanced partition of ``range(total)``: shard sizes differ by at most
+    one, every cell belongs to exactly one shard, and the union over all
+    shards is the full range — the property the shard-merge byte-identity
+    contract rests on. Cell seeds are untouched by sharding (cell ``i`` is
+    always seeded by child ``i`` of the root seed), so which shard runs a
+    cell can never change its rows.
+    """
+    require_integer(total, "total", minimum=0)
+    require_integer(count, "shard count", minimum=1)
+    require_integer(index, "shard index", minimum=0)
+    if index >= count:
+        raise ValueError(f"shard index {index} is out of range for {count} shard(s)")
+    return range((total * index) // count, (total * (index + 1)) // count)
+
+
 def load_spec(path: str | Path) -> SweepSpec:
     """Read a :class:`SweepSpec` from a JSON file."""
     with open(path, "r", encoding="utf-8") as handle:
@@ -399,5 +441,7 @@ __all__ = [
     "collect_axis_names",
     "expand_axes",
     "load_spec",
+    "parse_shard",
     "save_spec",
+    "shard_cell_indices",
 ]

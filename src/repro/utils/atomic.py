@@ -9,8 +9,11 @@ new content, nothing in between), and a killed writer leaves at most a
 from __future__ import annotations
 
 import os
+import shutil
 import tempfile
+from contextlib import contextmanager
 from pathlib import Path
+from typing import IO, Iterator
 
 
 def atomic_write_text(path: str | Path, text: str, *, encoding: str = "utf-8") -> None:
@@ -21,6 +24,31 @@ def atomic_write_text(path: str | Path, text: str, *, encoding: str = "utf-8") -
     try:
         with os.fdopen(fd, "w", encoding=encoding) as handle:
             handle.write(text)
+        os.replace(temp_name, path)
+    except BaseException:
+        try:
+            os.unlink(temp_name)
+        except OSError:
+            pass
+        raise
+
+
+@contextmanager
+def atomic_text_writer(path: str | Path, *, encoding: str = "utf-8") -> Iterator[IO[str]]:
+    """Yield a text handle whose content is atomically published at ``path``.
+
+    The streaming form of :func:`atomic_write_text`: callers write row by row
+    instead of building the whole payload in memory, with the same contract —
+    the destination appears only after the block exits cleanly, and any error
+    (in the write or in the caller's block) unlinks the temp file and leaves
+    the destination untouched.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, temp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding=encoding) as handle:
+            yield handle
         os.replace(temp_name, path)
     except BaseException:
         try:
@@ -47,4 +75,26 @@ def atomic_write_bytes(path: str | Path, data: bytes) -> None:
         raise
 
 
-__all__ = ["atomic_write_text", "atomic_write_bytes"]
+def atomic_copy_file(src: str | Path, dst: str | Path) -> None:
+    """Atomically publish a byte-for-byte copy of ``src`` at ``dst``.
+
+    The copy streams through a bounded buffer (``shutil.copyfileobj``), so
+    arbitrarily large part files never pass through memory whole.
+    """
+    src = Path(src)
+    dst = Path(dst)
+    dst.parent.mkdir(parents=True, exist_ok=True)
+    fd, temp_name = tempfile.mkstemp(dir=dst.parent, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as out_handle, open(src, "rb") as in_handle:
+            shutil.copyfileobj(in_handle, out_handle)
+        os.replace(temp_name, dst)
+    except BaseException:
+        try:
+            os.unlink(temp_name)
+        except OSError:
+            pass
+        raise
+
+
+__all__ = ["atomic_write_text", "atomic_text_writer", "atomic_write_bytes", "atomic_copy_file"]

@@ -40,6 +40,23 @@ def dumps(value: Any, *, indent: int = 2) -> str:
     return json.dumps(to_jsonable(value), indent=indent, sort_keys=False)
 
 
+def csv_line(record: Mapping[str, Any], columns: Sequence[str]) -> str:
+    """Render one dict record as a CSV row (no trailing newline).
+
+    The single escaping implementation shared by :func:`rows_to_csv` and the
+    store's streaming export: ``None`` renders empty, and cells containing a
+    comma or quote are quoted with ``""`` doubling.
+    """
+    cells = []
+    for col in columns:
+        value = to_jsonable(record.get(col, ""))
+        text = "" if value is None else str(value)
+        if "," in text or '"' in text:
+            text = '"' + text.replace('"', '""') + '"'
+        cells.append(text)
+    return ",".join(cells)
+
+
 def rows_to_csv(records: Sequence[Mapping[str, Any]], *, columns: Sequence[str] | None = None) -> str:
     """Render dict records as CSV text (header + rows)."""
     if not records:
@@ -48,15 +65,8 @@ def rows_to_csv(records: Sequence[Mapping[str, Any]], *, columns: Sequence[str] 
     buffer = io.StringIO()
     buffer.write(",".join(cols) + "\n")
     for record in records:
-        cells = []
-        for col in cols:
-            value = to_jsonable(record.get(col, ""))
-            text = "" if value is None else str(value)
-            if "," in text or '"' in text:
-                text = '"' + text.replace('"', '""') + '"'
-            cells.append(text)
-        buffer.write(",".join(cells) + "\n")
+        buffer.write(csv_line(record, cols) + "\n")
     return buffer.getvalue()
 
 
-__all__ = ["to_jsonable", "dumps", "rows_to_csv"]
+__all__ = ["to_jsonable", "dumps", "csv_line", "rows_to_csv"]

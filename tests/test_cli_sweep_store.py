@@ -184,6 +184,103 @@ class TestStoreCommands:
         assert parsed == list(ResultStore(store_dir).rows())
 
 
+class TestShardAndMergeCLI:
+    def run_unsharded(self, spec_path, tmp_path, capsys):
+        store_dir = tmp_path / "unsharded"
+        assert (
+            main(["sweep", "run", "--spec", spec_path, "--store", str(store_dir),
+                  "--cache-dir", str(tmp_path / "unsharded-cache")]) == 0
+        )
+        capsys.readouterr()
+        return store_dir
+
+    def test_shard_merge_byte_identical_and_queryable(self, spec_path, tmp_path, capsys):
+        unsharded = self.run_unsharded(spec_path, tmp_path, capsys)
+        for index in range(2):
+            assert (
+                main(["sweep", "run", "--spec", spec_path,
+                      "--store", str(tmp_path / f"shard{index}"),
+                      "--cache-dir", str(tmp_path / f"shard{index}-cache"),
+                      "--shard", f"{index}/2"]) == 0
+            )
+        out = capsys.readouterr().out
+        assert "(shard 1/2: 2 owned)" in out  # 3 cells split 1 + 2
+        assert (
+            main(["store", "merge", str(tmp_path / "shard0"), str(tmp_path / "shard1"),
+                  "--into", str(tmp_path / "merged")]) == 0
+        )
+        assert "3 segment(s) copied" in capsys.readouterr().out
+
+        def files(root):
+            return {
+                str(path.relative_to(root)): path.read_bytes()
+                for path in root.rglob("*")
+                if path.is_file()
+            }
+
+        assert files(tmp_path / "merged") == files(unsharded)
+        # The merged store feeds the streaming aggregate path directly.
+        assert (
+            main(["store", "query", "--store", str(tmp_path / "merged"),
+                  "--where", "target=E02", "--aggregate", "mean:empirical_epsilon",
+                  "--by", "cell", "--json"]) == 0
+        )
+        groups = json.loads(capsys.readouterr().out)
+        assert [group["cell"] for group in groups] == [0, 1]
+
+    def test_interrupted_shard_resumes_with_shard_flag_hint(self, spec_path, tmp_path, capsys):
+        # Shard 1 of 2 owns two of the three cells, so max-cells=1 leaves it
+        # genuinely interrupted (exit code 3).
+        assert (
+            main(["sweep", "run", "--spec", spec_path, "--store", str(tmp_path / "shard1"),
+                  "--cache-dir", str(tmp_path / "cache1"), "--shard", "1/2",
+                  "--max-cells", "1"]) == 3
+        )
+        out = capsys.readouterr().out
+        assert "--shard 1/2" in out  # the resume hint carries the shard
+        assert (
+            main(["sweep", "resume", "--spec", spec_path, "--store", str(tmp_path / "shard1"),
+                  "--cache-dir", str(tmp_path / "cache1"), "--shard", "1/2", "--json"]) == 0
+        )
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["shard"] == "1/2"
+        assert summary["pending"] == 0
+
+    def test_merge_json_summary(self, spec_path, tmp_path, capsys):
+        store_dir = self.run_unsharded(spec_path, tmp_path, capsys)
+        assert (
+            main(["store", "merge", str(store_dir), "--into", str(tmp_path / "copy"),
+                  "--json"]) == 0
+        )
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["sources"] == 1
+        assert summary["segments_copied"] == 3
+        assert summary["segments_skipped"] == 0
+        assert summary["rows"] == ResultStore(store_dir).count()
+        # Re-merging is idempotent — everything already present.
+        assert (
+            main(["store", "merge", str(store_dir), "--into", str(tmp_path / "copy"),
+                  "--json"]) == 0
+        )
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["segments_copied"] == 0 and summary["segments_skipped"] == 3
+
+    @pytest.mark.parametrize("shard", ["5/2", "x/y", "1"])
+    def test_invalid_shard_flag_rejected(self, spec_path, tmp_path, capsys, shard):
+        assert (
+            main(["sweep", "run", "--spec", spec_path, "--store", str(tmp_path / "s"),
+                  "--shard", shard]) == 2
+        )
+        assert "error:" in capsys.readouterr().err
+
+    def test_merge_missing_source_rejected(self, tmp_path, capsys):
+        assert (
+            main(["store", "merge", str(tmp_path / "none"),
+                  "--into", str(tmp_path / "merged")]) == 2
+        )
+        assert "error:" in capsys.readouterr().err
+
+
 class TestReportFromStore:
     def test_report_regenerated_without_running(self, spec_path, tmp_path, capsys):
         store_dir = str(tmp_path / "store")

@@ -1,0 +1,264 @@
+"""Sweep sharding: parse/partition helpers, plan subsets, byte-identical merges.
+
+The distributed contract under test: shard ``i/N`` compiles the *same* flat
+plan as an unsharded run and executes only its contiguous cell slice with
+cell seeds untouched, so the N shard stores merged with ``merge_stores``
+are byte-for-byte identical to the store of one unsharded run — even when
+a shard was interrupted and resumed, and even when cells arrive from a
+warm shared cache.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine import RunCache
+from repro.engine.scheduler import ExecutionPlan, execute_plan
+from repro.store import ResultStore, merge_stores
+from repro.sweeps import (
+    GridAxis,
+    SweepSpec,
+    TargetSpec,
+    parse_shard,
+    run_sweep_spec,
+    shard_cell_indices,
+)
+
+
+def small_spec(name="shard-unit", seed=11) -> SweepSpec:
+    """Four fast cells: two E02 grid points and two 'stable' scenario points."""
+    return SweepSpec(
+        name=name,
+        seed=seed,
+        targets=(
+            TargetSpec(
+                kind="experiment",
+                name="E02",
+                base={"quick": True, "side": 8, "rounds": 10, "trials": 1},
+                axes=(GridAxis("densities", ((0.1,), (0.2,))),),
+            ),
+            TargetSpec(
+                kind="scenario",
+                name="stable",
+                base={"side": 8, "num_agents": 4, "replicates": 2},
+                axes=(GridAxis("rounds", (4, 8)),),
+            ),
+        ),
+    )
+
+
+def store_files(root) -> dict:
+    return {
+        str(path.relative_to(root)): path.read_bytes()
+        for path in root.rglob("*")
+        if path.is_file()
+    }
+
+
+def seeded_value(*, rng: np.random.Generator) -> float:
+    return float(rng.random())
+
+
+class TestParseShard:
+    @pytest.mark.parametrize(
+        "text, expected",
+        [("0/1", (0, 1)), ("0/2", (0, 2)), ("1/2", (1, 2)), ("7/8", (7, 8))],
+    )
+    def test_valid(self, text, expected):
+        assert parse_shard(text) == expected
+
+    @pytest.mark.parametrize(
+        "text",
+        ["", "1", "1/", "/2", "a/b", "1/b", "1.0/2", "1/2/3"],
+    )
+    def test_malformed(self, text):
+        with pytest.raises(ValueError, match="shards look like 'i/N'"):
+            parse_shard(text)
+
+    @pytest.mark.parametrize("text", ["2/2", "5/2"])
+    def test_index_out_of_range(self, text):
+        with pytest.raises(ValueError, match="out of range"):
+            parse_shard(text)
+
+    @pytest.mark.parametrize("text", ["-1/2", "0/0"])
+    def test_negative_or_empty_partition(self, text):
+        with pytest.raises(ValueError):
+            parse_shard(text)
+
+
+class TestShardCellIndices:
+    @pytest.mark.parametrize("total", [0, 1, 2, 3, 4, 7, 10, 23])
+    @pytest.mark.parametrize("count", [1, 2, 3, 5, 8])
+    def test_shards_partition_the_cell_range(self, total, count):
+        chunks = [shard_cell_indices(total, index, count) for index in range(count)]
+        flattened = [cell for chunk in chunks for cell in chunk]
+        # Disjoint, contiguous, in-order cover of range(total) ...
+        assert flattened == list(range(total))
+        # ... with balanced sizes (never differing by more than one cell).
+        sizes = [len(chunk) for chunk in chunks]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            shard_cell_indices(4, 2, 2)
+        with pytest.raises(ValueError):
+            shard_cell_indices(4, -1, 2)
+        with pytest.raises(ValueError):
+            shard_cell_indices(4, 0, 0)
+        with pytest.raises(ValueError):
+            shard_cell_indices(-1, 0, 1)
+
+
+class TestExecutionPlanSubset:
+    def make_plan(self, size=6):
+        return ExecutionPlan(
+            task=seeded_value,
+            settings=tuple({} for _ in range(size)),
+            seed_sequences=tuple(np.random.SeedSequence(99).spawn(size)),
+            cost_hints=tuple(float(index + 1) for index in range(size)),
+        )
+
+    def test_subset_keeps_full_plan_seeds(self):
+        plan = self.make_plan()
+        full = execute_plan(plan)
+        indices = [4, 1, 5]
+        sub = execute_plan(plan.subset(indices))
+        assert sub == [full[index] for index in indices]
+
+    def test_subset_slices_cost_hints_and_settings(self):
+        plan = self.make_plan()
+        sub = plan.subset([2, 0])
+        assert sub.cost_hints == (3.0, 1.0)
+        assert len(sub) == 2
+        no_hints = ExecutionPlan(
+            task=seeded_value,
+            settings=plan.settings,
+            seed_sequences=plan.seed_sequences,
+        ).subset([1])
+        assert no_hints.cost_hints is None
+
+    def test_subset_rejects_bad_indices(self):
+        plan = self.make_plan(3)
+        with pytest.raises(ValueError, match="out of range"):
+            plan.subset([3])
+        with pytest.raises(ValueError, match="repeats index"):
+            plan.subset([1, 1])
+        with pytest.raises(ValueError):
+            plan.subset([-1])
+        with pytest.raises(ValueError):
+            plan.subset([0.5])
+
+
+class TestShardedSweeps:
+    def run_unsharded(self, tmp_path, spec):
+        store_root = tmp_path / "unsharded-store"
+        run_sweep_spec(
+            spec,
+            cache=RunCache(tmp_path / "unsharded-cache"),
+            store=ResultStore(store_root),
+        )
+        return store_root
+
+    def run_shards(self, tmp_path, spec, count, *, merged_name="merged"):
+        shard_roots = []
+        for index in range(count):
+            shard_root = tmp_path / f"shard-{index}-store"
+            run_sweep_spec(
+                spec,
+                cache=RunCache(tmp_path / f"shard-{index}-cache"),
+                store=ResultStore(shard_root),
+                shard=(index, count),
+            )
+            shard_roots.append(shard_root)
+        merged_root = tmp_path / merged_name
+        merge_stores(shard_roots, merged_root)
+        return merged_root
+
+    @pytest.mark.parametrize("count", [2, 3])
+    def test_merged_shards_byte_identical_to_unsharded(self, tmp_path, count):
+        spec = small_spec()
+        unsharded = self.run_unsharded(tmp_path, spec)
+        merged = self.run_shards(tmp_path, spec, count)
+        assert store_files(merged) == store_files(unsharded)
+
+    def test_shard_store_holds_exactly_its_own_segments(self, tmp_path):
+        spec = small_spec()
+        outcomes = {}
+        for index in range(2):
+            store = ResultStore(tmp_path / f"shard-{index}")
+            outcomes[index] = run_sweep_spec(
+                spec,
+                cache=RunCache(tmp_path / f"cache-{index}"),
+                store=store,
+                shard=(index, 2),
+            )
+            assert len(store.segments()) == len(outcomes[index].shard_indices)
+        # The two shards partition the 4-cell sweep.
+        assert outcomes[0].shard_indices == [0, 1]
+        assert outcomes[1].shard_indices == [2, 3]
+
+    def test_interrupted_then_resumed_shard_still_merges_identically(self, tmp_path):
+        spec = small_spec()
+        unsharded = self.run_unsharded(tmp_path, spec)
+
+        shard_roots = []
+        for index in range(2):
+            cache = RunCache(tmp_path / f"shard-{index}-cache")
+            store = ResultStore(tmp_path / f"shard-{index}-store")
+            # "Kill" the shard after one computed cell ...
+            first = run_sweep_spec(
+                spec, cache=cache, store=store, shard=(index, 2), max_cells=1
+            )
+            assert not first.complete
+            assert first.pending
+            # ... then resume it against the same cache: only the remainder
+            # is recomputed, and the finished store is what a one-shot shard
+            # run would have produced.
+            resumed = run_sweep_spec(spec, cache=cache, store=store, shard=(index, 2))
+            assert resumed.complete
+            assert resumed.hits == 1
+            shard_roots.append(tmp_path / f"shard-{index}-store")
+
+        merged_root = tmp_path / "merged"
+        merge_stores(shard_roots, merged_root)
+        assert store_files(merged_root) == store_files(unsharded)
+
+    def test_warm_shared_cache_fills_only_owned_segments(self, tmp_path):
+        spec = small_spec()
+        shared_cache = RunCache(tmp_path / "shared-cache")
+        run_sweep_spec(spec, cache=shared_cache)  # warm every cell
+
+        store = ResultStore(tmp_path / "shard-store")
+        outcome = run_sweep_spec(spec, cache=shared_cache, store=store, shard=(1, 2))
+        assert outcome.complete
+        assert outcome.computed == 0
+        assert outcome.hits == len(outcome.shard_indices) == 2
+        # Even with all four payloads in cache, the shard appends only the
+        # segments it owns — the property merge byte-identity rests on.
+        assert len(store.segments()) == 2
+
+    def test_outcome_summary_shard_fields(self, tmp_path):
+        spec = small_spec()
+        sharded = run_sweep_spec(
+            spec, cache=RunCache(tmp_path / "cache"), shard=(0, 2)
+        )
+        summary = sharded.summary()
+        assert summary["shard"] == "0/2"
+        assert summary["shard_cells"] == 2
+        assert summary["complete"] is True
+        unsharded = run_sweep_spec(spec, cache=RunCache(tmp_path / "cache"))
+        assert "shard" not in unsharded.summary()
+        assert "shard_cells" not in unsharded.summary()
+
+    def test_single_shard_of_one_equals_unsharded(self, tmp_path):
+        spec = small_spec()
+        unsharded = self.run_unsharded(tmp_path, spec)
+        lone = tmp_path / "lone-store"
+        run_sweep_spec(
+            spec,
+            cache=RunCache(tmp_path / "lone-cache"),
+            store=ResultStore(lone),
+            shard=(0, 1),
+        )
+        assert store_files(lone) == store_files(unsharded)
